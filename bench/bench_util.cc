@@ -1,0 +1,165 @@
+#include "bench_util.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/flatflash_platform.hh"
+#include "baselines/mmap_platform.hh"
+#include "baselines/nvdimm_c_platform.hh"
+#include "baselines/optane_platform.hh"
+#include "baselines/oracle_platform.hh"
+#include "core/hams_system.hh"
+#include "sim/logging.hh"
+
+namespace hams::bench {
+
+std::uint64_t
+scale()
+{
+    const char* env = std::getenv("HAMS_BENCH_SCALE");
+    if (!env)
+        return 1;
+    std::uint64_t s = std::strtoull(env, nullptr, 10);
+    return s == 0 ? 1 : s;
+}
+
+BenchGeometry
+BenchGeometry::scaled()
+{
+    BenchGeometry g;
+    std::uint64_t s = scale();
+    g.datasetBytes *= s;
+    g.hostMemBytes *= s;
+    g.ssdRawBytes *= s;
+    g.instructionBudget *= s;
+    return g;
+}
+
+std::uint64_t
+BenchGeometry::datasetBytesFor(const std::string& workload) const
+{
+    // Ratios against the 8 GB NVDIMM of Table III.
+    double ratio = 2.0; // micro: 16 GB
+    for (const auto& n : sqliteWorkloadNames())
+        if (n == workload)
+            ratio = 11.0 / 8.0;
+    if (workload == "BFS")
+        ratio = 9.0 / 8.0;
+    else if (workload == "KMN")
+        ratio = 5.0 / 8.0;
+    else if (workload == "NN")
+        ratio = 7.0 / 8.0;
+    auto bytes = static_cast<std::uint64_t>(
+        static_cast<double>(hostMemBytes) * ratio);
+    return (bytes + (1 << 20) - 1) >> 20 << 20; // whole MiB
+}
+
+const std::vector<std::string>&
+allPlatformNames()
+{
+    static const std::vector<std::string> names = {
+        "mmap",     "flatflash-P", "flatflash-M", "nvdimm-C",
+        "optane-P", "optane-M",    "hams-LP",     "hams-LE",
+        "hams-TP",  "hams-TE",     "oracle"};
+    return names;
+}
+
+std::unique_ptr<MemoryPlatform>
+makePlatform(const std::string& name, const BenchGeometry& geom)
+{
+    setQuiet(true);
+
+    if (name == "mmap" || name == "mmap-nvme" || name == "mmap-sata") {
+        MmapConfig c;
+        c.backend = name == "mmap-nvme"
+                        ? MmapBackend::NvmeSsd
+                        : (name == "mmap-sata" ? MmapBackend::SataSsd
+                                               : MmapBackend::UllFlash);
+        c.dramBytes = geom.hostMemBytes;
+        c.pageCacheBytes = geom.hostMemBytes * 3 / 4;
+        c.ssdRawBytes = geom.ssdRawBytes;
+        return std::make_unique<MmapPlatform>(c);
+    }
+    if (name == "flatflash-P" || name == "flatflash-M") {
+        FlatFlashConfig c;
+        c.hostCaching = name == "flatflash-M";
+        c.hostDramBytes = geom.hostMemBytes;
+        c.ssdRawBytes = geom.ssdRawBytes;
+        return std::make_unique<FlatFlashPlatform>(c);
+    }
+    if (name == "nvdimm-C") {
+        NvdimmCConfig c;
+        c.dramBytes = geom.hostMemBytes;
+        c.flashRawBytes = geom.ssdRawBytes;
+        return std::make_unique<NvdimmCPlatform>(c);
+    }
+    if (name == "optane-P" || name == "optane-M") {
+        OptaneConfig c;
+        c.memoryMode = name == "optane-M";
+        c.dramCacheBytes = geom.hostMemBytes;
+        c.pmmBytes = geom.ssdRawBytes;
+        return std::make_unique<OptanePlatform>(c);
+    }
+    if (name == "oracle") {
+        OracleConfig c;
+        c.capacityBytes = geom.ssdRawBytes;
+        return std::make_unique<OraclePlatform>(c);
+    }
+
+    HamsSystemConfig c;
+    if (name == "hams-LP")
+        c = HamsSystemConfig::loosePersist();
+    else if (name == "hams-LE")
+        c = HamsSystemConfig::looseExtend();
+    else if (name == "hams-TP")
+        c = HamsSystemConfig::tightPersist();
+    else if (name == "hams-TE")
+        c = HamsSystemConfig::tightExtend();
+    else
+        return nullptr;
+
+    // The NVDIMM provides the MoS cache plus the pinned region, so the
+    // cache matches the other platforms' host memory.
+    c.pinnedBytes = 32ull << 20;
+    c.nvdimm.capacity = geom.hostMemBytes + c.pinnedBytes;
+    c.ssdRawBytes = geom.ssdRawBytes;
+    c.mosPageBytes = geom.mosPageBytes;
+    c.queueEntries = 1024;
+    c.functionalData = false; // timing-only runs
+    return std::make_unique<HamsSystem>(c);
+}
+
+RunResult
+runOn(MemoryPlatform& platform, const std::string& workload,
+      const BenchGeometry& geom)
+{
+    auto gen = makeWorkload(workload, geom.datasetBytesFor(workload));
+    CoreModel core(platform);
+
+    // Compute-heavy workloads need a larger budget to issue a
+    // comparable number of memory operations (the paper runs 213 G
+    // instructions of SQLite vs 67 G of microbenchmark).
+    std::uint64_t budget = geom.instructionBudget;
+    if (gen->spec().family == "sqlite")
+        budget *= 16;
+
+    // Warm up caches/FTL state (the paper preconditions the devices and
+    // warm-up phases before measuring), then measure on the continuing
+    // stream.
+    core.run(*gen, budget / 2);
+    return core.run(*gen, budget);
+}
+
+void
+banner(const std::string& figure, const std::string& what)
+{
+    std::printf("================================================="
+                "=============================\n");
+    std::printf("%s — %s\n", figure.c_str(), what.c_str());
+    std::printf("scale=%llu (set HAMS_BENCH_SCALE to enlarge)\n",
+                static_cast<unsigned long long>(scale()));
+    std::printf("================================================="
+                "=============================\n");
+}
+
+} // namespace hams::bench

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction harnesses: the platform
+ * factory (all eleven Fig. 16 platforms in scaled-down form), run
+ * drivers and table printers.
+ *
+ * Scaling: the paper runs 38-244 G instructions over 5-16 GB datasets
+ * against an 8 GB NVDIMM on real hardware. The harnesses preserve the
+ * ratios (dataset ~2x the cache, identical access mixes) at a size a
+ * DES can sweep in seconds. Set HAMS_BENCH_SCALE=N to multiply the
+ * instruction budgets and dataset sizes.
+ */
+
+#ifndef HAMS_BENCH_BENCH_UTIL_HH_
+#define HAMS_BENCH_BENCH_UTIL_HH_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/platform.hh"
+#include "cpu/core_model.hh"
+#include "workload/workload.hh"
+
+namespace hams::bench {
+
+/** Multiplier from the HAMS_BENCH_SCALE environment variable. */
+std::uint64_t scale();
+
+/** Scaled run-geometry shared by the harnesses. */
+struct BenchGeometry
+{
+    std::uint64_t datasetBytes = 128ull << 20; //!< paper: 16 GB
+    std::uint64_t hostMemBytes = 64ull << 20;  //!< paper: 8 GB NVDIMM
+    std::uint64_t ssdRawBytes = 1ull << 30;    //!< paper: 800 GB
+    std::uint64_t instructionBudget = 300000;
+    std::uint32_t mosPageBytes = 128 * 1024;
+
+    /** Geometry with the global scale applied. */
+    static BenchGeometry scaled();
+
+    /**
+     * Dataset size for one workload, preserving Table III's ratio of
+     * dataset to NVDIMM: micro 16/8 GB (2x), SQLite 11/8 GB (1.375x),
+     * Rodinia BFS/KMN/NN 9/5/7 GB against the 8 GB module.
+     */
+    std::uint64_t datasetBytesFor(const std::string& workload) const;
+};
+
+/**
+ * Construct one of the eleven evaluated platforms by its paper name:
+ * mmap, flatflash-P/M, nvdimm-C, optane-P/M, hams-LP/LE/TP/TE, oracle.
+ * @return nullptr for unknown names.
+ */
+std::unique_ptr<MemoryPlatform> makePlatform(const std::string& name,
+                                             const BenchGeometry& geom);
+
+/** The eleven platform names in the paper's legend order. */
+const std::vector<std::string>& allPlatformNames();
+
+/** Run @p workload on @p platform for the geometry's budget. */
+RunResult runOn(MemoryPlatform& platform, const std::string& workload,
+                const BenchGeometry& geom);
+
+/** Print a harness banner with the figure reference. */
+void banner(const std::string& figure, const std::string& what);
+
+} // namespace hams::bench
+
+#endif // HAMS_BENCH_BENCH_UTIL_HH_

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks over the simulator's hot paths and
+ * the design-choice ablations DESIGN.md calls out (tag probe cost,
+ * dual-channel split, clone-vs-serialize hazard policies).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/hams_system.hh"
+#include "core/mos_tag_array.hh"
+#include "cpu/cache_model.hh"
+#include "dram/dram_device.hh"
+#include "ftl/page_ftl.hh"
+#include "mem/sparse_memory.hh"
+#include "nvme/queue_pair.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "ssd/device_configs.hh"
+
+namespace {
+
+using namespace hams;
+
+void
+BM_EventQueueScheduleRun(benchmark::State& state)
+{
+    EventQueue eq;
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < 64; ++i)
+            eq.schedule(i, [&sink] { ++sink; });
+        eq.run();
+    }
+    benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_TagArrayProbe(benchmark::State& state)
+{
+    MosTagArray tags(8ull << 30, 128 * 1024);
+    Rng rng(1);
+    std::uint64_t hits = 0;
+    for (auto _ : state) {
+        Addr a = rng.below(64ull << 30);
+        hits += tags.hit(a);
+    }
+    benchmark::DoNotOptimize(hits);
+}
+BENCHMARK(BM_TagArrayProbe);
+
+void
+BM_DramAccess64B(benchmark::State& state)
+{
+    DramDevice dram(Ddr4Timing::speedGrade(2133), 1ull << 30);
+    Rng rng(2);
+    Tick t = 0;
+    for (auto _ : state)
+        t = dram.access(rng.below(1ull << 30) & ~Addr(63), 64,
+                        MemOp::Read, t).ready;
+    benchmark::DoNotOptimize(t);
+}
+BENCHMARK(BM_DramAccess64B);
+
+void
+BM_FtlWritePage(benchmark::State& state)
+{
+    FlashGeometry g;
+    g.channels = 8;
+    g.blocksPerPlane = 256;
+    g.pageSize = 2048;
+    Fil fil(g, NandTiming::zNand());
+    PageFtl ftl(g, fil);
+    Rng rng(3);
+    Tick t = 0;
+    std::uint64_t hot = ftl.logicalPages() / 2;
+    for (auto _ : state)
+        t = ftl.writePage(rng.below(hot), 2048, t);
+    benchmark::DoNotOptimize(t);
+}
+BENCHMARK(BM_FtlWritePage);
+
+void
+BM_QueuePairPushFetch(benchmark::State& state)
+{
+    SparseMemory mem(1 << 20);
+    QueuePair qp(mem, 0, 512 << 10, 256);
+    NvmeCommand cmd = makeReadCommand(1, 0, 32, 0);
+    for (auto _ : state) {
+        qp.push(cmd);
+        benchmark::DoNotOptimize(qp.fetch());
+    }
+}
+BENCHMARK(BM_QueuePairPushFetch);
+
+void
+BM_CacheModelAccess(benchmark::State& state)
+{
+    CacheModel l1(CacheConfig{64 * 1024, 64, 4, nanoseconds(1)});
+    Rng rng(4);
+    std::uint64_t hits = 0;
+    for (auto _ : state)
+        hits += l1.access(rng.below(1 << 20), false).hit;
+    benchmark::DoNotOptimize(hits);
+}
+BENCHMARK(BM_CacheModelAccess);
+
+void
+BM_SparseMemoryWrite4K(benchmark::State& state)
+{
+    SparseMemory mem(1ull << 30);
+    std::vector<std::uint8_t> buf(4096, 0xAB);
+    Rng rng(5);
+    for (auto _ : state)
+        mem.write(rng.below((1ull << 30) / 4096) * 4096, buf.data(),
+                  buf.size());
+}
+BENCHMARK(BM_SparseMemoryWrite4K);
+
+/** Ablation: HAMS end-to-end miss latency per hazard policy. */
+void
+hamsMissLatency(benchmark::State& state, HazardPolicy policy)
+{
+    HamsSystemConfig cfg = HamsSystemConfig::looseExtend();
+    cfg.hazard = policy;
+    cfg.nvdimm.capacity = 128ull << 20;
+    cfg.ssdRawBytes = 1ull << 30;
+    cfg.pinnedBytes = 32ull << 20;
+    cfg.functionalData = false;
+    HamsSystem sys(cfg);
+    std::uint64_t cache = sys.pinnedRegion().cacheBytes();
+
+    std::uint32_t v = 1;
+    int flip = 0;
+    for (auto _ : state) {
+        // Alternate aliasing dirty pages: every write is a miss with a
+        // dirty eviction — the worst case each policy must handle.
+        sys.write((flip++ % 2) ? cache : 0, &v, sizeof(v));
+    }
+    state.counters["sim_us_per_miss"] = benchmark::Counter(
+        ticksToUs(sys.eventQueue().now()) /
+        static_cast<double>(state.iterations()));
+}
+
+void
+BM_HamsMiss_PrpClone(benchmark::State& state)
+{
+    hamsMissLatency(state, HazardPolicy::PrpClone);
+}
+BENCHMARK(BM_HamsMiss_PrpClone);
+
+void
+BM_HamsMiss_SerializeEvictFill(benchmark::State& state)
+{
+    hamsMissLatency(state, HazardPolicy::SerializeEvictFill);
+}
+BENCHMARK(BM_HamsMiss_SerializeEvictFill);
+
+/** Ablation: dual-channel split vs whole-page FTL units. */
+void
+ssdReadLatency(benchmark::State& state, std::uint32_t unit)
+{
+    SsdConfig cfg = ullFlashConfig(1ull << 30, false);
+    cfg.hasBuffer = false;
+    if (unit == 4096) {
+        cfg.geom.pageSize = 4096;
+        cfg.geom.blocksPerPlane /= 2;
+    }
+    Ssd ssd(cfg);
+    Tick t = ssd.hostWrite(0, 1, true, 0);
+    for (auto _ : state)
+        t = ssd.hostRead(0, 1, t);
+    state.counters["sim_us_per_read"] = benchmark::Counter(
+        ticksToUs(t) / static_cast<double>(state.iterations()));
+}
+
+void
+BM_SsdRead_SplitUnits(benchmark::State& state)
+{
+    ssdReadLatency(state, 2048);
+}
+BENCHMARK(BM_SsdRead_SplitUnits);
+
+void
+BM_SsdRead_WholeUnits(benchmark::State& state)
+{
+    ssdReadLatency(state, 4096);
+}
+BENCHMARK(BM_SsdRead_WholeUnits);
+
+} // namespace
+
+BENCHMARK_MAIN();

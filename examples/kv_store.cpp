@@ -1,0 +1,171 @@
+/**
+ * @file
+ * A persistent key-value store built directly on the HAMS MoS address
+ * space — the DBMS-style use case that motivates the paper.
+ *
+ * There is no file system, no mmap and no serialization layer: the
+ * store's hash buckets are plain structs living at MoS addresses, and
+ * persistence comes for free from the platform (battery-backed NVDIMM +
+ * journalled ULL-Flash). A power failure in the middle of a workload
+ * loses nothing that was acknowledged.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/hams_system.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace {
+
+using namespace hams;
+
+/** One fixed-size bucket slot in MoS space. */
+struct Slot
+{
+    std::uint64_t hash = 0;
+    char key[40] = {};
+    char value[72] = {};
+    std::uint8_t used = 0;
+};
+
+/** Open-addressed persistent hash table over a HamsSystem. */
+class MosKvStore
+{
+  public:
+    MosKvStore(HamsSystem& sys, Addr base, std::uint64_t slots)
+        : sys(sys), base(base), slots(slots)
+    {
+    }
+
+    bool
+    put(const std::string& key, const std::string& value)
+    {
+        std::uint64_t h = fnv(key);
+        for (std::uint64_t probe = 0; probe < slots; ++probe) {
+            Addr addr = slotAddr(h, probe);
+            Slot s = load(addr);
+            if (!s.used || (s.hash == h && key == s.key)) {
+                s.hash = h;
+                s.used = 1;
+                std::snprintf(s.key, sizeof(s.key), "%s", key.c_str());
+                std::snprintf(s.value, sizeof(s.value), "%s",
+                              value.c_str());
+                sys.write(addr, &s, sizeof(s));
+                return true;
+            }
+        }
+        return false; // table full
+    }
+
+    bool
+    get(const std::string& key, std::string& value_out)
+    {
+        std::uint64_t h = fnv(key);
+        for (std::uint64_t probe = 0; probe < slots; ++probe) {
+            Slot s = load(slotAddr(h, probe));
+            if (!s.used)
+                return false;
+            if (s.hash == h && key == s.key) {
+                value_out = s.value;
+                return true;
+            }
+        }
+        return false;
+    }
+
+  private:
+    static std::uint64_t
+    fnv(const std::string& s)
+    {
+        std::uint64_t h = 1469598103934665603ULL;
+        for (char c : s) {
+            h ^= static_cast<std::uint8_t>(c);
+            h *= 1099511628211ULL;
+        }
+        return h ? h : 1;
+    }
+
+    Addr
+    slotAddr(std::uint64_t hash, std::uint64_t probe) const
+    {
+        return base + ((hash + probe) % slots) * sizeof(Slot);
+    }
+
+    Slot
+    load(Addr addr)
+    {
+        Slot s;
+        sys.read(addr, &s, sizeof(s));
+        return s;
+    }
+
+    HamsSystem& sys;
+    Addr base;
+    std::uint64_t slots;
+};
+
+} // namespace
+
+int
+main()
+{
+    using namespace hams;
+    setQuiet(true);
+
+    HamsSystemConfig cfg = HamsSystemConfig::tightExtend();
+    cfg.nvdimm.capacity = 512ull << 20;
+    cfg.ssdRawBytes = 8ull << 30;
+    cfg.pinnedBytes = 128ull << 20;
+    HamsSystem sys(cfg);
+
+    // The table is far bigger than the NVDIMM cache: cold buckets live
+    // on ULL-Flash and migrate on demand, invisibly.
+    const std::uint64_t slots = 4ull << 20; // 4 Mi slots x 128 B = 512 MiB+
+    MosKvStore kv(sys, /*base=*/1ull << 20, slots);
+
+    std::printf("== persistent KV store over %s (%.1f GiB MoS pool) ==\n",
+                sys.name().c_str(), sys.capacity() / double(1ull << 30));
+
+    const int n = 2000;
+    Rng rng(11);
+    for (int i = 0; i < n; ++i) {
+        std::string key = "user:" + std::to_string(rng.below(1u << 20));
+        std::string val = "balance=" + std::to_string(i);
+        kv.put(key, val);
+        if (i == n / 2) {
+            // Pull the plug mid-workload.
+            std::printf("-- power failure after %d puts --\n", i + 1);
+            sys.powerFail();
+            Tick t = sys.recover();
+            std::printf("-- recovered at %.2f ms (replayed %llu cmds) --\n",
+                        ticksToSeconds(t) * 1e3,
+                        static_cast<unsigned long long>(
+                            sys.engineStats().replayed));
+        }
+    }
+
+    // Verify a deterministic sample survives (same RNG stream).
+    Rng verify(11);
+    int found = 0, checked = 0;
+    std::string out;
+    for (int i = 0; i < n; ++i) {
+        std::string key = "user:" + std::to_string(verify.below(1u << 20));
+        ++checked;
+        if (kv.get(key, out))
+            ++found;
+    }
+    std::printf("lookups: %d/%d found\n", found, checked);
+
+    const HamsStats& st = sys.stats();
+    std::printf("NVDIMM hit rate: %.1f%%  (hits=%llu misses=%llu "
+                "evictions=%llu clones=%llu)\n",
+                100.0 * st.hits / double(st.hits + st.misses),
+                static_cast<unsigned long long>(st.hits),
+                static_cast<unsigned long long>(st.misses),
+                static_cast<unsigned long long>(st.dirtyEvictions),
+                static_cast<unsigned long long>(st.prpClones));
+    return found == checked ? 0 : 1;
+}

@@ -1,0 +1,229 @@
+#include "baselines/mmap_platform.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "ssd/device_configs.hh"
+
+namespace hams {
+
+namespace {
+
+SsdConfig
+backendConfig(const MmapConfig& cfg)
+{
+    switch (cfg.backend) {
+      case MmapBackend::UllFlash:
+        return ullFlashConfig(cfg.ssdRawBytes, /*functional_data=*/false);
+      case MmapBackend::NvmeSsd:
+        return nvmeSsdConfig(cfg.ssdRawBytes, /*functional_data=*/false);
+      case MmapBackend::SataSsd:
+        return sataSsdConfig(cfg.ssdRawBytes, /*functional_data=*/false);
+    }
+    panic("unreachable mmap backend");
+}
+
+LinkConfig
+backendLink(const MmapConfig& cfg)
+{
+    switch (cfg.backend) {
+      case MmapBackend::UllFlash:
+        return ullFlashLink();
+      case MmapBackend::NvmeSsd:
+        return nvmeSsdLink();
+      case MmapBackend::SataSsd:
+        return sataSsdLink();
+    }
+    panic("unreachable mmap backend");
+}
+
+const char*
+backendName(MmapBackend b)
+{
+    switch (b) {
+      case MmapBackend::UllFlash:
+        return "mmap-ull";
+      case MmapBackend::NvmeSsd:
+        return "mmap-nvme";
+      case MmapBackend::SataSsd:
+        return "mmap-sata";
+    }
+    return "mmap";
+}
+
+} // namespace
+
+MmapPlatform::MmapPlatform(const MmapConfig& cfg)
+    : cfg(cfg), _name(backendName(cfg.backend))
+{
+    dram = std::make_unique<MemoryController>(
+        Ddr4Timing::speedGrade(cfg.dramSpeedGrade), cfg.dramBytes);
+    ssd = std::make_unique<Ssd>(backendConfig(cfg));
+    link = std::make_unique<PcieLink>(backendLink(cfg));
+
+    DramBufferConfig tag_cfg;
+    tag_cfg.capacity = cfg.pageCacheBytes;
+    tag_cfg.frameSize = nvmeBlockSize;
+    cacheTags = std::make_unique<DramBuffer>(tag_cfg);
+
+    _capacity = ssd->capacityBytes();
+}
+
+MmapPlatform::~MmapPlatform() = default;
+
+Tick
+MmapPlatform::writebackPage(std::uint64_t page, Tick at)
+{
+    // fs/blk-mq submission, upstream DMA, device program.
+    Tick submitted = at + cfg.ioStackLatency / 2;
+    Tick dma = link->transfer(nvmeBlockSize, LinkDir::ToDevice, submitted);
+    Tick done = ssd->hostWrite(page, 1, /*fua=*/false, dma);
+    cacheTags->markClean(page);
+    if (dirtyCount > 0)
+        --dirtyCount;
+    ++_writebacks;
+    return done;
+}
+
+void
+MmapPlatform::maybeStartWriteback(Tick at)
+{
+    double watermark =
+        cfg.dirtyWatermark * static_cast<double>(cacheTags->maxFrames());
+    if (static_cast<double>(dirtyCount) < watermark)
+        return;
+    // kswapd-style background round: flush a batch of dirty pages.
+    auto dirty = cacheTags->dirtyFrames();
+    std::uint32_t n = std::min<std::uint32_t>(
+        cfg.writebackBatch, static_cast<std::uint32_t>(dirty.size()));
+    for (std::uint32_t i = 0; i < n; ++i)
+        writebackPage(dirty[i], at);
+}
+
+void
+MmapPlatform::access(const MemAccess& acc, Tick at, AccessCb cb)
+{
+    if (acc.addr + acc.size > _capacity)
+        fatal("mmap access beyond file size");
+
+    std::uint64_t page = acc.addr / nvmeBlockSize;
+    LatencyBreakdown bd;
+    Tick done;
+
+    if (cacheTags->lookup(page)) {
+        // Resident: a plain load/store against the page cache.
+        ++_hits;
+        done = dram->access(dramFoldAddr(acc.addr, cfg.dramBytes), acc.size, acc.op, at);
+        bd.nvdimm = done - at;
+        if (acc.op == MemOp::Write && !cacheTags->isDirty(page)) {
+            cacheTags->insert(page, /*dirty=*/true);
+            ++dirtyCount;
+            maybeStartWriteback(done);
+        }
+    } else {
+        // Page fault: the whole storage stack stands between the load
+        // and its data.
+        ++_pageFaults;
+        Tick fault_entry = at + cfg.pageFaultLatency;
+        Tick submitted = fault_entry + cfg.ioStackLatency;
+        bd.os += submitted - at;
+
+        // Linux readahead: sequential fault streams pull a whole
+        // cluster per fault, which is how mmap approaches the device's
+        // sequential bandwidth.
+        seqStreak = (page == lastFaultPage + 1) ? seqStreak + 1 : 0;
+        lastFaultPage = page;
+        std::uint32_t cluster = 1;
+        if (seqStreak >= 2 && cfg.readaheadPages > 1)
+            cluster = static_cast<std::uint32_t>(
+                std::min<std::uint64_t>(cfg.readaheadPages,
+                                        _capacity / nvmeBlockSize - page));
+
+        Tick media = ssd->hostRead(page, cluster, submitted);
+        bd.ssd += media - submitted;
+
+        Tick dma = link->transfer(std::uint64_t(cluster) * nvmeBlockSize,
+                                  LinkDir::ToHost, media);
+        bd.dma += dma - media;
+
+        // Copy into the freshly allocated pages + IRQ/wakeup path.
+        Tick copied = dram->access(dramFoldAddr(acc.addr & ~Addr(4095),
+                                                cfg.dramBytes),
+                                   cluster * nvmeBlockSize,
+                                   MemOp::Write, dma);
+        bd.nvdimm += copied - dma;
+        Tick resumed = copied + cfg.completionLatency;
+        bd.os += cfg.completionLatency;
+
+        BufferEviction ev =
+            cacheTags->insert(page, acc.op == MemOp::Write);
+        for (std::uint32_t i = 1; i < cluster; ++i) {
+            BufferEviction ra = cacheTags->insert(page + i, false);
+            if (ra.happened && ra.dirty)
+                writebackPage(ra.frameKey, resumed);
+        }
+        if (acc.op == MemOp::Write) {
+            ++dirtyCount;
+            maybeStartWriteback(resumed);
+        }
+        if (ev.happened && ev.dirty)
+            writebackPage(ev.frameKey, resumed); // reclaim path
+
+        // Finally the user access itself.
+        done = dram->access(dramFoldAddr(acc.addr, cfg.dramBytes), acc.size, acc.op,
+                            resumed);
+        bd.nvdimm += done - resumed;
+    }
+
+    eq.scheduleAt(done, [cb = std::move(cb), done, bd]() {
+        if (cb)
+            cb(done, bd);
+    });
+}
+
+void
+MmapPlatform::flush(Tick at, AccessCb cb)
+{
+    // msync: synchronously write every dirty page back.
+    LatencyBreakdown bd;
+    Tick done = at + cfg.ioStackLatency;
+    bd.os += cfg.ioStackLatency;
+    auto dirty = cacheTags->dirtyFrames();
+    Tick last = done;
+    for (std::uint64_t page : dirty)
+        last = std::max(last, writebackPage(page, done));
+    bd.ssd += last - done;
+    eq.scheduleAt(last, [cb = std::move(cb), last, bd]() {
+        if (cb)
+            cb(last, bd);
+    });
+}
+
+EnergyBreakdownJ
+MmapPlatform::memoryEnergy(Tick elapsed) const
+{
+    EnergyBreakdownJ e;
+    DramPowerModel dram_model;
+    e.nvdimm = dram_model.energyJ(dram->device().activity(), elapsed, 2);
+
+    if (ssd->config().hasBuffer) {
+        DramActivity buf_act;
+        std::uint64_t bursts = ssd->bufferBytesAccessed() / 64;
+        buf_act.reads = bursts / 2;
+        buf_act.writes = bursts - buf_act.reads;
+        buf_act.activates = bursts / 64;
+        e.internalDram = dram_model.energyJ(buf_act, elapsed, 1);
+    }
+
+    FlashPowerModel flash_model{cfg.backend == MmapBackend::UllFlash
+                                    ? FlashPowerParams::zNand()
+                                    : FlashPowerParams::vNand()};
+    const FlashGeometry& g = ssd->config().geom;
+    e.znand = flash_model.energyJ(
+        ssd->flashActivity(), elapsed,
+        std::uint64_t(g.channels) * g.packagesPerChannel *
+            g.diesPerPackage);
+    return e;
+}
+
+} // namespace hams

@@ -1,0 +1,107 @@
+#include "baselines/nvdimm_c_platform.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "ssd/device_configs.hh"
+
+namespace hams {
+
+NvdimmCPlatform::NvdimmCPlatform(const NvdimmCConfig& cfg) : cfg(cfg)
+{
+    dram = std::make_unique<MemoryController>(
+        Ddr4Timing::speedGrade(2133), cfg.dramBytes);
+    // The flash complex sits on the DRAM PHY: no PCIe link anywhere.
+    flash = std::make_unique<Ssd>(
+        ullFlashConfig(cfg.flashRawBytes, /*functional_data=*/false));
+    _capacity = flash->capacityBytes();
+
+    DramBufferConfig tag_cfg;
+    tag_cfg.capacity = cfg.dramBytes;
+    tag_cfg.frameSize = nvmeBlockSize;
+    cacheTags = std::make_unique<DramBuffer>(tag_cfg);
+}
+
+NvdimmCPlatform::~NvdimmCPlatform() = default;
+
+Tick
+NvdimmCPlatform::claimWindow(Tick t)
+{
+    // Windows open every refreshInterval; one page occupies
+    // windowsPerPage consecutive windows. Claim the first free slot at
+    // or after t; the migration completes at its last window.
+    Tick window = (t + cfg.refreshInterval - 1) / cfg.refreshInterval *
+                  cfg.refreshInterval;
+    window = std::max(window, nextWindowFree);
+    Tick done = window + Tick(cfg.windowsPerPage - 1) * cfg.refreshInterval;
+    nextWindowFree = done + cfg.refreshInterval;
+    return done;
+}
+
+void
+NvdimmCPlatform::access(const MemAccess& acc, Tick at, AccessCb cb)
+{
+    if (acc.addr + acc.size > _capacity)
+        fatal("nvdimm-C access beyond capacity");
+
+    std::uint64_t page = acc.addr / nvmeBlockSize;
+    LatencyBreakdown bd;
+    Tick done;
+
+    if (cacheTags->lookup(page)) {
+        done = dram->access(dramFoldAddr(acc.addr, cfg.dramBytes), acc.size, acc.op, at);
+        bd.nvdimm = done - at;
+        if (acc.op == MemOp::Write)
+            cacheTags->insert(page, /*dirty=*/true);
+    } else {
+        // Fetch the page from flash (cheap), then wait for a refresh
+        // window to move it across the shared channel (expensive).
+        Tick media = flash->hostRead(page, 1, at);
+        bd.ssd += media - at;
+
+        Tick window = claimWindow(media);
+        Tick moved = dram->access(dramFoldAddr(acc.addr & ~Addr(4095),
+                                               cfg.dramBytes),
+                                  nvmeBlockSize,
+                                  MemOp::Write, window);
+        bd.dma += window - media;   // stalled waiting for the window
+        bd.nvdimm += moved - window;
+
+        BufferEviction ev = cacheTags->insert(page,
+                                              acc.op == MemOp::Write);
+        if (ev.happened && ev.dirty) {
+            // Dirty victim also needs a window on its way out.
+            Tick out_window = claimWindow(moved);
+            flash->hostWrite(ev.frameKey, 1, /*fua=*/false, out_window);
+            ++_migrations;
+        }
+        ++_migrations;
+
+        done = dram->access(dramFoldAddr(acc.addr, cfg.dramBytes), acc.size, acc.op,
+                            moved);
+        bd.nvdimm += done - moved;
+    }
+
+    eq.scheduleAt(done, [cb = std::move(cb), done, bd]() {
+        if (cb)
+            cb(done, bd);
+    });
+}
+
+EnergyBreakdownJ
+NvdimmCPlatform::memoryEnergy(Tick elapsed) const
+{
+    EnergyBreakdownJ e;
+    DramPowerModel dram_model;
+    e.nvdimm = dram_model.energyJ(dram->device().activity(), elapsed, 2);
+
+    FlashPowerModel flash_model{FlashPowerParams::zNand()};
+    const FlashGeometry& g = flash->config().geom;
+    e.znand = flash_model.energyJ(
+        flash->flashActivity(), elapsed,
+        std::uint64_t(g.channels) * g.packagesPerChannel *
+            g.diesPerPackage);
+    return e;
+}
+
+} // namespace hams

@@ -1,0 +1,38 @@
+#include "baselines/oracle_platform.hh"
+
+#include "sim/logging.hh"
+
+namespace hams {
+
+OraclePlatform::OraclePlatform(const OracleConfig& cfg) : cfg(cfg)
+{
+    dram = std::make_unique<MemoryController>(
+        Ddr4Timing::speedGrade(cfg.speedGrade), cfg.capacityBytes);
+}
+
+OraclePlatform::~OraclePlatform() = default;
+
+void
+OraclePlatform::access(const MemAccess& acc, Tick at, AccessCb cb)
+{
+    if (acc.addr + acc.size > cfg.capacityBytes)
+        fatal("oracle access beyond capacity");
+    Tick done = dram->access(acc.addr, acc.size, acc.op, at);
+    LatencyBreakdown bd;
+    bd.nvdimm = done - at;
+    eq.scheduleAt(done, [cb = std::move(cb), done, bd]() {
+        if (cb)
+            cb(done, bd);
+    });
+}
+
+EnergyBreakdownJ
+OraclePlatform::memoryEnergy(Tick elapsed) const
+{
+    EnergyBreakdownJ e;
+    DramPowerModel dram_model;
+    e.nvdimm = dram_model.energyJ(dram->device().activity(), elapsed, 8);
+    return e;
+}
+
+} // namespace hams

@@ -1,0 +1,26 @@
+#include "baselines/platform.hh"
+
+#include "sim/logging.hh"
+
+namespace hams {
+
+Tick
+MemoryPlatform::accessSync(const MemAccess& acc, Tick at,
+                           LatencyBreakdown* bd)
+{
+    bool done = false;
+    Tick when = 0;
+    access(acc, at, [&](Tick t, const LatencyBreakdown& b) {
+        done = true;
+        when = t;
+        if (bd)
+            *bd = b;
+    });
+    while (!done && eventQueue().step()) {
+    }
+    if (!done)
+        panic("accessSync: event queue drained without completion");
+    return when;
+}
+
+} // namespace hams

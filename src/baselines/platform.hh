@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The MemoryPlatform interface every evaluated system implements:
+ * the HAMS variants (hams-LP/LE/TP/TE), the MMF/mmap software baseline,
+ * FlatFlash-P/M, NVDIMM-C, Optane-P/M and the oracle — the eleven
+ * platforms of the paper's Fig. 16.
+ */
+
+#ifndef HAMS_BASELINES_PLATFORM_HH_
+#define HAMS_BASELINES_PLATFORM_HH_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "energy/energy_meter.hh"
+#include "mem/request.hh"
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace hams {
+
+/**
+ * Map an arbitrary platform address onto host DRAM for timing purposes:
+ * the page is folded into the DRAM capacity while keeping the in-page
+ * offset, so page-sized transfers never run past the module's end.
+ */
+inline Addr
+dramFoldAddr(Addr addr, std::uint64_t dram_bytes,
+             std::uint32_t page_bytes = 4096)
+{
+    std::uint64_t frames = dram_bytes / page_bytes;
+    return (addr / page_bytes % frames) * page_bytes + addr % page_bytes;
+}
+
+/**
+ * A byte-addressable (or page-served) memory platform under test.
+ *
+ * Accesses are asynchronous: the callback fires as a DES event at the
+ * completion tick carrying the latency attribution used by the
+ * Fig. 17/18 breakdowns.
+ */
+class MemoryPlatform
+{
+  public:
+    using AccessCb = std::function<void(Tick, const LatencyBreakdown&)>;
+
+    virtual ~MemoryPlatform() = default;
+
+    /** Platform label as used in the paper's figures. */
+    virtual const std::string& name() const = 0;
+
+    /** Byte capacity of the (persistent) memory space. */
+    virtual std::uint64_t capacity() const = 0;
+
+    /** The event queue driving this platform. */
+    virtual EventQueue& eventQueue() = 0;
+
+    /**
+     * Issue one CPU-visible access (<= 64 B, never page-crossing) at
+     * tick @p at.
+     */
+    virtual void access(const MemAccess& acc, Tick at, AccessCb cb) = 0;
+
+    /** True if acked writes survive power failure. */
+    virtual bool persistent() const = 0;
+
+    /**
+     * Durability barrier (fsync/msync). Platforms with inherent
+     * persistence complete immediately; the MMF baseline pays the
+     * writeback here.
+     */
+    virtual void
+    flush(Tick at, AccessCb cb)
+    {
+        if (cb)
+            cb(at, LatencyBreakdown{});
+    }
+
+    /**
+     * Memory-side energy spent so far (CPU energy is accounted by the
+     * core model, which knows busy/stall time).
+     */
+    virtual EnergyBreakdownJ memoryEnergy(Tick elapsed) const = 0;
+
+    /**
+     * Synchronous convenience: run the event queue until the access
+     * completes. Only valid when the caller owns the event loop.
+     */
+    Tick accessSync(const MemAccess& acc, Tick at,
+                    LatencyBreakdown* bd = nullptr);
+};
+
+} // namespace hams
+
+#endif // HAMS_BASELINES_PLATFORM_HH_

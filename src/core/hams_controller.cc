@@ -1,0 +1,339 @@
+#include "core/hams_controller.hh"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace hams {
+
+HamsController::HamsController(EventQueue& eq, Nvdimm& nvdimm,
+                               HamsNvmeEngine& engine, PinnedRegion& pinned,
+                               std::uint64_t mos_capacity,
+                               const HamsControllerConfig& cfg)
+    : eq(eq), nvdimm(nvdimm), engine(engine), pinned(pinned), cfg(cfg),
+      _mosCapacity(mos_capacity),
+      tags(pinned.cacheBytes() - pinned.cacheBytes() % cfg.pageBytes,
+           cfg.pageBytes)
+{
+    if (cfg.pageBytes % nvmeBlockSize != 0)
+        fatal("MoS page size must be a multiple of the 4 KiB NVMe block");
+    if (mos_capacity % cfg.pageBytes != 0)
+        fatal("MoS capacity must be a multiple of the MoS page size");
+    if (pinned.config().prpFrameBytes < cfg.pageBytes)
+        fatal("PRP pool frames (", pinned.config().prpFrameBytes,
+              ") smaller than the MoS page (", cfg.pageBytes, ")");
+}
+
+void
+HamsController::access(const MemAccess& acc, const std::uint8_t* wdata,
+                       std::uint8_t* rdata, Tick at, AccessCb cb)
+{
+    if (acc.addr + acc.size > _mosCapacity)
+        fatal("MoS access [", acc.addr, ", ", acc.addr + acc.size,
+              ") beyond capacity ", _mosCapacity);
+    if (acc.addr / cfg.pageBytes != (acc.addr + acc.size - 1) /
+        cfg.pageBytes)
+        fatal("MoS access crosses a page boundary; split it upstream");
+
+    ++_stats.accesses;
+    std::uint64_t idx = tags.indexOf(acc.addr);
+    MosTagEntry& e = tags.entry(idx);
+
+    if (e.busy) {
+        // The frame is under DMA: park the request in the wait queue
+        // (paper Fig. 14). Requests that would have re-evicted the same
+        // page are exactly the redundant evictions HAMS suppresses.
+        ++_stats.waitQueued;
+        if (e.valid && e.dirty)
+            ++_stats.redundantEvictionsAvoided;
+        waitQueue[idx].push_back(Waiter{acc, wdata, rdata, std::move(cb)});
+        return;
+    }
+
+    if (e.valid && e.tag == tags.tagOf(acc.addr))
+        handleHit(acc, wdata, rdata, at, std::move(cb));
+    else
+        handleMiss(acc, wdata, rdata, at, std::move(cb));
+}
+
+void
+HamsController::serveFromFrame(const MemAccess& acc,
+                               const std::uint8_t* wdata,
+                               std::uint8_t* rdata, std::uint64_t idx,
+                               Tick at, LatencyBreakdown bd, AccessCb cb)
+{
+    Addr line = frameAddr(idx) + acc.addr % cfg.pageBytes;
+    Tick done = nvdimm.access(line, acc.size, acc.op, at);
+    bd.nvdimm += done - at;
+    _stats.memoryDelay += bd;
+
+    if (acc.op == MemOp::Write) {
+        tags.entry(idx).dirty = true;
+        if (wdata && nvdimm.data())
+            nvdimm.data()->write(line, wdata, acc.size);
+    }
+
+    std::uint32_t size = acc.size;
+    eq.scheduleAt(done, [this, line, size, rdata, done, bd,
+                         cb = std::move(cb)]() {
+        if (rdata && nvdimm.data())
+            nvdimm.data()->read(line, rdata, size);
+        if (cb)
+            cb(done, bd);
+    });
+}
+
+void
+HamsController::handleHit(const MemAccess& acc, const std::uint8_t* wdata,
+                          std::uint8_t* rdata, Tick at, AccessCb cb)
+{
+    ++_stats.hits;
+    // The tag is read out with the line itself, so the hit path is the
+    // logic latency plus the single NVDIMM access.
+    LatencyBreakdown bd;
+    serveFromFrame(acc, wdata, rdata, tags.indexOf(acc.addr),
+                   at + cfg.logicLatency, bd, std::move(cb));
+}
+
+void
+HamsController::gateSubmit(Tick at, std::function<void(Tick)> thunk)
+{
+    if (cfg.mode != HamsMode::Persist) {
+        thunk(at);
+        return;
+    }
+    if (gateBusy) {
+        ++_stats.persistGateWaits;
+        gateQueue.push_back(std::move(thunk));
+        return;
+    }
+    gateBusy = true;
+    thunk(at);
+}
+
+void
+HamsController::gateRelease(Tick at)
+{
+    if (cfg.mode != HamsMode::Persist)
+        return;
+    if (gateQueue.empty()) {
+        gateBusy = false;
+        return;
+    }
+    auto next = std::move(gateQueue.front());
+    gateQueue.pop_front();
+    next(at);
+}
+
+void
+HamsController::handleMiss(const MemAccess& acc, const std::uint8_t* wdata,
+                           std::uint8_t* rdata, Tick at, AccessCb cb)
+{
+    ++_stats.misses;
+    std::uint64_t idx = tags.indexOf(acc.addr);
+    tags.entry(idx).busy = true;
+
+    LatencyBreakdown bd;
+    Tick t0 = at + cfg.logicLatency;
+    startMissIo(acc, wdata, rdata, t0, bd, std::move(cb));
+}
+
+void
+HamsController::startMissIo(const MemAccess& acc, const std::uint8_t* wdata,
+                            std::uint8_t* rdata, Tick at,
+                            LatencyBreakdown bd, AccessCb cb)
+{
+    std::uint64_t idx = tags.indexOf(acc.addr);
+    MosTagEntry& e = tags.entry(idx);
+    bool need_evict = e.valid && e.dirty;
+    bool fua = cfg.mode == HamsMode::Persist;
+    Addr frame = frameAddr(idx);
+    Addr mos_page = acc.addr - acc.addr % cfg.pageBytes;
+    std::uint64_t new_tag = tags.tagOf(acc.addr);
+
+    if (e.valid && !e.dirty)
+        ++_stats.cleanVictims;
+
+    // Clone the dirty victim into the PRP pool up front so the clone
+    // cost is on this miss's critical path and the later DMA pull can
+    // never observe the frame mid-update (paper SSV-B).
+    Tick evict_ready = at;
+    Addr evict_prp = frame;
+    if (need_evict && cfg.hazard == HazardPolicy::PrpClone) {
+        Addr clone = pinned.allocPrpFrame();
+        Tick r = nvdimm.access(frame, cfg.pageBytes, MemOp::Read, at);
+        Tick w = nvdimm.access(clone, cfg.pageBytes, MemOp::Write, r);
+        if (nvdimm.data()) {
+            std::vector<std::uint8_t> buf(cfg.pageBytes);
+            nvdimm.data()->read(frame, buf.data(), cfg.pageBytes);
+            nvdimm.data()->write(clone, buf.data(), cfg.pageBytes);
+        }
+        bd.nvdimm += w - at;
+        evict_ready = w;
+        evict_prp = clone;
+        ++_stats.prpClones;
+    }
+
+    // Shared completion state for the (up to two) I/Os of this miss.
+    Tick req_at = at;
+    auto fill_done_cb = [this, acc, wdata, rdata, idx, new_tag, req_at,
+                         cb = std::move(cb), bd](
+                            const NvmeCommand&, const NvmeCmdTrace& trace,
+                            Tick when) mutable {
+        MosTagEntry& entry = tags.entry(idx);
+        entry.tag = new_tag;
+        entry.valid = true;
+        entry.dirty = false;
+        entry.busy = false;
+        ++_stats.fills;
+
+        LatencyBreakdown miss_bd = bd;
+        miss_bd.ssd += trace.media;
+        miss_bd.dma += trace.dma + trace.protocol;
+        // Whatever the fill trace does not explain — chiefly waiting
+        // for a serialised eviction in persist mode — is time the
+        // device held the request.
+        Tick counted = miss_bd.total();
+        if (when > req_at && when - req_at > counted)
+            miss_bd.ssd += (when - req_at) - counted;
+        gateRelease(when);
+        serveFromFrame(acc, wdata, rdata, idx, when, miss_bd,
+                       std::move(cb));
+        drainWaiters(idx, when);
+    };
+
+    auto submit_fill = [this, frame, mos_page, fill_done_cb](Tick t) {
+        NvmeCommand fill = makeReadCommand(
+            0, slbaOf(mos_page), blocksPerPage(), frame);
+        engine.submit(fill, t, fill_done_cb);
+    };
+
+    if (!need_evict) {
+        gateSubmit(at, [submit_fill](Tick t) { submit_fill(t); });
+        return;
+    }
+
+    // --- Dirty victim: evict it first. ---
+    ++_stats.dirtyEvictions;
+    Addr victim_page = tags.mosPageAddr(e.tag, idx);
+    std::uint64_t victim_slba = slbaOf(victim_page);
+
+    switch (cfg.hazard) {
+      case HazardPolicy::PrpClone:
+      case HazardPolicy::Unprotected: {
+        // Eviction and fill go out together; the device may complete
+        // them out of order. With a clone that is safe; unprotected it
+        // reproduces the paper's Fig. 13 corruption.
+        if (cfg.mode == HamsMode::Persist) {
+            // Persist mode still serialises: evict, then fill.
+            gateSubmit(evict_ready, [this, evict_prp, victim_slba, fua,
+                                     submit_fill](Tick t) {
+                NvmeCommand ev = makeWriteCommand(
+                    0, victim_slba, blocksPerPage(), evict_prp, fua);
+                engine.submit(ev, t,
+                              [this, submit_fill](const NvmeCommand&,
+                                                  const NvmeCmdTrace&,
+                                                  Tick when) {
+                                  gateRelease(when);
+                                  gateSubmit(when, [submit_fill](Tick t2) {
+                                      submit_fill(t2);
+                                  });
+                              });
+            });
+        } else if (cfg.hazard == HazardPolicy::PrpClone) {
+            NvmeCommand ev = makeWriteCommand(0, victim_slba,
+                                              blocksPerPage(), evict_prp,
+                                              fua);
+            engine.submit(ev, evict_ready, nullptr);
+            submit_fill(evict_ready);
+        } else {
+            // Unprotected: no clone and no ordering guarantee. A
+            // latency-minded controller issues the demand fill first
+            // and evicts lazily — so the eviction's DMA pulls the frame
+            // *after* the fill (and subsequent MMU writes) replaced its
+            // contents: the paper's Fig. 13 corruption.
+            submit_fill(evict_ready);
+            NvmeCommand ev = makeWriteCommand(0, victim_slba,
+                                              blocksPerPage(), evict_prp,
+                                              fua);
+            engine.submit(ev, evict_ready, nullptr);
+        }
+        break;
+      }
+      case HazardPolicy::SerializeEvictFill: {
+        // Safe without a clone: the fill only starts once the eviction
+        // pulled the frame. Costs the full eviction latency on the
+        // critical path.
+        gateSubmit(evict_ready, [this, evict_prp, victim_slba, fua,
+                                 submit_fill](Tick t) {
+            NvmeCommand ev = makeWriteCommand(
+                0, victim_slba, blocksPerPage(), evict_prp, fua);
+            engine.submit(ev, t,
+                          [this, submit_fill](const NvmeCommand&,
+                                              const NvmeCmdTrace&,
+                                              Tick when) {
+                              gateRelease(when);
+                              gateSubmit(when, [submit_fill](Tick t2) {
+                                  submit_fill(t2);
+                              });
+                          });
+        });
+        break;
+      }
+    }
+}
+
+void
+HamsController::drainWaiters(std::uint64_t idx, Tick at)
+{
+    auto it = waitQueue.find(idx);
+    if (it == waitQueue.end() || it->second.empty())
+        return;
+    std::deque<Waiter> waiters = std::move(it->second);
+    waitQueue.erase(it);
+    for (auto& w : waiters) {
+        // Re-inject; most will now hit (the fill just landed).
+        access(w.acc, w.wdata, w.rdata, at, std::move(w.cb));
+    }
+}
+
+void
+HamsController::onPowerFail()
+{
+    // Wait queue and persist gate are volatile controller state. The
+    // tag array itself lives in NVDIMM lines and therefore persists
+    // (with stale busy bits recovery must clear).
+    waitQueue.clear();
+    gateQueue.clear();
+    gateBusy = false;
+}
+
+void
+HamsController::recover(Tick at, std::function<void(Tick)> done)
+{
+    engine.replayPending(
+        at,
+        [this](const NvmeCommand& cmd, const NvmeCmdTrace&, Tick) {
+            ++_stats.replayedCommands;
+            if (cmd.op() == NvmeOpcode::Read) {
+                // A replayed fill: rebuild the tag entry it targeted.
+                std::uint64_t idx = cmd.prp1 / cfg.pageBytes;
+                Addr mos_page =
+                    Addr(cmd.slba) * nvmeBlockSize;
+                MosTagEntry& e = tags.entry(idx);
+                e.tag = tags.tagOf(mos_page);
+                e.valid = true;
+                e.dirty = false;
+                e.busy = false;
+            }
+        },
+        [this, done = std::move(done)](Tick when) {
+            tags.clearBusyBits();
+            if (done)
+                done(when);
+        });
+}
+
+} // namespace hams

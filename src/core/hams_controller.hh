@@ -1,0 +1,188 @@
+/**
+ * @file
+ * The HAMS cache logic: the address manager that turns an NVDIMM plus a
+ * ULL-Flash into one large Memory-over-Storage address space (paper
+ * SSIV/SSV).
+ *
+ * Responsibilities:
+ *  - serve MMU requests against the direct-mapped NVDIMM cache (the tag
+ *    travels with the data line, so a probe is one NVDIMM access);
+ *  - on a miss, compose the eviction (dirty victim) and fill commands
+ *    and hand them to the hardware NVMe engine;
+ *  - hazard control: per-frame busy bit + wait queue, PRP-pool page
+ *    cloning so in-flight DMA never observes a torn frame, and
+ *    redundant-eviction suppression (paper Figs. 13/14);
+ *  - persist mode (FUA on every I/O, single outstanding command) versus
+ *    extend mode (full NVMe parallelism + journal-tag recovery);
+ *  - power-failure recovery orchestration (paper Fig. 15).
+ */
+
+#ifndef HAMS_CORE_HAMS_CONTROLLER_HH_
+#define HAMS_CORE_HAMS_CONTROLLER_HH_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+
+#include "core/mos_tag_array.hh"
+#include "core/nvme_engine.hh"
+#include "core/pinned_region.hh"
+#include "dram/nvdimm.hh"
+#include "mem/request.hh"
+#include "sim/event_queue.hh"
+
+namespace hams {
+
+/** Operating mode (paper SSVI-A platform list). */
+enum class HamsMode : std::uint8_t {
+    Persist, //!< FUA per I/O, at most one outstanding command
+    Extend,  //!< parallel NVMe queues + journal-tag persistency control
+};
+
+/** How the controller protects the frame under DMA. */
+enum class HazardPolicy : std::uint8_t {
+    PrpClone,           //!< clone the page into the PRP pool (the paper)
+    SerializeEvictFill, //!< no clone; fill waits for the eviction
+    Unprotected,        //!< no clone, no ordering: demonstrates the hazard
+};
+
+/** Controller configuration. */
+struct HamsControllerConfig
+{
+    std::uint32_t pageBytes = 128 * 1024; //!< MoS page (Table II)
+    HamsMode mode = HamsMode::Extend;
+    HazardPolicy hazard = HazardPolicy::PrpClone;
+    /** Cache-logic latency: decompose + comparator + mux. */
+    Tick logicLatency = nanoseconds(15);
+};
+
+/** Aggregate controller statistics. */
+struct HamsStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t fills = 0;
+    std::uint64_t cleanVictims = 0;
+    std::uint64_t dirtyEvictions = 0;
+    std::uint64_t prpClones = 0;
+    std::uint64_t waitQueued = 0;        //!< accesses parked on busy bit
+    std::uint64_t redundantEvictionsAvoided = 0;
+    std::uint64_t persistGateWaits = 0;  //!< misses serialised by persist
+    std::uint64_t replayedCommands = 0;
+    LatencyBreakdown memoryDelay;        //!< summed across accesses
+};
+
+/**
+ * The HAMS controller. Asynchronous: completion callbacks fire as DES
+ * events. Byte payloads are optional; when supplied they flow through
+ * the NVDIMM's functional store so integrity is checkable end to end.
+ */
+class HamsController
+{
+  public:
+    using AccessCb = std::function<void(Tick, const LatencyBreakdown&)>;
+
+    HamsController(EventQueue& eq, Nvdimm& nvdimm, HamsNvmeEngine& engine,
+                   PinnedRegion& pinned, std::uint64_t mos_capacity,
+                   const HamsControllerConfig& cfg);
+
+    /** Total byte-addressable MoS capacity exposed to the MMU. */
+    std::uint64_t mosCapacity() const { return _mosCapacity; }
+
+    std::uint32_t pageBytes() const { return cfg.pageBytes; }
+    const MosTagArray& tagArray() const { return tags; }
+    const HamsStats& stats() const { return _stats; }
+    const HamsControllerConfig& config() const { return cfg; }
+
+    /**
+     * One MMU request. @p wdata (writes) and @p rdata (reads) may be
+     * null for timing-only runs; @p rdata is filled at completion time.
+     */
+    void access(const MemAccess& acc, const std::uint8_t* wdata,
+                std::uint8_t* rdata, Tick at, AccessCb cb);
+
+    /** Timing-only convenience overload. */
+    void
+    access(const MemAccess& acc, Tick at, AccessCb cb)
+    {
+        access(acc, nullptr, nullptr, at, cb);
+    }
+
+    /** Drop volatile state (wait queue, persist gate) on power failure. */
+    void onPowerFail();
+
+    /**
+     * Power-up recovery: clear stale busy bits, scan the journal and
+     * replay pending commands, fixing tag-array state as they land.
+     */
+    void recover(Tick at, std::function<void(Tick)> done);
+
+  private:
+    struct Waiter
+    {
+        MemAccess acc;
+        const std::uint8_t* wdata;
+        std::uint8_t* rdata;
+        AccessCb cb;
+    };
+
+    /** NVDIMM byte address of cache frame @p idx. */
+    Addr frameAddr(std::uint64_t idx) const
+    {
+        return Addr(idx) * cfg.pageBytes;
+    }
+
+    /** First LBA of the MoS page containing @p mos_addr. */
+    std::uint64_t slbaOf(Addr mos_page_addr) const
+    {
+        return mos_page_addr / nvmeBlockSize;
+    }
+
+    std::uint32_t blocksPerPage() const
+    {
+        return cfg.pageBytes / nvmeBlockSize;
+    }
+
+    void handleHit(const MemAccess& acc, const std::uint8_t* wdata,
+                   std::uint8_t* rdata, Tick at, AccessCb cb);
+    void handleMiss(const MemAccess& acc, const std::uint8_t* wdata,
+                    std::uint8_t* rdata, Tick at, AccessCb cb);
+
+    /** Final NVDIMM data access of a request, plus functional bytes. */
+    void serveFromFrame(const MemAccess& acc, const std::uint8_t* wdata,
+                        std::uint8_t* rdata, std::uint64_t idx, Tick at,
+                        LatencyBreakdown bd, AccessCb cb);
+
+    /** Issue fill (and possibly eviction) for a missing page. */
+    void startMissIo(const MemAccess& acc, const std::uint8_t* wdata,
+                     std::uint8_t* rdata, Tick at, LatencyBreakdown bd,
+                     AccessCb cb);
+
+    /** Persist-mode gate: run thunks one I/O at a time. */
+    void gateSubmit(Tick at, std::function<void(Tick)> thunk);
+    void gateRelease(Tick at);
+
+    /** Wake accesses parked on @p idx. */
+    void drainWaiters(std::uint64_t idx, Tick at);
+
+    EventQueue& eq;
+    Nvdimm& nvdimm;
+    HamsNvmeEngine& engine;
+    PinnedRegion& pinned;
+    HamsControllerConfig cfg;
+    std::uint64_t _mosCapacity;
+    MosTagArray tags;
+    HamsStats _stats;
+
+    std::unordered_map<std::uint64_t, std::deque<Waiter>> waitQueue;
+
+    /** Persist-mode serialisation. */
+    bool gateBusy = false;
+    std::deque<std::function<void(Tick)>> gateQueue;
+};
+
+} // namespace hams
+
+#endif // HAMS_CORE_HAMS_CONTROLLER_HH_

@@ -1,0 +1,296 @@
+#include "core/hams_system.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "sim/logging.hh"
+#include "ssd/device_configs.hh"
+
+namespace hams {
+
+HamsSystemConfig
+HamsSystemConfig::loosePersist()
+{
+    HamsSystemConfig c;
+    c.mode = HamsMode::Persist;
+    c.topology = HamsTopology::Loose;
+    return c;
+}
+
+HamsSystemConfig
+HamsSystemConfig::looseExtend()
+{
+    HamsSystemConfig c;
+    c.mode = HamsMode::Extend;
+    c.topology = HamsTopology::Loose;
+    return c;
+}
+
+HamsSystemConfig
+HamsSystemConfig::tightPersist()
+{
+    HamsSystemConfig c;
+    c.mode = HamsMode::Persist;
+    c.topology = HamsTopology::Tight;
+    return c;
+}
+
+HamsSystemConfig
+HamsSystemConfig::tightExtend()
+{
+    HamsSystemConfig c;
+    c.mode = HamsMode::Extend;
+    c.topology = HamsTopology::Tight;
+    return c;
+}
+
+/**
+ * DMA adapter routing PRP-directed device accesses to the NVDIMM. In
+ * the tight topology each bulk DMA brackets the access with the lock
+ * register so the NVMe controller and the cache logic never drive the
+ * shared channel simultaneously.
+ */
+class HamsSystem::NvdimmTarget : public DmaTarget
+{
+  public:
+    NvdimmTarget(Nvdimm& nvdimm, RegisterInterface* reg_if, Tick fwd)
+        : nvdimm(nvdimm), regIf(reg_if), forwardLatency(fwd)
+    {
+    }
+
+    Tick
+    dmaAccess(Addr addr, std::uint32_t size, MemOp op, Tick at) override
+    {
+        Tick t = at + forwardLatency;
+        // Queue-entry traffic (SQE/CQE) is latency-only: it rides the
+        // command path and must not queue behind bulk page DMA.
+        if (size <= 64)
+            return t + nanoseconds(60);
+        if (regIf) {
+            t = regIf->acquireLock(t);
+            Tick done = nvdimm.access(addr, size, op, t);
+            regIf->releaseLock(done);
+            return done;
+        }
+        return nvdimm.access(addr, size, op, t);
+    }
+
+    SparseMemory* dmaData() override { return nvdimm.data(); }
+
+  private:
+    Nvdimm& nvdimm;
+    RegisterInterface* regIf;
+    Tick forwardLatency;
+};
+
+namespace {
+
+/** The tight topology has no PCIe: transfers ride the DDR4 channel the
+ *  NVDIMM access itself already pays for, so the "link" is just the
+ *  register-latch latency. */
+LinkConfig
+onChannelLink()
+{
+    LinkConfig c;
+    c.bandwidth = 1e12; // not the bottleneck: DDR4 occupancy is charged
+    c.maxPayload = 4096;
+    c.headerBytes = 0;
+    c.propagation = nanoseconds(15);
+    c.fullDuplex = true;
+    return c;
+}
+
+std::string
+variantName(const HamsSystemConfig& cfg)
+{
+    std::string n = "hams-";
+    n += cfg.topology == HamsTopology::Loose ? 'L' : 'T';
+    n += cfg.mode == HamsMode::Persist ? 'P' : 'E';
+    return n;
+}
+
+} // namespace
+
+HamsSystem::HamsSystem(const HamsSystemConfig& cfg)
+    : cfg(cfg), _name(variantName(cfg))
+{
+    NvdimmConfig ncfg = cfg.nvdimm;
+    ncfg.functionalData = true; // pinned region requires it
+    nvdimm = std::make_unique<Nvdimm>(ncfg);
+
+    // Advanced HAMS removes the SSD-internal DRAM and adds supercaps;
+    // baseline HAMS keeps the stock device but (per SSIV-B) also gains
+    // supercaps so extend mode can trust the buffer.
+    bool with_buffer = cfg.topology == HamsTopology::Loose;
+    SsdConfig scfg = ullFlashConfig(cfg.ssdRawBytes, cfg.functionalData,
+                                    /*with_supercap=*/true, with_buffer);
+    ssd = std::make_unique<Ssd>(scfg);
+
+    link = std::make_unique<PcieLink>(cfg.topology == HamsTopology::Loose
+                                          ? ullFlashLink()
+                                          : onChannelLink());
+
+    if (cfg.topology == HamsTopology::Tight)
+        regIf = std::make_unique<RegisterInterface>(*nvdimm);
+
+    dmaTarget = std::make_unique<NvdimmTarget>(*nvdimm, regIf.get(),
+                                               cfg.mchForwardLatency);
+    nvmeCtrl = std::make_unique<NvmeController>(eq, *ssd, *link,
+                                                *dmaTarget);
+
+    PinnedRegionConfig pcfg;
+    pcfg.size = cfg.pinnedBytes;
+    pcfg.queueEntries = cfg.queueEntries;
+    pcfg.prpFrameBytes = cfg.mosPageBytes;
+    pinned = std::make_unique<PinnedRegion>(*nvdimm, pcfg);
+
+    engine = std::make_unique<HamsNvmeEngine>(eq, *nvmeCtrl, *pinned,
+                                              regIf.get());
+
+    HamsControllerConfig ccfg;
+    ccfg.pageBytes = cfg.mosPageBytes;
+    ccfg.mode = cfg.mode;
+    ccfg.hazard = cfg.hazard;
+    std::uint64_t mos_capacity =
+        ssd->capacityBytes() / cfg.mosPageBytes * cfg.mosPageBytes;
+    ctrl = std::make_unique<HamsController>(eq, *nvdimm, *engine, *pinned,
+                                            mos_capacity, ccfg);
+
+    inform(_name, ": MoS pool ", mos_capacity >> 20, " MiB, NVDIMM cache ",
+           pinned->cacheBytes() >> 20, " MiB, page ",
+           cfg.mosPageBytes >> 10, " KiB");
+}
+
+HamsSystem::~HamsSystem() = default;
+
+void
+HamsSystem::access(const MemAccess& acc, Tick at, AccessCb cb)
+{
+    ctrl->access(acc, at, std::move(cb));
+}
+
+Tick
+HamsSystem::write(Addr addr, const void* src, std::uint64_t size)
+{
+    const auto* in = static_cast<const std::uint8_t*>(src);
+    Tick t = eq.now();
+    while (size > 0) {
+        std::uint64_t in_page =
+            cfg.mosPageBytes - addr % cfg.mosPageBytes;
+        auto chunk = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(size, in_page));
+        bool done = false;
+        Tick when = 0;
+        MemAccess acc{addr, chunk, MemOp::Write};
+        ctrl->access(acc, in, nullptr, t,
+                     [&](Tick w, const LatencyBreakdown&) {
+                         done = true;
+                         when = w;
+                     });
+        while (!done && eq.step()) {
+        }
+        if (!done)
+            panic("HamsSystem::write never completed");
+        t = when;
+        addr += chunk;
+        in += chunk;
+        size -= chunk;
+    }
+    return t;
+}
+
+Tick
+HamsSystem::read(Addr addr, void* dst, std::uint64_t size)
+{
+    auto* out = static_cast<std::uint8_t*>(dst);
+    Tick t = eq.now();
+    while (size > 0) {
+        std::uint64_t in_page =
+            cfg.mosPageBytes - addr % cfg.mosPageBytes;
+        auto chunk = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(size, in_page));
+        bool done = false;
+        Tick when = 0;
+        MemAccess acc{addr, chunk, MemOp::Read};
+        ctrl->access(acc, nullptr, out, t,
+                     [&](Tick w, const LatencyBreakdown&) {
+                         done = true;
+                         when = w;
+                     });
+        while (!done && eq.step()) {
+        }
+        if (!done)
+            panic("HamsSystem::read never completed");
+        t = when;
+        addr += chunk;
+        out += chunk;
+        size -= chunk;
+    }
+    return t;
+}
+
+void
+HamsSystem::powerFail()
+{
+    // In-flight events evaporate with the power.
+    eq.reset(false);
+    nvmeCtrl->powerFail();
+    engine->onPowerFail();
+    ctrl->onPowerFail();
+    ssd->powerFail();
+    nvdimm->powerFail();
+    link->reset();
+}
+
+Tick
+HamsSystem::recover()
+{
+    Tick restore = nvdimm->powerRestore();
+    ssd->powerRestore();
+
+    Tick start = eq.now() + restore;
+    bool done = false;
+    Tick when = start;
+    ctrl->recover(start, [&](Tick t) {
+        done = true;
+        when = t;
+    });
+    while (!done && eq.step()) {
+    }
+    if (!done)
+        panic("HAMS recovery did not converge");
+    return when;
+}
+
+EnergyBreakdownJ
+HamsSystem::memoryEnergy(Tick elapsed) const
+{
+    EnergyBreakdownJ e;
+
+    DramPowerModel dram_model;
+    const DramActivity& act =
+        nvdimm->controller().device().activity();
+    e.nvdimm = dram_model.energyJ(act, elapsed, 2);
+
+    if (ssd->buffer()) {
+        // SSD-internal DRAM: background-dominated (the paper notes it
+        // draws 17% more power than a 32-chip flash complex) plus
+        // per-burst transfer energy.
+        DramActivity buf_act;
+        std::uint64_t bursts = ssd->bufferBytesAccessed() / 64;
+        buf_act.reads = bursts / 2;
+        buf_act.writes = bursts - buf_act.reads;
+        buf_act.activates = bursts / 64;
+        e.internalDram = dram_model.energyJ(buf_act, elapsed, 1);
+    }
+
+    FlashPowerModel flash_model{FlashPowerParams::zNand()};
+    const FlashGeometry& g = ssd->config().geom;
+    e.znand = flash_model.energyJ(
+        ssd->flashActivity(), elapsed,
+        std::uint64_t(g.channels) * g.packagesPerChannel *
+            g.diesPerPackage);
+    return e;
+}
+
+} // namespace hams

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * HamsSystem: the public face of the library.
+ *
+ * Assembles NVDIMM + ULL-Flash + link + NVMe controller + pinned region
+ * + NVMe engine + HAMS cache logic into one platform, in any of the four
+ * paper variants:
+ *
+ *   hams-LP  loose (PCIe) topology, persist mode
+ *   hams-LE  loose (PCIe) topology, extend mode
+ *   hams-TP  tight (DDR4 register interface) topology, persist mode
+ *   hams-TE  tight topology, extend mode
+ *
+ * The tight topology unboxes the ULL-Flash: no PCIe encapsulation, no
+ * SSD-internal DRAM, DMA straight into the NVDIMM over the shared DDR4
+ * channel guarded by the lock register.
+ */
+
+#ifndef HAMS_CORE_HAMS_SYSTEM_HH_
+#define HAMS_CORE_HAMS_SYSTEM_HH_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "baselines/platform.hh"
+#include "core/hams_controller.hh"
+#include "core/nvme_engine.hh"
+#include "core/pinned_region.hh"
+#include "core/register_interface.hh"
+#include "dram/nvdimm.hh"
+#include "nvme/nvme_controller.hh"
+#include "pcie/pcie_link.hh"
+#include "ssd/ssd.hh"
+
+namespace hams {
+
+/** Where the ULL-Flash sits (paper SSIV-C). */
+enum class HamsTopology : std::uint8_t {
+    Loose, //!< storage box behind PCIe (baseline HAMS)
+    Tight, //!< on the DDR4 channel (advanced HAMS)
+};
+
+/** Top-level configuration. */
+struct HamsSystemConfig
+{
+    HamsMode mode = HamsMode::Extend;
+    HamsTopology topology = HamsTopology::Loose;
+    HazardPolicy hazard = HazardPolicy::PrpClone;
+    std::uint32_t mosPageBytes = 128 * 1024;
+    NvdimmConfig nvdimm;                 //!< 8 GiB DDR4-2133 default
+    std::uint64_t ssdRawBytes = 16ull << 30;
+    std::uint16_t queueEntries = 1024;
+    std::uint64_t pinnedBytes = 512ull << 20;
+    bool functionalData = true;
+    /** MCH forwarding latency for PRP-directed NVMe requests. */
+    Tick mchForwardLatency = nanoseconds(20);
+
+    /** The canonical four variants. */
+    static HamsSystemConfig loosePersist();
+    static HamsSystemConfig looseExtend();
+    static HamsSystemConfig tightPersist();
+    static HamsSystemConfig tightExtend();
+};
+
+/**
+ * A fully wired HAMS machine implementing MemoryPlatform.
+ */
+class HamsSystem : public MemoryPlatform
+{
+  public:
+    explicit HamsSystem(const HamsSystemConfig& cfg);
+    ~HamsSystem() override;
+
+    /** @name MemoryPlatform. */
+    ///@{
+    const std::string& name() const override { return _name; }
+    std::uint64_t capacity() const override { return ctrl->mosCapacity(); }
+    EventQueue& eventQueue() override { return eq; }
+    void access(const MemAccess& acc, Tick at, AccessCb cb) override;
+    bool persistent() const override { return true; }
+    EnergyBreakdownJ memoryEnergy(Tick elapsed) const override;
+    ///@}
+
+    /** @name Synchronous data-plane helpers (own the event loop). */
+    ///@{
+    /** Write bytes into the MoS space; returns the completion tick. */
+    Tick write(Addr addr, const void* src, std::uint64_t size);
+
+    /** Read bytes back; returns the completion tick. */
+    Tick read(Addr addr, void* dst, std::uint64_t size);
+    ///@}
+
+    /** @name Power-failure injection. */
+    ///@{
+    /**
+     * Cut power: all in-flight work vanishes, the NVDIMM backs itself
+     * up, the ULL-Flash supercap drains its buffer.
+     */
+    void powerFail();
+
+    /**
+     * Boot and run the paper's Fig. 15 recovery (journal scan + replay).
+     * @return tick at which the MoS space is serviceable again.
+     */
+    Tick recover();
+    ///@}
+
+    /** @name Introspection. */
+    ///@{
+    const HamsStats& stats() const { return ctrl->stats(); }
+    const NvmeEngineStats& engineStats() const { return engine->stats(); }
+    const HamsSystemConfig& config() const { return cfg; }
+    HamsController& controller() { return *ctrl; }
+    HamsNvmeEngine& nvmeEngine() { return *engine; }
+    Ssd& ullFlash() { return *ssd; }
+    Nvdimm& nvdimmModule() { return *nvdimm; }
+    PinnedRegion& pinnedRegion() { return *pinned; }
+    RegisterInterface* registerInterface() { return regIf.get(); }
+    ///@}
+
+  private:
+    /** DMA adapter: PRP-directed device requests go to the NVDIMM. */
+    class NvdimmTarget;
+
+    HamsSystemConfig cfg;
+    std::string _name;
+    EventQueue eq;
+    std::unique_ptr<Nvdimm> nvdimm;
+    std::unique_ptr<Ssd> ssd;
+    std::unique_ptr<PcieLink> link;
+    std::unique_ptr<RegisterInterface> regIf;
+    std::unique_ptr<NvdimmTarget> dmaTarget;
+    std::unique_ptr<NvmeController> nvmeCtrl;
+    std::unique_ptr<PinnedRegion> pinned;
+    std::unique_ptr<HamsNvmeEngine> engine;
+    std::unique_ptr<HamsController> ctrl;
+};
+
+} // namespace hams
+
+#endif // HAMS_CORE_HAMS_SYSTEM_HH_

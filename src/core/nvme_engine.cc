@@ -1,0 +1,153 @@
+#include "core/nvme_engine.hh"
+
+#include <memory>
+
+#include "sim/logging.hh"
+
+namespace hams {
+
+HamsNvmeEngine::HamsNvmeEngine(EventQueue& eq, NvmeController& ctrl,
+                               PinnedRegion& pinned,
+                               RegisterInterface* reg_if)
+    : eq(eq), ctrl(ctrl), pinned(pinned), regIf(reg_if)
+{
+    qid = ctrl.attachQueue(&pinned.queuePair());
+    ctrl.onCompletion([this](std::uint16_t q, const NvmeCompletion& cqe,
+                             const NvmeCommand& cmd,
+                             const NvmeCmdTrace& trace, Tick at) {
+        if (q != qid)
+            return;
+        handleCompletion(cqe, cmd, trace, at);
+    });
+}
+
+Tick
+HamsNvmeEngine::notifyDevice(Tick at)
+{
+    // Advanced HAMS streams the command over the DDR4 register
+    // interface; baseline HAMS rings a PCIe doorbell (cost charged
+    // inside the controller's doorbell handling).
+    if (regIf)
+        return regIf->sendCommand(at);
+    return at;
+}
+
+std::uint16_t
+HamsNvmeEngine::submit(NvmeCommand cmd, Tick at, DoneCb done)
+{
+    QueuePair& qp = pinned.queuePair();
+    if (qp.sqFull())
+        panic("HAMS SQ overflow: enlarge queueEntries (",
+              qp.entries(), ")");
+
+    cmd.cid = nextCid++;
+    if (nextCid == 0)
+        nextCid = 1;
+    cmd.journalTag = 1;
+    ++_stats.journalSets;
+
+    std::uint16_t slot = qp.push(cmd);
+    inFlight.emplace(cmd.cid, Pending{slot, std::move(done)});
+    ++_stats.submitted;
+
+    Tick notified = notifyDevice(at);
+    ctrl.ringDoorbell(qid, notified);
+    return cmd.cid;
+}
+
+void
+HamsNvmeEngine::handleCompletion(const NvmeCompletion& cqe,
+                                 const NvmeCommand& cmd,
+                                 const NvmeCmdTrace& trace, Tick at)
+{
+    auto it = inFlight.find(cqe.cid);
+    if (it == inFlight.end())
+        return; // stale completion from before a power failure
+
+    // Consume the CQE and clear the journal tag in the persistent SQ
+    // slot: the command is now durable on the device side.
+    pinned.queuePair().popCompletion();
+    NvmeCommand journalled = pinned.queuePair().readSlot(it->second.slot);
+    if (journalled.cid == cmd.cid) {
+        journalled.journalTag = 0;
+        pinned.queuePair().writeSlot(it->second.slot, journalled);
+        ++_stats.journalClears;
+    }
+
+    if (pinned.isPrpFrame(cmd.prp1))
+        pinned.freePrpFrame(cmd.prp1);
+
+    DoneCb done = std::move(it->second.done);
+    inFlight.erase(it);
+    ++_stats.completed;
+    if (done)
+        done(cmd, trace, at);
+}
+
+std::vector<NvmeCommand>
+HamsNvmeEngine::scanJournal() const
+{
+    std::vector<NvmeCommand> pending;
+    const QueuePair& qp = pinned.queuePair();
+    for (std::uint16_t i = 0; i < qp.entries(); ++i) {
+        NvmeCommand cmd = qp.readSlot(i);
+        if (cmd.journalTag == 1 && cmd.cid != 0)
+            pending.push_back(cmd);
+    }
+    return pending;
+}
+
+void
+HamsNvmeEngine::onPowerFail()
+{
+    inFlight.clear();
+}
+
+void
+HamsNvmeEngine::replayPending(Tick at, DoneCb per_cmd,
+                              std::function<void(Tick)> done)
+{
+    std::vector<NvmeCommand> pending = scanJournal();
+    QueuePair& qp = pinned.queuePair();
+    qp.resetPointers();
+    // Retire the scanned slots: the pending commands get re-journalled
+    // under fresh cids, and completed commands must not be found again
+    // by a later scan (Fig. 15 rebuilds the SQ).
+    for (std::uint16_t i = 0; i < qp.entries(); ++i) {
+        NvmeCommand slot = qp.readSlot(i);
+        if (slot.journalTag == 1) {
+            slot.journalTag = 0;
+            qp.writeSlot(i, slot);
+        }
+    }
+
+    if (pending.empty()) {
+        if (done)
+            done(at);
+        return;
+    }
+
+    auto remaining = std::make_shared<std::size_t>(pending.size());
+    auto last_tick = std::make_shared<Tick>(at);
+    auto per_cmd_shared = std::make_shared<DoneCb>(std::move(per_cmd));
+    auto done_shared =
+        std::make_shared<std::function<void(Tick)>>(std::move(done));
+
+    for (const NvmeCommand& cmd : pending) {
+        ++_stats.replayed;
+        // Re-issue with a fresh cid; the original slot content is
+        // superseded by the new journalled entry.
+        NvmeCommand replay = cmd;
+        submit(replay, at,
+               [remaining, last_tick, per_cmd_shared, done_shared](
+                   const NvmeCommand& c, const NvmeCmdTrace& t, Tick when) {
+                   *last_tick = std::max(*last_tick, when);
+                   if (*per_cmd_shared)
+                       (*per_cmd_shared)(c, t, when);
+                   if (--*remaining == 0 && *done_shared)
+                       (*done_shared)(*last_tick);
+               });
+    }
+}
+
+} // namespace hams

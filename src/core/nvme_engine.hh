@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The hardware NVMe engine inside the HAMS controller (paper SSV-B/C).
+ *
+ * This block is what lets HAMS hide the entire NVMe protocol from the
+ * OS: it composes 64 B commands, enqueues them in the SQ that lives in
+ * the pinned NVDIMM region, rings the device doorbell (or, in advanced
+ * HAMS, streams the command over the DDR4 register interface), tracks
+ * completions, and maintains the *journal tag* of every in-flight
+ * command so a power failure can be repaired by rescanning the SQ.
+ */
+
+#ifndef HAMS_CORE_NVME_ENGINE_HH_
+#define HAMS_CORE_NVME_ENGINE_HH_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/pinned_region.hh"
+#include "core/register_interface.hh"
+#include "nvme/nvme_controller.hh"
+#include "sim/event_queue.hh"
+
+namespace hams {
+
+/** Engine statistics. */
+struct NvmeEngineStats
+{
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t journalSets = 0;
+    std::uint64_t journalClears = 0;
+    std::uint64_t replayed = 0;
+};
+
+/**
+ * Submits NVMe commands on behalf of the HAMS cache logic and owns the
+ * journal-tag lifecycle.
+ */
+class HamsNvmeEngine
+{
+  public:
+    /** Completion callback: (command, latency trace, completion tick). */
+    using DoneCb =
+        std::function<void(const NvmeCommand&, const NvmeCmdTrace&, Tick)>;
+
+    /**
+     * @param reg_if register-based interface for advanced HAMS, or
+     *               nullptr for the baseline PCIe doorbell path
+     */
+    HamsNvmeEngine(EventQueue& eq, NvmeController& ctrl,
+                   PinnedRegion& pinned, RegisterInterface* reg_if);
+
+    /**
+     * Submit one command. The engine assigns the cid, sets the journal
+     * tag, writes the SQ slot (persistently) and notifies the device.
+     * If the command's PRP points into the PRP pool, the frame is
+     * returned to the pool automatically on completion.
+     * @return the assigned cid.
+     */
+    std::uint16_t submit(NvmeCommand cmd, Tick at, DoneCb done);
+
+    /** Commands submitted but not yet completed. */
+    std::uint32_t outstanding() const
+    {
+        return static_cast<std::uint32_t>(inFlight.size());
+    }
+
+    /**
+     * Scan the (persistent) SQ region for commands whose journal tag is
+     * still set — exactly the power-up check of paper Fig. 15.
+     */
+    std::vector<NvmeCommand> scanJournal() const;
+
+    /**
+     * Drop volatile state after a power failure. Ring contents and
+     * journal tags survive in the pinned region; the cid map does not.
+     */
+    void onPowerFail();
+
+    /**
+     * Phase-2/3 recovery: rebuild an SQ/CQ pair and re-issue every
+     * journalled command.
+     * @param per_cmd invoked as each replayed command completes
+     * @param done invoked once all pending commands completed, with the
+     *             final tick
+     */
+    void replayPending(Tick at, DoneCb per_cmd,
+                       std::function<void(Tick)> done);
+
+    const NvmeEngineStats& stats() const { return _stats; }
+
+  private:
+    /** Deliver a doorbell/command notification to the device. */
+    Tick notifyDevice(Tick at);
+
+    void handleCompletion(const NvmeCompletion& cqe, const NvmeCommand& cmd,
+                          const NvmeCmdTrace& trace, Tick at);
+
+    EventQueue& eq;
+    NvmeController& ctrl;
+    PinnedRegion& pinned;
+    RegisterInterface* regIf;
+    std::uint16_t qid;
+    std::uint16_t nextCid = 1;
+    NvmeEngineStats _stats;
+
+    struct Pending
+    {
+        std::uint16_t slot;
+        DoneCb done;
+    };
+    std::unordered_map<std::uint16_t, Pending> inFlight;
+};
+
+} // namespace hams
+
+#endif // HAMS_CORE_NVME_ENGINE_HH_

@@ -1,0 +1,65 @@
+#include "core/pinned_region.hh"
+
+#include "sim/logging.hh"
+
+namespace hams {
+
+PinnedRegion::PinnedRegion(Nvdimm& nvdimm, const PinnedRegionConfig& cfg)
+    : cfg(cfg), nvdimm(nvdimm)
+{
+    if (cfg.size >= nvdimm.capacity())
+        fatal("pinned region (", cfg.size, ") swallows the whole NVDIMM");
+    if (!nvdimm.data())
+        fatal("pinned region requires a functional NVDIMM data plane");
+
+    _base = nvdimm.capacity() - cfg.size;
+
+    // Layout inside the region: [SQ ring][CQ ring][MSI table][PRP pool].
+    Addr cursor = _base;
+    sqBase = cursor;
+    cursor += Addr(cfg.queueEntries) * sizeof(NvmeCommand);
+    cqBase = cursor;
+    cursor += Addr(cfg.queueEntries) * sizeof(NvmeCompletion);
+    msiBase = cursor;
+    cursor += 4096; // 256 vectors x 16 B
+    // Round the pool base up to the frame size for clean addressing.
+    Addr pool_start =
+        (cursor + cfg.prpFrameBytes - 1) / cfg.prpFrameBytes *
+        cfg.prpFrameBytes;
+    prpPoolBase = pool_start;
+
+    Addr end = nvdimm.capacity();
+    if (pool_start >= end)
+        fatal("pinned region too small for its ring buffers");
+    totalFrames =
+        static_cast<std::uint32_t>((end - pool_start) / cfg.prpFrameBytes);
+    if (totalFrames == 0)
+        fatal("PRP pool has no frames; enlarge the pinned region");
+
+    freeFrames.reserve(totalFrames);
+    for (std::uint32_t i = totalFrames; i-- > 0;)
+        freeFrames.push_back(pool_start + Addr(i) * cfg.prpFrameBytes);
+
+    qp = std::make_unique<QueuePair>(*nvdimm.data(), sqBase, cqBase,
+                                     cfg.queueEntries);
+}
+
+Addr
+PinnedRegion::allocPrpFrame()
+{
+    if (freeFrames.empty())
+        panic("PRP pool exhausted (", totalFrames, " frames)");
+    Addr f = freeFrames.back();
+    freeFrames.pop_back();
+    return f;
+}
+
+void
+PinnedRegion::freePrpFrame(Addr frame)
+{
+    if (!isPrpFrame(frame))
+        panic("freeing a non-PRP-pool address");
+    freeFrames.push_back(frame);
+}
+
+} // namespace hams

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The MMU-invisible pinned NVDIMM region.
+ *
+ * HAMS carves the top of the NVDIMM (about 512 MB) out of the MoS
+ * address pool and stores its NVMe machinery there: the SQ/CQ ring
+ * buffers, the PRP pool used to clone pages under DMA, the MSI table and
+ * the wait queue (paper Fig. 9). Because it lives in the NVDIMM, it is
+ *
+ *  - invisible to software (cannot be corrupted by the OS or users), and
+ *  - persistent, which is exactly what the journal-tag recovery scan
+ *    needs after a power failure.
+ */
+
+#ifndef HAMS_CORE_PINNED_REGION_HH_
+#define HAMS_CORE_PINNED_REGION_HH_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dram/nvdimm.hh"
+#include "nvme/queue_pair.hh"
+#include "sim/types.hh"
+
+namespace hams {
+
+/** Pinned-region sizing. */
+struct PinnedRegionConfig
+{
+    std::uint64_t size = 512ull << 20;  //!< carve-out at top of NVDIMM
+    std::uint16_t queueEntries = 1024;  //!< SQ/CQ ring entries
+    std::uint32_t prpFrameBytes = 128 * 1024; //!< clone frame = MoS page
+};
+
+/**
+ * Layout manager plus PRP-pool allocator for the pinned region.
+ */
+class PinnedRegion
+{
+  public:
+    PinnedRegion(Nvdimm& nvdimm, const PinnedRegionConfig& cfg);
+
+    /** First byte of the pinned region inside the NVDIMM. */
+    Addr base() const { return _base; }
+
+    /** Bytes below the pinned region, usable as MoS cache. */
+    std::uint64_t cacheBytes() const { return _base; }
+
+    /** True if @p nvdimm_addr falls inside the pinned region. */
+    bool contains(Addr nvdimm_addr) const
+    {
+        return nvdimm_addr >= _base;
+    }
+
+    /** The (single) hardware I/O queue pair backed by this region. */
+    QueuePair& queuePair() { return *qp; }
+
+    /** @name PRP pool. */
+    ///@{
+    /** Allocate one clone frame; panics if the pool is exhausted. */
+    Addr allocPrpFrame();
+
+    /** Return a clone frame to the pool. */
+    void freePrpFrame(Addr frame);
+
+    std::uint32_t prpFramesFree() const
+    {
+        return static_cast<std::uint32_t>(freeFrames.size());
+    }
+
+    std::uint32_t prpFramesTotal() const { return totalFrames; }
+
+    bool isPrpFrame(Addr addr) const
+    {
+        return addr >= prpPoolBase &&
+               addr < prpPoolBase + Addr(totalFrames) * cfg.prpFrameBytes;
+    }
+    ///@}
+
+    /** MSI table slot address for vector @p v. */
+    Addr msiSlot(std::uint32_t v) const { return msiBase + v * 16; }
+
+    const PinnedRegionConfig& config() const { return cfg; }
+
+  private:
+    PinnedRegionConfig cfg;
+    Nvdimm& nvdimm;
+    Addr _base;
+    Addr sqBase;
+    Addr cqBase;
+    Addr prpPoolBase;
+    Addr msiBase;
+    std::uint32_t totalFrames;
+    std::vector<Addr> freeFrames;
+    std::unique_ptr<QueuePair> qp;
+};
+
+} // namespace hams
+
+#endif // HAMS_CORE_PINNED_REGION_HH_

@@ -1,0 +1,43 @@
+#include "core/register_interface.hh"
+
+#include "sim/logging.hh"
+
+namespace hams {
+
+RegisterInterface::RegisterInterface(Nvdimm& nvdimm) : nvdimm(nvdimm) {}
+
+Tick
+RegisterInterface::sendCommand(Tick at)
+{
+    const Ddr4Timing& t = nvdimm.controller().device().timing();
+    // CS# deselect cycle + write-command cycle + 8-beat data burst.
+    Tick duration = 2 * t.tCK + t.tBURST;
+    Tick done = nvdimm.controller().device().occupyBus(at, duration);
+    ++_stats.commandsSent;
+    _stats.busTime += duration;
+    return done;
+}
+
+Tick
+RegisterInterface::acquireLock(Tick at)
+{
+    if (_locked)
+        panic("lock register already set: two bus masters");
+    const Ddr4Timing& t = nvdimm.controller().device().timing();
+    // Setting the lock register is a single-beat register write.
+    Tick done = nvdimm.controller().device().occupyBus(at, 2 * t.tCK);
+    _locked = true;
+    ++_stats.lockAcquisitions;
+    _stats.busTime += 2 * t.tCK;
+    return done;
+}
+
+void
+RegisterInterface::releaseLock(Tick)
+{
+    if (!_locked)
+        panic("releasing a lock register that is not set");
+    _locked = false;
+}
+
+} // namespace hams

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The register-based DDR4 interface of advanced HAMS (paper SSV-A,
+ * Fig. 12).
+ *
+ * Instead of doorbell registers and PCIe BARs, the unboxed ULL-Flash
+ * exposes command/address/data buffer registers directly on the DDR4
+ * channel it shares with the NVDIMM:
+ *
+ *  - To send an I/O request, the HAMS controller deselects the NVDIMM
+ *    (CS# high), issues a write command (WE#/CAS# low, RAS# high) and
+ *    streams the 64 B NVMe command as an 8-beat data burst.
+ *  - A *lock register* arbitrates bus mastership: while it is set, the
+ *    NVMe controller owns the channel for its DMA into the NVDIMM and
+ *    the HAMS cache logic must not drive it.
+ *
+ * Timing is charged to the shared DDR4 bus via DramDevice::occupyBus, so
+ * register traffic and NVDIMM traffic contend exactly as they would on
+ * the real channel.
+ */
+
+#ifndef HAMS_CORE_REGISTER_INTERFACE_HH_
+#define HAMS_CORE_REGISTER_INTERFACE_HH_
+
+#include <cstdint>
+
+#include "dram/nvdimm.hh"
+#include "sim/types.hh"
+
+namespace hams {
+
+/** Statistics of the register path. */
+struct RegisterInterfaceStats
+{
+    std::uint64_t commandsSent = 0;
+    std::uint64_t lockAcquisitions = 0;
+    Tick busTime = 0;
+};
+
+/**
+ * Command delivery and lock-register arbitration over the shared DDR4
+ * channel.
+ */
+class RegisterInterface
+{
+  public:
+    explicit RegisterInterface(Nvdimm& nvdimm);
+
+    /**
+     * Deliver one 64 B NVMe command to the ULL-Flash buffer registers.
+     * Costs CS# deselect + write command (2 clocks) + one BL8 burst on
+     * the shared bus.
+     * @return tick at which the command is latched by the device.
+     */
+    Tick sendCommand(Tick at);
+
+    /**
+     * NVMe controller takes bus mastership for a DMA.
+     * @return tick at which the lock is observed set.
+     */
+    Tick acquireLock(Tick at);
+
+    /** NVMe controller releases the bus. */
+    void releaseLock(Tick at);
+
+    /** True while the NVMe controller masters the bus. */
+    bool locked() const { return _locked; }
+
+    const RegisterInterfaceStats& stats() const { return _stats; }
+
+  private:
+    Nvdimm& nvdimm;
+    bool _locked = false;
+    RegisterInterfaceStats _stats;
+};
+
+} // namespace hams
+
+#endif // HAMS_CORE_REGISTER_INTERFACE_HH_

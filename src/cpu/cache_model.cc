@@ -1,0 +1,70 @@
+#include "cpu/cache_model.hh"
+
+#include "sim/logging.hh"
+
+namespace hams {
+
+CacheModel::CacheModel(const CacheConfig& cfg) : cfg(cfg)
+{
+    if (cfg.ways == 0 || cfg.lineBytes == 0)
+        fatal("cache needs at least one way and a line size");
+    std::uint64_t lines = cfg.sizeBytes / cfg.lineBytes;
+    if (lines % cfg.ways != 0)
+        fatal("cache lines not divisible by associativity");
+    sets = static_cast<std::uint32_t>(lines / cfg.ways);
+    ways.resize(std::size_t(sets) * cfg.ways);
+}
+
+CacheResult
+CacheModel::access(Addr addr, bool is_write)
+{
+    Addr line = addr / cfg.lineBytes;
+    std::uint32_t set = static_cast<std::uint32_t>(line % sets);
+    std::uint64_t tag = line / sets;
+    Way* base = &ways[std::size_t(set) * cfg.ways];
+
+    CacheResult res;
+    ++lruClock;
+
+    for (std::uint32_t w = 0; w < cfg.ways; ++w) {
+        if (base[w].valid && base[w].tag == tag) {
+            base[w].lru = lruClock;
+            base[w].dirty |= is_write;
+            ++_hits;
+            res.hit = true;
+            return res;
+        }
+    }
+
+    // Miss: pick the LRU (or first invalid) way.
+    ++_misses;
+    std::uint32_t victim = 0;
+    for (std::uint32_t w = 0; w < cfg.ways; ++w) {
+        if (!base[w].valid) {
+            victim = w;
+            break;
+        }
+        if (base[w].lru < base[victim].lru)
+            victim = w;
+    }
+
+    if (base[victim].valid && base[victim].dirty) {
+        res.evictedDirty = true;
+        res.evictedLine =
+            (base[victim].tag * sets + set) * cfg.lineBytes;
+    }
+    base[victim].tag = tag;
+    base[victim].valid = true;
+    base[victim].dirty = is_write;
+    base[victim].lru = lruClock;
+    return res;
+}
+
+void
+CacheModel::flush()
+{
+    for (auto& w : ways)
+        w = Way{};
+}
+
+} // namespace hams

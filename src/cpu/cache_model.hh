@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Tag-only set-associative cache model for the core's L1D/L2 (paper
+ * Table II: 64 KB L1D, 2 MB L2).
+ *
+ * Only hit/miss and dirty-victim behaviour matter to the platform
+ * studies, so the model tracks tags and LRU state but no data.
+ */
+
+#ifndef HAMS_CPU_CACHE_MODEL_HH_
+#define HAMS_CPU_CACHE_MODEL_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace hams {
+
+/** Cache geometry and latency. */
+struct CacheConfig
+{
+    std::uint64_t sizeBytes = 64 * 1024;
+    std::uint32_t lineBytes = 64;
+    std::uint32_t ways = 4;
+    Tick hitLatency = nanoseconds(1);
+};
+
+/** Result of a cache access. */
+struct CacheResult
+{
+    bool hit = false;
+    bool evictedDirty = false;
+    Addr evictedLine = 0; //!< line-aligned address of the dirty victim
+};
+
+/**
+ * A write-back, write-allocate, LRU, set-associative cache over tags.
+ */
+class CacheModel
+{
+  public:
+    explicit CacheModel(const CacheConfig& cfg);
+
+    /**
+     * Access the line containing @p addr.
+     * On a miss the line is allocated (possibly evicting a dirty
+     * victim, reported in the result).
+     */
+    CacheResult access(Addr addr, bool is_write);
+
+    /** Invalidate everything. */
+    void flush();
+
+    const CacheConfig& config() const { return cfg; }
+    std::uint64_t hits() const { return _hits; }
+    std::uint64_t misses() const { return _misses; }
+
+  private:
+    struct Way
+    {
+        std::uint64_t tag = 0;
+        std::uint32_t lru = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    CacheConfig cfg;
+    std::uint32_t sets;
+    std::vector<Way> ways; //!< sets x ways, row-major
+    std::uint32_t lruClock = 0;
+    std::uint64_t _hits = 0;
+    std::uint64_t _misses = 0;
+};
+
+} // namespace hams
+
+#endif // HAMS_CPU_CACHE_MODEL_HH_

@@ -1,0 +1,138 @@
+#include "cpu/core_model.hh"
+
+#include <functional>
+
+#include "sim/logging.hh"
+
+namespace hams {
+
+CoreModel::CoreModel(MemoryPlatform& platform, const CoreConfig& cfg)
+    : platform(platform), cfg(cfg)
+{
+}
+
+RunResult
+CoreModel::run(WorkloadGenerator& gen, std::uint64_t instruction_budget)
+{
+    EventQueue& eq = platform.eventQueue();
+    CacheModel l1(cfg.l1);
+    CacheModel l2(cfg.l2);
+
+    RunResult res;
+    res.workload = gen.spec().name;
+    res.platform = platform.name();
+
+    Tick start = eq.now();
+    bool finished = false;
+
+    // The step loop: processes ops synchronously while they stay in the
+    // cache hierarchy and yields to the event queue whenever the
+    // platform must be consulted. `self` re-enters after completions.
+    std::function<void(Tick)> step = [&](Tick now) {
+        WorkloadOp op;
+        for (;;) {
+            if (res.instructions >= instruction_budget) {
+                finished = true;
+                res.simTime = now - start;
+                return;
+            }
+            if (!gen.next(op)) {
+                finished = true;
+                res.simTime = now - start;
+                return;
+            }
+
+            if (op.computeInstructions > 0) {
+                res.instructions += op.computeInstructions;
+                Tick t = cycles(op.computeInstructions * cfg.baseCpi);
+                now += t;
+                res.activeTime += t;
+            }
+            if (op.opBoundary)
+                ++res.opsCompleted;
+            if (op.newPage)
+                ++res.pagesTouched;
+
+            if (op.flushBarrier) {
+                Tick issue = now;
+                platform.flush(issue, [&, issue](Tick done,
+                                                 const LatencyBreakdown&) {
+                    res.flushTime += done - issue;
+                    res.stallTime += done - issue;
+                    step(done);
+                });
+                return; // resume via the callback
+            }
+
+            if (!op.hasAccess)
+                continue;
+
+            ++res.instructions;
+            ++res.memInstructions;
+            bool is_write = op.access.op == MemOp::Write;
+
+            CacheResult r1 = l1.access(op.access.addr, is_write);
+            if (r1.hit) {
+                ++res.l1Hits;
+                now += cfg.l1.hitLatency;
+                res.activeTime += cfg.l1.hitLatency;
+                continue;
+            }
+
+            // L1 miss: the L1 victim (if dirty) writes into L2.
+            if (r1.evictedDirty)
+                l2.access(r1.evictedLine, /*is_write=*/true);
+
+            CacheResult r2 = l2.access(op.access.addr, is_write);
+            if (r2.evictedDirty && cfg.writebackEvictions) {
+                // Dirty L2 victim drains to the platform in the
+                // background; it occupies resources but does not stall
+                // the core.
+                MemAccess wb{r2.evictedLine % platform.capacity(), 64,
+                             MemOp::Write};
+                platform.access(wb, now, nullptr);
+                ++res.platformAccesses;
+            }
+            if (r2.hit) {
+                ++res.l2Hits;
+                now += cfg.l2.hitLatency;
+                res.activeTime += cfg.l2.hitLatency;
+                continue;
+            }
+
+            // L2 miss: consult the platform and stall until it answers.
+            ++res.platformAccesses;
+            Tick issue = now;
+            platform.access(op.access, issue,
+                            [&, issue](Tick done,
+                                       const LatencyBreakdown& bd) {
+                                res.stallTime += done - issue;
+                                res.stallBreakdown += bd;
+                                step(done);
+                            });
+            return; // resume via the callback
+        }
+    };
+
+    eq.scheduleAt(eq.now(), [&]() { step(eq.now()); });
+    while (!finished && eq.step()) {
+    }
+    if (!finished)
+        panic("core run ended before the budget: event queue drained");
+
+    if (res.simTime == 0)
+        res.simTime = 1;
+
+    double secs = ticksToSeconds(res.simTime);
+    double cycles_total =
+        static_cast<double>(res.simTime) * cfg.freqGhz / 1000.0;
+    res.ipc = static_cast<double>(res.instructions) / cycles_total;
+    res.opsPerSec = static_cast<double>(res.opsCompleted) / secs;
+    res.pagesPerSec = static_cast<double>(res.pagesTouched) / secs;
+    res.bytesPerSec =
+        static_cast<double>(res.memInstructions) * 64.0 / secs;
+    res.cpuEnergyJ = cpuPower.energyJ(res.activeTime, res.stallTime, 1);
+    return res;
+}
+
+} // namespace hams

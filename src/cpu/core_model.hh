@@ -1,0 +1,92 @@
+/**
+ * @file
+ * In-order core model (paper Table II: ARM v8 class at 2 GHz with
+ * 64 KB L1D and 2 MB L2).
+ *
+ * The core retires compute instructions at a base CPI, filters memory
+ * instructions through the L1/L2 tag caches, and blocks on the platform
+ * for misses — the behaviour that produces the paper's IPC collapse
+ * when a slow platform sits under the MMU (Fig. 7b) and the execution
+ * breakdowns of Figs. 17/18.
+ */
+
+#ifndef HAMS_CPU_CORE_MODEL_HH_
+#define HAMS_CPU_CORE_MODEL_HH_
+
+#include <cstdint>
+#include <string>
+
+#include "baselines/platform.hh"
+#include "cpu/cache_model.hh"
+#include "energy/cpu_power.hh"
+#include "workload/workload.hh"
+
+namespace hams {
+
+/** Core configuration. */
+struct CoreConfig
+{
+    double freqGhz = 2.0;
+    double baseCpi = 1.0;
+    CacheConfig l1{64 * 1024, 64, 4, nanoseconds(1)};
+    CacheConfig l2{2 * 1024 * 1024, 64, 8, nanoseconds(5)};
+    /** Propagate dirty L2 victims to the platform (write-back). */
+    bool writebackEvictions = true;
+};
+
+/** Everything a run produces. */
+struct RunResult
+{
+    std::string workload;
+    std::string platform;
+    Tick simTime = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t memInstructions = 0;
+    std::uint64_t platformAccesses = 0;
+    std::uint64_t l1Hits = 0;
+    std::uint64_t l2Hits = 0;
+    std::uint64_t opsCompleted = 0;
+    std::uint64_t pagesTouched = 0;
+    Tick activeTime = 0;
+    Tick stallTime = 0;
+    LatencyBreakdown stallBreakdown; //!< platform-attributed stall time
+    Tick flushTime = 0;
+
+    double ipc = 0;
+    double opsPerSec = 0;
+    double pagesPerSec = 0;
+    double bytesPerSec = 0;
+
+    /** CPU energy (memory-side energy comes from the platform). */
+    double cpuEnergyJ = 0;
+};
+
+/**
+ * Drives a WorkloadGenerator against a MemoryPlatform.
+ */
+class CoreModel
+{
+  public:
+    CoreModel(MemoryPlatform& platform, const CoreConfig& cfg = {});
+
+    /**
+     * Execute @p instruction_budget instructions (compute + memory).
+     * Runs the platform's event queue inline; returns aggregate
+     * metrics.
+     */
+    RunResult run(WorkloadGenerator& gen, std::uint64_t instruction_budget);
+
+  private:
+    Tick cycles(double n) const
+    {
+        return static_cast<Tick>(n * 1000.0 / cfg.freqGhz);
+    }
+
+    MemoryPlatform& platform;
+    CoreConfig cfg;
+    CpuPowerModel cpuPower;
+};
+
+} // namespace hams
+
+#endif // HAMS_CPU_CORE_MODEL_HH_

@@ -1,0 +1,32 @@
+#include "dram/ddr4_timing.hh"
+
+#include "sim/logging.hh"
+
+namespace hams {
+
+Ddr4Timing
+Ddr4Timing::speedGrade(std::uint32_t data_rate_mts)
+{
+    if (data_rate_mts < 1600 || data_rate_mts > 3200)
+        fatal("unsupported DDR4 speed grade ", data_rate_mts);
+
+    Ddr4Timing t;
+    t.dataRateMts = data_rate_mts;
+    // Clock runs at half the transfer rate (double data rate).
+    t.tCK = static_cast<Tick>(2.0e6 / data_rate_mts * 1e3) / 1000;
+    t.tCK = static_cast<Tick>(2.0e12 / (data_rate_mts * 1e6));
+
+    // JEDEC first-bin CAS latencies land near 13.5-14.3 ns regardless of
+    // grade; use 14 ns class timings like the paper's DDR4-2133 CL15.
+    t.tCL = nanoseconds(14.06);
+    t.tRCD = nanoseconds(14.06);
+    t.tRP = nanoseconds(14.06);
+    t.tRAS = nanoseconds(33);
+    t.tWR = nanoseconds(15);
+    t.tBURST = 4 * t.tCK; // BL8 on a double data rate bus
+    t.tRFC = nanoseconds(350);
+    t.tREFI = microseconds(7.8);
+    return t;
+}
+
+} // namespace hams

@@ -1,0 +1,155 @@
+#include "dram/dram_device.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace hams {
+
+DramDevice::DramDevice(const Ddr4Timing& timing, std::uint64_t capacity)
+    : _timing(timing), _capacity(capacity)
+{
+    if (capacity == 0)
+        fatal("DRAM capacity must be non-zero");
+    banks.resize(_timing.ranks * _timing.banks);
+}
+
+void
+DramDevice::decode(Addr addr, std::uint32_t& bank, std::uint64_t& row) const
+{
+    // Row-interleaved mapping: [row | bank | column]. Consecutive rows of
+    // one bank are rowBufferBytes apart; banks interleave at row-buffer
+    // granularity so bulk transfers rotate across banks.
+    std::uint64_t frame = addr / _timing.rowBufferBytes;
+    bank = static_cast<std::uint32_t>(frame % banks.size());
+    row = frame / banks.size();
+}
+
+Tick
+DramDevice::burst(Addr addr, MemOp op, Tick at)
+{
+    std::uint32_t bank_idx;
+    std::uint64_t row;
+    decode(addr, bank_idx, row);
+    Bank& bank = banks[bank_idx];
+
+    Tick start = std::max(at, bank.freeAt);
+    Tick array_latency;
+    if (bank.openRow == static_cast<std::int64_t>(row)) {
+        array_latency = _timing.tCL;
+        lastWasRowHit = true;
+    } else {
+        // Precharge the old row (if any) then activate the new one.
+        array_latency = (bank.openRow >= 0 ? _timing.tRP : 0) +
+                        _timing.tRCD + _timing.tCL;
+        bank.openRow = static_cast<std::int64_t>(row);
+        ++_activity.activates;
+        lastWasRowHit = false;
+    }
+
+    // The data burst itself must also win the shared bus.
+    Tick data_start = std::max(start + array_latency, busBusyUntil);
+    Tick done = data_start + _timing.tBURST;
+    busBusyUntil = done;
+    _activity.busyTime += _timing.tBURST;
+
+    // Writes hold the bank through write recovery.
+    bank.freeAt = done + (op == MemOp::Write ? _timing.tWR : 0);
+
+    if (op == MemOp::Read)
+        ++_activity.reads;
+    else
+        ++_activity.writes;
+    return done;
+}
+
+DramAccessResult
+DramDevice::access(Addr addr, std::uint32_t size, MemOp op, Tick at)
+{
+    if (size == 0)
+        fatal("zero-size DRAM access");
+    if (addr + size > _capacity)
+        fatal("DRAM access [", addr, ", ", addr + size, ") exceeds capacity ",
+              _capacity);
+
+    // Align to burst boundaries; a partial burst still moves a burst.
+    Addr first = addr & ~Addr(Ddr4Timing::burstBytes - 1);
+    Addr last = (addr + size - 1) & ~Addr(Ddr4Timing::burstBytes - 1);
+    std::uint64_t n_bursts = (last - first) / Ddr4Timing::burstBytes + 1;
+
+    if (n_bursts > bulkThreshold)
+        return bulkAccess(first, n_bursts, op, at);
+
+    DramAccessResult res;
+    bool first_burst = true;
+    for (Addr a = first;; a += Ddr4Timing::burstBytes) {
+        Tick done = burst(a, op, at);
+        if (first_burst) {
+            res.rowHit = lastWasRowHit;
+            first_burst = false;
+        }
+        res.ready = done;
+        if (a == last)
+            break;
+    }
+    return res;
+}
+
+DramAccessResult
+DramDevice::bulkAccess(Addr first, std::uint64_t n_bursts, MemOp op, Tick at)
+{
+    // O(1) model of a long pipelined transfer: the data bus is the
+    // bottleneck; bank activates on successive rows overlap with earlier
+    // bursts because the row-interleaved mapping rotates across banks.
+    Tick start = std::max(at, busBusyUntil);
+    Tick lead_in = _timing.tRCD + _timing.tCL;
+    Tick done = start + lead_in + n_bursts * _timing.tBURST;
+    busBusyUntil = done;
+
+    std::uint64_t bytes = n_bursts * Ddr4Timing::burstBytes;
+    std::uint64_t rows = (bytes + _timing.rowBufferBytes - 1) /
+                         _timing.rowBufferBytes;
+    _activity.activates += rows;
+    _activity.busyTime += n_bursts * _timing.tBURST;
+    if (op == MemOp::Read)
+        _activity.reads += n_bursts;
+    else
+        _activity.writes += n_bursts;
+
+    // Invalidate affected banks' open-row knowledge conservatively by
+    // closing everything the transfer rotated through.
+    std::uint64_t frames = rows;
+    std::uint32_t bank_idx;
+    std::uint64_t row;
+    decode(first, bank_idx, row);
+    for (std::uint64_t i = 0; i < std::min<std::uint64_t>(frames,
+                                                          banks.size());
+         ++i) {
+        Bank& b = banks[(bank_idx + i) % banks.size()];
+        b.openRow = -1;
+        b.freeAt = std::max(b.freeAt, done);
+    }
+
+    return DramAccessResult{done, false};
+}
+
+Tick
+DramDevice::occupyBus(Tick at, Tick duration)
+{
+    Tick start = std::max(at, busBusyUntil);
+    busBusyUntil = start + duration;
+    _activity.busyTime += duration;
+    return busBusyUntil;
+}
+
+void
+DramDevice::reset()
+{
+    for (auto& b : banks) {
+        b.openRow = -1;
+        b.freeAt = 0;
+    }
+    busBusyUntil = 0;
+}
+
+} // namespace hams

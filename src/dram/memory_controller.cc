@@ -1,0 +1,29 @@
+#include "dram/memory_controller.hh"
+
+namespace hams {
+
+MemoryController::MemoryController(const Ddr4Timing& timing,
+                                   std::uint64_t capacity,
+                                   const MemCtrlConfig& cfg)
+    : cfg(cfg), dram(timing, capacity)
+{
+}
+
+Tick
+MemoryController::access(Addr addr, std::uint32_t size, MemOp op, Tick at)
+{
+    Tick issued = at + cfg.frontendLatency + cfg.rdimmLatency;
+    return dram.access(addr, size, op, issued).ready;
+}
+
+Tick
+MemoryController::estimate(std::uint32_t size) const
+{
+    const Ddr4Timing& t = dram.timing();
+    std::uint64_t bursts =
+        (size + Ddr4Timing::burstBytes - 1) / Ddr4Timing::burstBytes;
+    return cfg.frontendLatency + cfg.rdimmLatency + t.tRCD + t.tCL +
+           bursts * t.tBURST;
+}
+
+} // namespace hams

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Channel-level memory controller.
+ *
+ * Adds the controller pipeline (queueing, command scheduling) in front of
+ * a DramDevice and exposes a single access() entry point used by the MCH,
+ * the HAMS controller and the NVMe-side DMA engines.
+ */
+
+#ifndef HAMS_DRAM_MEMORY_CONTROLLER_HH_
+#define HAMS_DRAM_MEMORY_CONTROLLER_HH_
+
+#include <cstdint>
+
+#include "dram/dram_device.hh"
+#include "mem/request.hh"
+#include "sim/types.hh"
+
+namespace hams {
+
+/** Configuration of the controller front end. */
+struct MemCtrlConfig
+{
+    /** Fixed pipeline latency through the controller logic. */
+    Tick frontendLatency = nanoseconds(10);
+    /** Extra latency for registered DIMMs (RDIMM buffer). */
+    Tick rdimmLatency = nanoseconds(1);
+};
+
+/**
+ * A simple FR-FCFS-lite controller: requests pay a fixed front-end
+ * pipeline cost and then contend for banks/bus inside the device model.
+ */
+class MemoryController
+{
+  public:
+    MemoryController(const Ddr4Timing& timing, std::uint64_t capacity,
+                     const MemCtrlConfig& cfg = {});
+
+    /**
+     * Issue an access at tick @p at.
+     * @return the tick at which the last data beat arrives.
+     */
+    Tick access(Addr addr, std::uint32_t size, MemOp op, Tick at);
+
+    /** Latency an access would see, without mutating state (estimate). */
+    Tick estimate(std::uint32_t size) const;
+
+    DramDevice& device() { return dram; }
+    const DramDevice& device() const { return dram; }
+
+    std::uint64_t capacity() const { return dram.capacity(); }
+
+  private:
+    MemCtrlConfig cfg;
+    DramDevice dram;
+};
+
+} // namespace hams
+
+#endif // HAMS_DRAM_MEMORY_CONTROLLER_HH_

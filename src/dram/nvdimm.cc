@@ -1,0 +1,54 @@
+#include "dram/nvdimm.hh"
+
+#include "sim/logging.hh"
+
+namespace hams {
+
+Nvdimm::Nvdimm(const NvdimmConfig& cfg)
+    : cfg(cfg),
+      ctrl(Ddr4Timing::speedGrade(cfg.speedGradeMts), cfg.capacity)
+{
+    if (cfg.functionalData)
+        store = std::make_unique<SparseMemory>(cfg.capacity);
+}
+
+Tick
+Nvdimm::access(Addr addr, std::uint32_t size, MemOp op, Tick at)
+{
+    if (_state != State::Operational)
+        fatal("NVDIMM accessed while not operational (state=",
+              static_cast<int>(_state), ")");
+    return ctrl.access(addr, size, op, at);
+}
+
+Tick
+Nvdimm::powerFail()
+{
+    if (_state != State::Operational)
+        fatal("powerFail on NVDIMM in non-operational state");
+    _state = State::BackingUp;
+    // The multiplexers isolate the DRAM; the controller streams the full
+    // module to flash at the backup bandwidth.
+    Tick backup_time =
+        seconds(static_cast<double>(cfg.capacity) / cfg.backupBandwidth);
+    // Contents are preserved once the stream finishes; the supercap is
+    // sized for a full backup, so it always completes.
+    preserved = true;
+    _state = State::Protected;
+    return backup_time;
+}
+
+Tick
+Nvdimm::powerRestore()
+{
+    if (_state != State::Protected)
+        fatal("powerRestore on NVDIMM that is not protected");
+    _state = State::Restoring;
+    Tick restore_time =
+        seconds(static_cast<double>(cfg.capacity) / cfg.backupBandwidth);
+    ctrl.device().reset();
+    _state = State::Operational;
+    return restore_time;
+}
+
+} // namespace hams

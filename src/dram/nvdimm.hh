@@ -1,0 +1,86 @@
+/**
+ * @file
+ * NVDIMM-N model: DRAM devices plus a supercapacitor-powered flash
+ * backup path (JEDEC DDR4 NVDIMM-N design standard).
+ *
+ * During normal operation the module is indistinguishable from an
+ * RDIMM. On power failure the on-DIMM controller isolates the DRAM via
+ * multiplexers and streams its contents to the on-DIMM flash; on the
+ * next boot it restores them. Both take tens of seconds for an 8 GB
+ * module, which the model reproduces from the backup bandwidth.
+ */
+
+#ifndef HAMS_DRAM_NVDIMM_HH_
+#define HAMS_DRAM_NVDIMM_HH_
+
+#include <cstdint>
+#include <memory>
+
+#include "dram/memory_controller.hh"
+#include "mem/sparse_memory.hh"
+#include "sim/types.hh"
+
+namespace hams {
+
+/** Configuration for an NVDIMM-N module. */
+struct NvdimmConfig
+{
+    std::uint64_t capacity = 8ull << 30;
+    std::uint32_t speedGradeMts = 2133;
+    /** On-DIMM backup flash streaming bandwidth (bytes/s). */
+    double backupBandwidth = 400e6;
+    /** Whether to allocate a functional backing store. */
+    bool functionalData = true;
+};
+
+/**
+ * A persistent DDR4 module. Exposes timing via the embedded controller
+ * and data via an optional functional store; powerFail()/powerRestore()
+ * drive the backup/restore state machine used by the persistence tests.
+ */
+class Nvdimm
+{
+  public:
+    enum class State { Operational, BackingUp, Protected, Restoring };
+
+    explicit Nvdimm(const NvdimmConfig& cfg);
+
+    /** Timed access; only legal while Operational. */
+    Tick access(Addr addr, std::uint32_t size, MemOp op, Tick at);
+
+    /** @name Functional data plane (null if functionalData=false). */
+    ///@{
+    SparseMemory* data() { return store.get(); }
+    const SparseMemory* data() const { return store.get(); }
+    ///@}
+
+    /**
+     * Simulate loss of host power. The supercap keeps the module alive
+     * while DRAM contents stream to the on-DIMM flash.
+     * @return time the backup takes.
+     */
+    Tick powerFail();
+
+    /**
+     * Restore contents on the next boot.
+     * @return time the restore takes.
+     */
+    Tick powerRestore();
+
+    State state() const { return _state; }
+    bool contentsPreserved() const { return preserved; }
+    std::uint64_t capacity() const { return cfg.capacity; }
+    MemoryController& controller() { return ctrl; }
+    const MemoryController& controller() const { return ctrl; }
+
+  private:
+    NvdimmConfig cfg;
+    MemoryController ctrl;
+    std::unique_ptr<SparseMemory> store;
+    State _state = State::Operational;
+    bool preserved = false;
+};
+
+} // namespace hams
+
+#endif // HAMS_DRAM_NVDIMM_HH_

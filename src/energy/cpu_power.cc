@@ -1,0 +1,3 @@
+#include "energy/cpu_power.hh"
+
+// Header-only arithmetic; this TU anchors the module in the library.

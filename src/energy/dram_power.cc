@@ -1,0 +1,18 @@
+#include "energy/dram_power.hh"
+
+namespace hams {
+
+double
+DramPowerModel::energyJ(const DramActivity& activity, Tick elapsed,
+                        std::uint32_t ranks) const
+{
+    double seconds_elapsed = ticksToSeconds(elapsed);
+    double e = 0.0;
+    e += params.actEnergyJ * static_cast<double>(activity.activates);
+    e += params.burstReadJ * static_cast<double>(activity.reads);
+    e += params.burstWriteJ * static_cast<double>(activity.writes);
+    e += (params.backgroundW + params.refreshW) * ranks * seconds_elapsed;
+    return e;
+}
+
+} // namespace hams

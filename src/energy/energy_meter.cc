@@ -1,0 +1,16 @@
+#include "energy/energy_meter.hh"
+
+#include <iomanip>
+
+namespace hams {
+
+std::ostream&
+operator<<(std::ostream& os, const EnergyBreakdownJ& e)
+{
+    os << std::fixed << std::setprecision(4) << "cpu=" << e.cpu
+       << "J nvdimm=" << e.nvdimm << "J idram=" << e.internalDram
+       << "J znand=" << e.znand << "J total=" << e.total() << "J";
+    return os;
+}
+
+} // namespace hams

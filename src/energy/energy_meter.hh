@@ -1,0 +1,45 @@
+/**
+ * @file
+ * System-level energy aggregation matching the paper's Fig. 19
+ * breakdown: CPU, system memory (NVDIMM/DRAM), SSD-internal DRAM and
+ * Z-NAND chips.
+ */
+
+#ifndef HAMS_ENERGY_ENERGY_METER_HH_
+#define HAMS_ENERGY_ENERGY_METER_HH_
+
+#include <ostream>
+
+#include "energy/cpu_power.hh"
+#include "energy/dram_power.hh"
+#include "energy/flash_power.hh"
+
+namespace hams {
+
+/** Joules per Fig. 19 component. */
+struct EnergyBreakdownJ
+{
+    double cpu = 0;
+    double nvdimm = 0;       //!< system memory (NVDIMM or DRAM)
+    double internalDram = 0; //!< SSD-internal buffer DRAM
+    double znand = 0;        //!< flash chips
+
+    double total() const { return cpu + nvdimm + internalDram + znand; }
+
+    EnergyBreakdownJ&
+    operator+=(const EnergyBreakdownJ& o)
+    {
+        cpu += o.cpu;
+        nvdimm += o.nvdimm;
+        internalDram += o.internalDram;
+        znand += o.znand;
+        return *this;
+    }
+};
+
+/** Pretty-print one breakdown row. */
+std::ostream& operator<<(std::ostream& os, const EnergyBreakdownJ& e);
+
+} // namespace hams
+
+#endif // HAMS_ENERGY_ENERGY_METER_HH_

@@ -1,0 +1,42 @@
+#include "energy/flash_power.hh"
+
+namespace hams {
+
+FlashPowerParams
+FlashPowerParams::zNand()
+{
+    // Per 2 KiB SLC page operation.
+    FlashPowerParams p;
+    p.readOpJ = 1.5e-6;
+    p.programOpJ = 7e-6;
+    p.eraseOpJ = 120e-6;
+    p.idleWPerDie = 4e-3;
+    return p;
+}
+
+FlashPowerParams
+FlashPowerParams::vNand()
+{
+    // Per 4 KiB MLC/TLC page operation.
+    FlashPowerParams p;
+    p.readOpJ = 12e-6;
+    p.programOpJ = 45e-6;
+    p.eraseOpJ = 200e-6;
+    p.idleWPerDie = 5e-3;
+    return p;
+}
+
+double
+FlashPowerModel::energyJ(const FlashActivity& activity, Tick elapsed,
+                         std::uint64_t dies) const
+{
+    double e = 0.0;
+    e += params.readOpJ * static_cast<double>(activity.reads);
+    e += params.programOpJ * static_cast<double>(activity.programs);
+    e += params.eraseOpJ * static_cast<double>(activity.erases);
+    e += params.idleWPerDie * static_cast<double>(dies) *
+         ticksToSeconds(elapsed);
+    return e;
+}
+
+} // namespace hams

@@ -1,0 +1,101 @@
+#include "flash/fil.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace hams {
+
+Fil::Fil(const FlashGeometry& geom, const NandTiming& timing)
+    : _timing(timing), pool(geom)
+{
+    channelFree.assign(geom.channels, 0);
+}
+
+Tick
+Fil::submit(const FlashOp& op, Tick at)
+{
+    FlashAddress a = FlashAddress::decompose(op.ppn, pool.geometry());
+    if (op.bytes > pool.geometry().pageSize)
+        panic("flash op bytes ", op.bytes, " exceed page size ",
+              pool.geometry().pageSize);
+
+    switch (op.type) {
+      case FlashOp::Type::Read:
+        return read(a, op.bytes, at);
+      case FlashOp::Type::Program:
+        return program(a, op.bytes, at);
+      case FlashOp::Type::Erase:
+        return erase(a, at);
+    }
+    panic("unreachable flash op type");
+}
+
+Tick
+Fil::read(const FlashAddress& a, std::uint32_t bytes, Tick at)
+{
+    // Command/address cycles ride the CA bus (no data-bus occupancy);
+    // the cell read runs on the plane; the data transfer then drains
+    // the die register over the channel data bus.
+    Tick cmd_start = std::max(at, pool.dieFreeAt(a));
+    Tick cmd_done = cmd_start + _timing.cmdOverhead;
+
+    Tick cell_start = std::max(cmd_done, pool.planeFreeAt(a));
+    Tick cell_done = cell_start + _timing.tR;
+    pool.occupyPlane(a, cell_done);
+
+    Tick& chan = channelFree[a.channel];
+    Tick xfer_start = std::max(cell_done, chan);
+    Tick xfer_done = xfer_start + _timing.transferTime(bytes);
+    chan = std::max(chan, xfer_done);
+    pool.occupyDie(a, xfer_done);
+
+    ++_activity.reads;
+    _activity.bytesTransferred += bytes;
+    return xfer_done;
+}
+
+Tick
+Fil::program(const FlashAddress& a, std::uint32_t bytes, Tick at)
+{
+    // Data loads into the die register over the channel first, then the
+    // cell program proceeds without holding the bus.
+    Tick& chan = channelFree[a.channel];
+    Tick xfer_start = std::max({at, chan, pool.dieFreeAt(a)});
+    Tick xfer_done =
+        xfer_start + _timing.cmdOverhead + _timing.transferTime(bytes);
+    chan = std::max(chan, xfer_done);
+
+    Tick cell_start = std::max(xfer_done, pool.planeFreeAt(a));
+    Tick cell_done = cell_start + _timing.tPROG;
+    pool.occupyPlane(a, cell_done);
+    pool.occupyDie(a, cell_done);
+
+    ++_activity.programs;
+    _activity.bytesTransferred += bytes;
+    return cell_done;
+}
+
+Tick
+Fil::erase(const FlashAddress& a, Tick at)
+{
+    Tick cmd_start = std::max(at, pool.dieFreeAt(a));
+    Tick cmd_done = cmd_start + _timing.cmdOverhead;
+
+    Tick cell_start = std::max(cmd_done, pool.planeFreeAt(a));
+    Tick cell_done = cell_start + _timing.tERASE;
+    pool.occupyPlane(a, cell_done);
+    pool.occupyDie(a, cell_done);
+
+    ++_activity.erases;
+    return cell_done;
+}
+
+void
+Fil::reset()
+{
+    pool.reset();
+    std::fill(channelFree.begin(), channelFree.end(), 0);
+}
+
+} // namespace hams

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Flash Interface Layer (FIL).
+ *
+ * Translates FTL-level page operations into timed flash transactions:
+ * command/address cycles, cell operations and data transfers, contending
+ * for channel buses, dies and planes. Mirrors the firmware layering of
+ * the Amber / SimpleSSD model the paper builds on.
+ */
+
+#ifndef HAMS_FLASH_FIL_HH_
+#define HAMS_FLASH_FIL_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "flash/nand_package.hh"
+#include "flash/nand_timing.hh"
+#include "sim/types.hh"
+
+namespace hams {
+
+/** One flash-level operation on a physical page or block. */
+struct FlashOp
+{
+    enum class Type : std::uint8_t { Read, Program, Erase };
+
+    Type type = Type::Read;
+    std::uint64_t ppn = 0;      //!< physical page (block for erases)
+    std::uint32_t bytes = 4096; //!< payload (<= geometry pageSize)
+};
+
+/**
+ * Schedules flash operations over the channel/die/plane resources and
+ * returns analytic completion times.
+ */
+class Fil
+{
+  public:
+    Fil(const FlashGeometry& geom, const NandTiming& timing);
+
+    /**
+     * Issue one operation no earlier than @p at.
+     * @return tick at which the operation fully completes (data available
+     *         in the channel controller for reads; cell programmed for
+     *         writes; block erased for erases).
+     */
+    Tick submit(const FlashOp& op, Tick at);
+
+    /** Earliest tick channel @p ch's bus is free (tests/scheduling). */
+    Tick channelFreeAt(std::uint32_t ch) const { return channelFree[ch]; }
+
+    const FlashGeometry& geometry() const { return pool.geometry(); }
+    const NandTiming& timing() const { return _timing; }
+    const FlashActivity& activity() const { return _activity; }
+
+    /** Clear all busy state (power cycle). */
+    void reset();
+
+  private:
+    Tick read(const FlashAddress& a, std::uint32_t bytes, Tick at);
+    Tick program(const FlashAddress& a, std::uint32_t bytes, Tick at);
+    Tick erase(const FlashAddress& a, Tick at);
+
+    NandTiming _timing;
+    NandPackagePool pool;
+    std::vector<Tick> channelFree;
+    FlashActivity _activity;
+};
+
+} // namespace hams
+
+#endif // HAMS_FLASH_FIL_HH_

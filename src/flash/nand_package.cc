@@ -1,0 +1,61 @@
+#include "flash/nand_package.hh"
+
+#include <algorithm>
+
+namespace hams {
+
+NandPackagePool::NandPackagePool(const FlashGeometry& geom) : geom(geom)
+{
+    std::size_t dies = std::size_t(geom.channels) * geom.packagesPerChannel *
+                       geom.diesPerPackage;
+    dieFree.assign(dies, 0);
+    planeFree.assign(dies * geom.planesPerDie, 0);
+}
+
+std::size_t
+NandPackagePool::dieIndex(const FlashAddress& a) const
+{
+    return (std::size_t(a.channel) * geom.packagesPerChannel + a.package) *
+               geom.diesPerPackage + a.die;
+}
+
+std::size_t
+NandPackagePool::planeIndex(const FlashAddress& a) const
+{
+    return dieIndex(a) * geom.planesPerDie + a.plane;
+}
+
+Tick
+NandPackagePool::dieFreeAt(const FlashAddress& a) const
+{
+    return dieFree[dieIndex(a)];
+}
+
+Tick
+NandPackagePool::planeFreeAt(const FlashAddress& a) const
+{
+    return planeFree[planeIndex(a)];
+}
+
+void
+NandPackagePool::occupyDie(const FlashAddress& a, Tick until)
+{
+    Tick& t = dieFree[dieIndex(a)];
+    t = std::max(t, until);
+}
+
+void
+NandPackagePool::occupyPlane(const FlashAddress& a, Tick until)
+{
+    Tick& t = planeFree[planeIndex(a)];
+    t = std::max(t, until);
+}
+
+void
+NandPackagePool::reset()
+{
+    std::fill(dieFree.begin(), dieFree.end(), 0);
+    std::fill(planeFree.begin(), planeFree.end(), 0);
+}
+
+} // namespace hams

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Per-die / per-plane busy-state tracking for a flash complex.
+ *
+ * Dies own a command/data register: a die is unavailable while a cell
+ * operation (tR/tPROG/tERASE) runs or while its register is being
+ * drained over the channel. Planes within a die operate independently
+ * for cell work but share the die's register and channel port.
+ */
+
+#ifndef HAMS_FLASH_NAND_PACKAGE_HH_
+#define HAMS_FLASH_NAND_PACKAGE_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "flash/nand_timing.hh"
+#include "sim/types.hh"
+
+namespace hams {
+
+/** Operation counters consumed by the flash energy model. */
+struct FlashActivity
+{
+    std::uint64_t reads = 0;
+    std::uint64_t programs = 0;
+    std::uint64_t erases = 0;
+    std::uint64_t bytesTransferred = 0;
+};
+
+/**
+ * Busy-until bookkeeping for every die and plane in the complex.
+ * Indexed by FlashAddress fields.
+ */
+class NandPackagePool
+{
+  public:
+    explicit NandPackagePool(const FlashGeometry& geom);
+
+    /** Earliest tick the die containing @p a can accept a command. */
+    Tick dieFreeAt(const FlashAddress& a) const;
+
+    /** Earliest tick plane @p a can start a cell operation. */
+    Tick planeFreeAt(const FlashAddress& a) const;
+
+    /** Reserve the die until @p until. */
+    void occupyDie(const FlashAddress& a, Tick until);
+
+    /** Reserve the plane until @p until. */
+    void occupyPlane(const FlashAddress& a, Tick until);
+
+    /** Clear all busy state (power cycle). */
+    void reset();
+
+    const FlashGeometry& geometry() const { return geom; }
+
+  private:
+    std::size_t dieIndex(const FlashAddress& a) const;
+    std::size_t planeIndex(const FlashAddress& a) const;
+
+    FlashGeometry geom;
+    std::vector<Tick> dieFree;
+    std::vector<Tick> planeFree;
+};
+
+} // namespace hams
+
+#endif // HAMS_FLASH_NAND_PACKAGE_HH_

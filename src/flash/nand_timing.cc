@@ -1,0 +1,73 @@
+#include "flash/nand_timing.hh"
+
+#include "sim/logging.hh"
+
+namespace hams {
+
+NandTiming
+NandTiming::zNand()
+{
+    NandTiming t;
+    t.tR = microseconds(3);
+    t.tPROG = microseconds(100);
+    t.tERASE = milliseconds(3);
+    t.cmdOverhead = nanoseconds(200);
+    t.channelBandwidth = 1.2e9;
+    return t;
+}
+
+NandTiming
+NandTiming::vNand()
+{
+    NandTiming t;
+    t.tR = microseconds(45);    // 15x the Z-NAND read time
+    t.tPROG = microseconds(700); // 7x the Z-NAND program time
+    t.tERASE = milliseconds(5);
+    t.cmdOverhead = nanoseconds(300);
+    t.channelBandwidth = 0.8e9;
+    return t;
+}
+
+std::uint64_t
+FlashAddress::parallelUnit(const FlashGeometry& g) const
+{
+    // Channel innermost: consecutive parallel units hit different
+    // channels, so round-robin allocation stripes for bus parallelism.
+    return ((std::uint64_t(plane) * g.diesPerPackage + die) *
+                g.packagesPerChannel + package) * g.channels + channel;
+}
+
+FlashAddress
+FlashAddress::decompose(std::uint64_t ppn, const FlashGeometry& g)
+{
+    if (ppn >= g.totalPages())
+        panic("PPN ", ppn, " out of range (", g.totalPages(), " pages)");
+
+    FlashAddress a;
+    a.page = static_cast<std::uint32_t>(ppn % g.pagesPerBlock);
+    ppn /= g.pagesPerBlock;
+    a.block = static_cast<std::uint32_t>(ppn % g.blocksPerPlane);
+    ppn /= g.blocksPerPlane;
+    a.channel = static_cast<std::uint32_t>(ppn % g.channels);
+    ppn /= g.channels;
+    a.package = static_cast<std::uint32_t>(ppn % g.packagesPerChannel);
+    ppn /= g.packagesPerChannel;
+    a.die = static_cast<std::uint32_t>(ppn % g.diesPerPackage);
+    ppn /= g.diesPerPackage;
+    a.plane = static_cast<std::uint32_t>(ppn);
+    return a;
+}
+
+std::uint64_t
+FlashAddress::flatten(const FlashGeometry& g) const
+{
+    std::uint64_t ppn = plane;
+    ppn = ppn * g.diesPerPackage + die;
+    ppn = ppn * g.packagesPerChannel + package;
+    ppn = ppn * g.channels + channel;
+    ppn = ppn * g.blocksPerPlane + block;
+    ppn = ppn * g.pagesPerBlock + page;
+    return ppn;
+}
+
+} // namespace hams

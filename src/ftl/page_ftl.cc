@@ -1,0 +1,278 @@
+#include "ftl/page_ftl.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "sim/logging.hh"
+
+namespace hams {
+
+PageFtl::PageFtl(const FlashGeometry& geom, Fil& fil, const FtlConfig& cfg)
+    : geom(geom), fil(fil), cfg(cfg)
+{
+    if (cfg.overProvision <= 0.0 || cfg.overProvision >= 0.5)
+        fatal("FTL over-provisioning must be in (0, 0.5), got ",
+              cfg.overProvision);
+    if (cfg.gcHighWater <= cfg.gcLowWater)
+        fatal("FTL gcHighWater must exceed gcLowWater");
+    if (geom.blocksPerPlane <= cfg.gcHighWater + 1)
+        fatal("flash geometry too small for the GC watermarks");
+
+    _logicalPages = static_cast<std::uint64_t>(
+        static_cast<double>(geom.totalPages()) * (1.0 - cfg.overProvision));
+
+    std::uint64_t pu_count = geom.parallelUnits();
+    units.resize(pu_count);
+    blocks.resize(pu_count * geom.blocksPerPlane);
+    for (std::uint64_t pu = 0; pu < pu_count; ++pu) {
+        Unit& u = units[pu];
+        u.freeBlocks.reserve(geom.blocksPerPlane);
+        // LIFO pop order: push high indices first so block 0 pops first.
+        for (std::uint32_t b = geom.blocksPerPlane; b-- > 0;)
+            u.freeBlocks.push_back(b);
+    }
+}
+
+std::uint64_t
+PageFtl::blockGlobalIndex(std::uint64_t pu, std::uint32_t block) const
+{
+    return pu * geom.blocksPerPlane + block;
+}
+
+std::uint64_t
+PageFtl::makePpn(std::uint64_t pu, std::uint32_t block,
+                 std::uint32_t page) const
+{
+    return (pu * geom.blocksPerPlane + block) * geom.pagesPerBlock + page;
+}
+
+void
+PageFtl::splitPpn(std::uint64_t ppn, std::uint64_t& pu, std::uint32_t& block,
+                  std::uint32_t& page) const
+{
+    page = static_cast<std::uint32_t>(ppn % geom.pagesPerBlock);
+    std::uint64_t blk = ppn / geom.pagesPerBlock;
+    block = static_cast<std::uint32_t>(blk % geom.blocksPerPlane);
+    pu = blk / geom.blocksPerPlane;
+}
+
+PageFtl::Block&
+PageFtl::blockOf(std::uint64_t pu, std::uint32_t block)
+{
+    return blocks[blockGlobalIndex(pu, block)];
+}
+
+void
+PageFtl::ensureBlockArrays(Block& b)
+{
+    if (b.pageLpns.empty()) {
+        b.pageLpns.assign(geom.pagesPerBlock,
+                          std::numeric_limits<std::uint64_t>::max());
+        b.validBits.assign((geom.pagesPerBlock + 63) / 64, 0);
+    }
+}
+
+void
+PageFtl::invalidate(std::uint64_t ppn)
+{
+    std::uint64_t pu;
+    std::uint32_t block, page;
+    splitPpn(ppn, pu, block, page);
+    Block& b = blockOf(pu, block);
+    ensureBlockArrays(b);
+    std::uint64_t& word = b.validBits[page / 64];
+    std::uint64_t mask = 1ull << (page % 64);
+    if (word & mask) {
+        word &= ~mask;
+        --b.validCount;
+    }
+}
+
+Tick
+PageFtl::readPage(std::uint64_t lpn, std::uint32_t bytes, Tick at)
+{
+    ++_stats.hostReads;
+    auto it = l2p.find(lpn);
+    if (it == l2p.end())
+        return at; // unmapped: zero-fill, no flash access
+    return fil.submit({FlashOp::Type::Read, it->second, bytes}, at);
+}
+
+std::uint32_t
+PageFtl::takeFreeBlock(Unit& u, std::uint64_t pu)
+{
+    if (u.freeBlocks.empty())
+        panic("parallel unit ", pu, " has no free blocks (GC failed)");
+    if (cfg.wearLeveling) {
+        // Pick the least-worn free block; ties go to the back (cheap pop).
+        auto best = u.freeBlocks.end() - 1;
+        std::uint32_t best_wear =
+            blockOf(pu, *best).eraseCount;
+        for (auto it = u.freeBlocks.begin(); it != u.freeBlocks.end(); ++it) {
+            std::uint32_t wear = blockOf(pu, *it).eraseCount;
+            if (wear < best_wear) {
+                best = it;
+                best_wear = wear;
+            }
+        }
+        std::uint32_t chosen = *best;
+        u.freeBlocks.erase(best);
+        return chosen;
+    }
+    std::uint32_t chosen = u.freeBlocks.back();
+    u.freeBlocks.pop_back();
+    return chosen;
+}
+
+std::uint64_t
+PageFtl::allocate(std::uint64_t pu, Tick& at)
+{
+    Unit& u = units[pu];
+    if (u.activeBlock < 0 ||
+        blockOf(pu, static_cast<std::uint32_t>(u.activeBlock))
+            .full(geom.pagesPerBlock)) {
+        if (u.activeBlock >= 0)
+            u.closedBlocks.push_back(
+                static_cast<std::uint32_t>(u.activeBlock));
+        if (!inGc && u.freeBlocks.size() <= cfg.gcLowWater)
+            collect(pu, at);
+        u.activeBlock = takeFreeBlock(u, pu);
+    }
+    auto block = static_cast<std::uint32_t>(u.activeBlock);
+    Block& b = blockOf(pu, block);
+    ensureBlockArrays(b);
+    std::uint32_t page = b.writePtr++;
+    b.pageLpns[page] = std::numeric_limits<std::uint64_t>::max();
+    return makePpn(pu, block, page);
+}
+
+Tick
+PageFtl::writePage(std::uint64_t lpn, std::uint32_t bytes, Tick at)
+{
+    if (lpn >= _logicalPages)
+        fatal("LPN ", lpn, " beyond exported capacity (", _logicalPages,
+              " pages)");
+    ++_stats.hostWrites;
+
+    auto it = l2p.find(lpn);
+    if (it != l2p.end())
+        invalidate(it->second);
+
+    std::uint64_t pu = nextPu;
+    nextPu = (nextPu + 1) % units.size();
+
+    std::uint64_t ppn = allocate(pu, at);
+    std::uint64_t pu2;
+    std::uint32_t block, page;
+    splitPpn(ppn, pu2, block, page);
+    Block& b = blockOf(pu2, block);
+    b.pageLpns[page] = lpn;
+    b.validBits[page / 64] |= 1ull << (page % 64);
+    ++b.validCount;
+    l2p[lpn] = ppn;
+
+    return fil.submit({FlashOp::Type::Program, ppn, bytes}, at);
+}
+
+void
+PageFtl::trim(std::uint64_t lpn)
+{
+    auto it = l2p.find(lpn);
+    if (it == l2p.end())
+        return;
+    invalidate(it->second);
+    l2p.erase(it);
+}
+
+bool
+PageFtl::isMapped(std::uint64_t lpn) const
+{
+    return l2p.count(lpn) != 0;
+}
+
+std::uint64_t
+PageFtl::physicalOf(std::uint64_t lpn) const
+{
+    auto it = l2p.find(lpn);
+    if (it == l2p.end())
+        panic("physicalOf on unmapped LPN ", lpn);
+    return it->second;
+}
+
+void
+PageFtl::collect(std::uint64_t pu, Tick& at)
+{
+    Unit& u = units[pu];
+    ++_stats.gcRuns;
+    inGc = true;
+
+    while (u.freeBlocks.size() < cfg.gcHighWater &&
+           !u.closedBlocks.empty()) {
+        // Greedy victim selection: fewest valid pages.
+        auto victim_it = u.closedBlocks.begin();
+        std::uint32_t victim_valid =
+            blockOf(pu, *victim_it).validCount;
+        for (auto it = u.closedBlocks.begin(); it != u.closedBlocks.end();
+             ++it) {
+            std::uint32_t v = blockOf(pu, *it).validCount;
+            if (v < victim_valid) {
+                victim_it = it;
+                victim_valid = v;
+            }
+        }
+        std::uint32_t victim = *victim_it;
+        u.closedBlocks.erase(victim_it);
+
+        Block& vb = blockOf(pu, victim);
+        ensureBlockArrays(vb);
+
+        // Relocate surviving pages into the active stream of this unit.
+        for (std::uint32_t page = 0; page < geom.pagesPerBlock; ++page) {
+            if (!(vb.validBits[page / 64] & (1ull << (page % 64))))
+                continue;
+            std::uint64_t lpn = vb.pageLpns[page];
+            std::uint64_t old_ppn = makePpn(pu, victim, page);
+            at = fil.submit({FlashOp::Type::Read, old_ppn, geom.pageSize},
+                            at);
+
+            std::uint64_t new_ppn = allocate(pu, at);
+            std::uint64_t pu2;
+            std::uint32_t nblock, npage;
+            splitPpn(new_ppn, pu2, nblock, npage);
+            Block& nb = blockOf(pu2, nblock);
+            nb.pageLpns[npage] = lpn;
+            nb.validBits[npage / 64] |= 1ull << (npage % 64);
+            ++nb.validCount;
+            l2p[lpn] = new_ppn;
+            ++_stats.gcRelocations;
+
+            at = fil.submit({FlashOp::Type::Program, new_ppn,
+                             geom.pageSize}, at);
+        }
+
+        // Erase the victim and return it to the free pool.
+        vb.validCount = 0;
+        vb.writePtr = 0;
+        std::fill(vb.validBits.begin(), vb.validBits.end(), 0);
+        ++vb.eraseCount;
+        ++_stats.erases;
+        at = fil.submit({FlashOp::Type::Erase,
+                         makePpn(pu, victim, 0), 0}, at);
+        u.freeBlocks.push_back(victim);
+    }
+    inGc = false;
+}
+
+std::uint32_t
+PageFtl::wearSpread() const
+{
+    std::uint32_t lo = std::numeric_limits<std::uint32_t>::max();
+    std::uint32_t hi = 0;
+    for (const auto& b : blocks) {
+        lo = std::min(lo, b.eraseCount);
+        hi = std::max(hi, b.eraseCount);
+    }
+    return blocks.empty() ? 0 : hi - lo;
+}
+
+} // namespace hams

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Page-mapped Flash Translation Layer.
+ *
+ * Maintains the logical-to-physical page map, allocates writes round-robin
+ * across every parallel unit (channel/die/plane) to maximise striping,
+ * runs greedy garbage collection against an over-provisioned pool, and
+ * tracks per-block wear. Timing flows through the FIL so GC relocation
+ * traffic naturally delays foreground operations on the same resources.
+ */
+
+#ifndef HAMS_FTL_PAGE_FTL_HH_
+#define HAMS_FTL_PAGE_FTL_HH_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "flash/fil.hh"
+#include "sim/types.hh"
+
+namespace hams {
+
+/** FTL tuning knobs. */
+struct FtlConfig
+{
+    /** Fraction of raw capacity reserved for garbage collection. */
+    double overProvision = 0.07;
+    /** GC starts when a parallel unit's free blocks drop to this. */
+    std::uint32_t gcLowWater = 2;
+    /** GC stops once free blocks recover to this. */
+    std::uint32_t gcHighWater = 4;
+    /** Prefer least-worn blocks when allocating (wear leveling). */
+    bool wearLeveling = true;
+};
+
+/** FTL statistics. */
+struct FtlStats
+{
+    std::uint64_t hostReads = 0;
+    std::uint64_t hostWrites = 0;
+    std::uint64_t gcRuns = 0;
+    std::uint64_t gcRelocations = 0;
+    std::uint64_t erases = 0;
+};
+
+/**
+ * The translation layer. One instance per SSD.
+ *
+ * Logical page numbers (LPNs) index 4 KiB pages of the exported
+ * capacity; physical page numbers (PPNs) follow FlashAddress encoding.
+ */
+class PageFtl
+{
+  public:
+    PageFtl(const FlashGeometry& geom, Fil& fil, const FtlConfig& cfg = {});
+
+    /** Number of logical pages exported to the host (raw minus OP). */
+    std::uint64_t logicalPages() const { return _logicalPages; }
+
+    /**
+     * Read @p bytes of logical page @p lpn.
+     * Unmapped pages return at once (zero data, no flash op).
+     * @return completion tick.
+     */
+    Tick readPage(std::uint64_t lpn, std::uint32_t bytes, Tick at);
+
+    /**
+     * Write @p bytes of logical page @p lpn (read-modify-write semantics
+     * are the HIL's job; the FTL always programs a fresh physical page).
+     * @return completion tick.
+     */
+    Tick writePage(std::uint64_t lpn, std::uint32_t bytes, Tick at);
+
+    /** Drop the mapping of @p lpn (TRIM). */
+    void trim(std::uint64_t lpn);
+
+    /** True if the LPN currently has a physical mapping. */
+    bool isMapped(std::uint64_t lpn) const;
+
+    /** Current physical page of @p lpn; panics if unmapped. */
+    std::uint64_t physicalOf(std::uint64_t lpn) const;
+
+    const FtlStats& stats() const { return _stats; }
+
+    /** Max erase-count spread across blocks (wear-leveling check). */
+    std::uint32_t wearSpread() const;
+
+  private:
+    struct Block
+    {
+        std::uint32_t writePtr = 0;   //!< next free page slot
+        std::uint32_t validCount = 0;
+        std::uint32_t eraseCount = 0;
+        std::vector<std::uint64_t> pageLpns; //!< reverse map, lazy
+        std::vector<std::uint64_t> validBits; //!< bitmap, lazy
+
+        bool full(std::uint32_t pages_per_block) const
+        {
+            return writePtr >= pages_per_block;
+        }
+    };
+
+    /** Per-parallel-unit allocation state. */
+    struct Unit
+    {
+        std::vector<std::uint32_t> freeBlocks; //!< indices, LIFO
+        std::int64_t activeBlock = -1;
+        std::vector<std::uint32_t> closedBlocks;
+    };
+
+    std::uint64_t blockGlobalIndex(std::uint64_t pu,
+                                   std::uint32_t block) const;
+    std::uint64_t makePpn(std::uint64_t pu, std::uint32_t block,
+                          std::uint32_t page) const;
+    void splitPpn(std::uint64_t ppn, std::uint64_t& pu, std::uint32_t& block,
+                  std::uint32_t& page) const;
+
+    Block& blockOf(std::uint64_t pu, std::uint32_t block);
+    void ensureBlockArrays(Block& b);
+
+    /** Mark a physical page invalid (after overwrite/trim). */
+    void invalidate(std::uint64_t ppn);
+
+    /** Allocate the next physical page on @p pu, running GC if needed. */
+    std::uint64_t allocate(std::uint64_t pu, Tick& at);
+
+    /** Pop a free block for @p pu (wear-aware). */
+    std::uint32_t takeFreeBlock(Unit& u, std::uint64_t pu);
+
+    /** Greedy GC on one unit until the high watermark is met. */
+    void collect(std::uint64_t pu, Tick& at);
+
+    FlashGeometry geom;
+    Fil& fil;
+    FtlConfig cfg;
+    FtlStats _stats;
+
+    std::uint64_t _logicalPages;
+    std::uint64_t nextPu = 0; //!< round-robin write striping
+    bool inGc = false;        //!< guards against GC re-entrancy
+
+    std::vector<Unit> units;
+    std::vector<Block> blocks; //!< all blocks, indexed globally
+    std::unordered_map<std::uint64_t, std::uint64_t> l2p;
+};
+
+} // namespace hams
+
+#endif // HAMS_FTL_PAGE_FTL_HH_

@@ -1,0 +1,4 @@
+#include "mem/request.hh"
+
+// Currently header-only semantics; this TU anchors the module in the
+// library so future non-inline helpers have a home.

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Memory access descriptors shared by every platform model.
+ *
+ * A MemAccess describes one CPU-visible load or store against the MoS
+ * (Memory-over-Storage) address space. Each completed access carries a
+ * LatencyBreakdown attributing where its time went; the bench harnesses
+ * aggregate those into the paper's Fig. 17/18 stacked bars.
+ */
+
+#ifndef HAMS_MEM_REQUEST_HH_
+#define HAMS_MEM_REQUEST_HH_
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace hams {
+
+/** Direction of a memory access. */
+enum class MemOp : std::uint8_t { Read, Write };
+
+/** One CPU-visible access against a platform's address space. */
+struct MemAccess
+{
+    Addr addr = 0;
+    std::uint32_t size = 64;
+    MemOp op = MemOp::Read;
+};
+
+/**
+ * Where the latency of one access (or one run) was spent.
+ *
+ * Categories follow the paper's breakdowns:
+ *  - os:      software stack time (page fault, context switch, fs, blk-mq)
+ *  - nvdimm:  DRAM/NVDIMM array access time
+ *  - dma:     interface/data-movement time (PCIe or DDR4 transfer, NVMe
+ *             protocol handling)
+ *  - ssd:     flash-side service time (FTL, channel, tR/tPROG)
+ *  - cpu:     compute time (only used by run-level aggregation)
+ */
+struct LatencyBreakdown
+{
+    Tick os = 0;
+    Tick nvdimm = 0;
+    Tick dma = 0;
+    Tick ssd = 0;
+    Tick cpu = 0;
+
+    Tick total() const { return os + nvdimm + dma + ssd + cpu; }
+
+    LatencyBreakdown&
+    operator+=(const LatencyBreakdown& o)
+    {
+        os += o.os;
+        nvdimm += o.nvdimm;
+        dma += o.dma;
+        ssd += o.ssd;
+        cpu += o.cpu;
+        return *this;
+    }
+};
+
+/** Human-readable op name. */
+inline const char*
+memOpName(MemOp op)
+{
+    return op == MemOp::Read ? "read" : "write";
+}
+
+} // namespace hams
+
+#endif // HAMS_MEM_REQUEST_HH_

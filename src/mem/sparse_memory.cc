@@ -1,0 +1,107 @@
+#include "mem/sparse_memory.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace hams {
+
+SparseMemory::SparseMemory(std::uint64_t capacity, std::uint32_t frame_size)
+    : _capacity(capacity), _frameSize(frame_size)
+{
+    if (frame_size == 0 || (frame_size & (frame_size - 1)) != 0)
+        fatal("SparseMemory frame size must be a power of two, got ",
+              frame_size);
+    if (capacity % frame_size != 0)
+        fatal("SparseMemory capacity ", capacity,
+              " is not a multiple of the frame size ", frame_size);
+}
+
+const SparseMemory::Frame*
+SparseMemory::findFrame(std::uint64_t frame_no) const
+{
+    auto it = frames.find(frame_no);
+    return it == frames.end() ? nullptr : &it->second;
+}
+
+SparseMemory::Frame&
+SparseMemory::getFrame(std::uint64_t frame_no)
+{
+    auto& f = frames[frame_no];
+    if (f.empty())
+        f.resize(_frameSize, 0);
+    return f;
+}
+
+void
+SparseMemory::read(Addr addr, void* dst, std::uint64_t size) const
+{
+    if (addr + size > _capacity)
+        fatal("SparseMemory read [", addr, ", ", addr + size,
+              ") exceeds capacity ", _capacity);
+    auto* out = static_cast<std::uint8_t*>(dst);
+    while (size > 0) {
+        std::uint64_t frame_no = addr / _frameSize;
+        std::uint64_t off = addr % _frameSize;
+        std::uint64_t chunk = std::min<std::uint64_t>(size, _frameSize - off);
+        if (const Frame* f = findFrame(frame_no))
+            std::memcpy(out, f->data() + off, chunk);
+        else
+            std::memset(out, 0, chunk);
+        out += chunk;
+        addr += chunk;
+        size -= chunk;
+    }
+}
+
+void
+SparseMemory::write(Addr addr, const void* src, std::uint64_t size)
+{
+    if (addr + size > _capacity)
+        fatal("SparseMemory write [", addr, ", ", addr + size,
+              ") exceeds capacity ", _capacity);
+    const auto* in = static_cast<const std::uint8_t*>(src);
+    while (size > 0) {
+        std::uint64_t frame_no = addr / _frameSize;
+        std::uint64_t off = addr % _frameSize;
+        std::uint64_t chunk = std::min<std::uint64_t>(size, _frameSize - off);
+        std::memcpy(getFrame(frame_no).data() + off, in, chunk);
+        in += chunk;
+        addr += chunk;
+        size -= chunk;
+    }
+}
+
+void
+SparseMemory::fill(Addr addr, std::uint8_t value, std::uint64_t size)
+{
+    std::vector<std::uint8_t> buf(std::min<std::uint64_t>(size, _frameSize),
+                                  value);
+    while (size > 0) {
+        std::uint64_t chunk = std::min<std::uint64_t>(size, buf.size());
+        write(addr, buf.data(), chunk);
+        addr += chunk;
+        size -= chunk;
+    }
+}
+
+std::uint64_t
+SparseMemory::checksum(Addr addr, std::uint64_t size) const
+{
+    // FNV-1a, chunked through a scratch buffer so holes hash as zeros.
+    std::uint64_t h = 1469598103934665603ULL;
+    std::vector<std::uint8_t> buf(std::min<std::uint64_t>(size, _frameSize));
+    while (size > 0) {
+        std::uint64_t chunk = std::min<std::uint64_t>(size, buf.size());
+        read(addr, buf.data(), chunk);
+        for (std::uint64_t i = 0; i < chunk; ++i) {
+            h ^= buf[i];
+            h *= 1099511628211ULL;
+        }
+        addr += chunk;
+        size -= chunk;
+    }
+    return h;
+}
+
+} // namespace hams

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Sparse functional backing store.
+ *
+ * Carries real bytes for the data plane so crash-recovery and hazard
+ * tests can verify end-to-end integrity, while only allocating frames
+ * that are actually touched. Unwritten bytes read as zero, mirroring a
+ * freshly formatted device.
+ */
+
+#ifndef HAMS_MEM_SPARSE_MEMORY_HH_
+#define HAMS_MEM_SPARSE_MEMORY_HH_
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace hams {
+
+/**
+ * A sparse byte-addressable store backed by lazily allocated frames.
+ *
+ * Frames default to 4 KiB. Reads of never-written regions return zeros
+ * without allocating.
+ */
+class SparseMemory
+{
+  public:
+    explicit SparseMemory(std::uint64_t capacity, std::uint32_t frame_size = 4096);
+
+    std::uint64_t capacity() const { return _capacity; }
+    std::uint32_t frameSize() const { return _frameSize; }
+
+    /** Copy @p size bytes at @p addr into @p dst (zero-fill for holes). */
+    void read(Addr addr, void* dst, std::uint64_t size) const;
+
+    /** Copy @p size bytes from @p src into the store at @p addr. */
+    void write(Addr addr, const void* src, std::uint64_t size);
+
+    /** Fill a region with one byte value. */
+    void fill(Addr addr, std::uint8_t value, std::uint64_t size);
+
+    /** Convenience typed accessors for tests. */
+    template <typename T>
+    T
+    readValue(Addr addr) const
+    {
+        T v{};
+        read(addr, &v, sizeof(T));
+        return v;
+    }
+
+    template <typename T>
+    void
+    writeValue(Addr addr, const T& v)
+    {
+        write(addr, &v, sizeof(T));
+    }
+
+    /** FNV-1a checksum over a region (integrity checks in tests). */
+    std::uint64_t checksum(Addr addr, std::uint64_t size) const;
+
+    /** Number of frames actually allocated. */
+    std::size_t allocatedFrames() const { return frames.size(); }
+
+    /** Drop all contents (device reformat). */
+    void clear() { frames.clear(); }
+
+  private:
+    using Frame = std::vector<std::uint8_t>;
+
+    const Frame* findFrame(std::uint64_t frame_no) const;
+    Frame& getFrame(std::uint64_t frame_no);
+
+    std::uint64_t _capacity;
+    std::uint32_t _frameSize;
+    std::unordered_map<std::uint64_t, Frame> frames;
+};
+
+} // namespace hams
+
+#endif // HAMS_MEM_SPARSE_MEMORY_HH_

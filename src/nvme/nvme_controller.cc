@@ -1,0 +1,177 @@
+#include "nvme/nvme_controller.hh"
+
+#include <memory>
+
+#include "sim/logging.hh"
+
+namespace hams {
+
+NvmeController::NvmeController(EventQueue& eq, Ssd& ssd, PcieLink& link,
+                               DmaTarget& host,
+                               const NvmeControllerConfig& cfg)
+    : eq(eq), _ssd(ssd), link(link), host(host), cfg(cfg)
+{
+}
+
+std::uint16_t
+NvmeController::attachQueue(QueuePair* qp)
+{
+    queues.push_back(qp);
+    return static_cast<std::uint16_t>(queues.size() - 1);
+}
+
+void
+NvmeController::onCompletion(CompletionHandler h)
+{
+    handler = std::move(h);
+}
+
+void
+NvmeController::ringDoorbell(std::uint16_t qid, Tick at)
+{
+    if (qid >= queues.size())
+        panic("doorbell for unknown queue ", qid);
+    QueuePair* qp = queues[qid];
+
+    // The doorbell MMIO write crosses the link first.
+    Tick db_at_device = link.signal(at);
+
+    // Fetch every pending SQE before executing any command: the fetches
+    // happen early on the wire, and executing in between would let one
+    // command's (later) data DMA reserve host memory ahead of the next
+    // command's (earlier) fetch in the analytic resource model.
+    std::vector<std::pair<NvmeCommand, Tick>> fetched_cmds;
+    while (qp->hasWork()) {
+        std::uint16_t slot = qp->sqHead();
+        NvmeCommand cmd = qp->fetch();
+        Addr sqe_addr = qp->sqBase() + Addr(slot) * sizeof(NvmeCommand);
+        Tick mem_done = host.dmaAccess(sqe_addr, sizeof(NvmeCommand),
+                                       MemOp::Read, db_at_device);
+        Tick fetched = link.transfer(sizeof(NvmeCommand), LinkDir::ToDevice,
+                                     mem_done);
+        fetched_cmds.emplace_back(cmd, fetched + cfg.cmdProcessing);
+    }
+    for (auto& [cmd, start] : fetched_cmds)
+        execute(qid, cmd, start);
+}
+
+void
+NvmeController::execute(std::uint16_t qid, const NvmeCommand& cmd,
+                        Tick start)
+{
+    ++_outstanding;
+    QueuePair* qp = queues[qid];
+    std::uint64_t bytes =
+        std::uint64_t(cmd.blockCount()) * nvmeBlockSize;
+    NvmeCmdTrace trace;
+    trace.protocol = cfg.cmdProcessing + cfg.cplProcessing;
+
+    // PRP lists beyond two entries need an extra host read to walk.
+    if (cmd.blockCount() > 2) {
+        Tick walked = host.dmaAccess(cmd.prp2 ? cmd.prp2 : cmd.prp1, 64,
+                                     MemOp::Read, start);
+        trace.protocol += walked - start;
+        start = walked;
+    }
+
+    Tick done = start;
+    std::uint64_t my_epoch = epoch;
+
+    switch (cmd.op()) {
+      case NvmeOpcode::Read: {
+        Tick media_done;
+        auto buf = std::make_shared<std::vector<std::uint8_t>>();
+        if (host.dmaData() && _ssd.config().functionalData) {
+            buf->resize(bytes);
+            media_done = _ssd.hostRead(cmd.slba, cmd.blockCount(), start,
+                                       buf->data());
+        } else {
+            media_done = _ssd.hostRead(cmd.slba, cmd.blockCount(), start);
+        }
+        trace.media = media_done - start;
+        // Data DMA device -> host, then the host-memory write.
+        Tick link_done = link.transfer(bytes, LinkDir::ToHost, media_done);
+        done = host.dmaAccess(cmd.prp1, static_cast<std::uint32_t>(bytes),
+                              MemOp::Write, link_done);
+        trace.dma = done - media_done;
+        if (!buf->empty()) {
+            // Bytes land in host memory when the DMA completes.
+            Addr prp = cmd.prp1;
+            eq.scheduleAt(done, [this, my_epoch, prp, buf]() {
+                if (my_epoch != epoch)
+                    return;
+                host.dmaData()->write(prp, buf->data(), buf->size());
+            });
+        }
+        break;
+      }
+      case NvmeOpcode::Write: {
+        // Data DMA host -> device: host-memory read + upstream transfer.
+        // The device observes host bytes only when the DMA completes —
+        // that pull-vs-overwrite window is exactly what the HAMS
+        // PRP-pool cloning protects (paper SSV-B, Fig. 13).
+        Tick mem_done = host.dmaAccess(cmd.prp1,
+                                       static_cast<std::uint32_t>(bytes),
+                                       MemOp::Read, start);
+        Tick dma_done = link.transfer(bytes, LinkDir::ToDevice, mem_done);
+        trace.dma = dma_done - start;
+        done = _ssd.hostWrite(cmd.slba, cmd.blockCount(), cmd.fua(),
+                              dma_done);
+        trace.media = done - dma_done;
+        if (host.dmaData() && _ssd.config().functionalData) {
+            Addr prp = cmd.prp1;
+            std::uint64_t slba = cmd.slba;
+            std::uint32_t blocks = cmd.blockCount();
+            bool fua = cmd.fua();
+            eq.scheduleAt(dma_done, [this, my_epoch, prp, slba, blocks,
+                                     fua, bytes]() {
+                if (my_epoch != epoch)
+                    return;
+                std::vector<std::uint8_t> data(bytes);
+                host.dmaData()->read(prp, data.data(), bytes);
+                _ssd.pokeWrite(slba, blocks, fua, data.data());
+            });
+        }
+        break;
+      }
+      case NvmeOpcode::Flush:
+        done = _ssd.hostFlush(start);
+        trace.media = done - start;
+        break;
+      default:
+        panic("unsupported NVMe opcode ", int(cmd.opcode));
+    }
+
+    // Post the CQE (16 B upstream + host write) and raise MSI.
+    Tick cqe_link = link.transfer(sizeof(NvmeCompletion), LinkDir::ToHost,
+                                  done + cfg.cplProcessing);
+    Tick cqe_mem = host.dmaAccess(qp->cqBase(), sizeof(NvmeCompletion),
+                                  MemOp::Write, cqe_link);
+    Tick msi = link.signal(cqe_mem);
+    trace.protocol += msi - (done + cfg.cplProcessing);
+
+    NvmeCompletion cqe;
+    cqe.cid = cmd.cid;
+    cqe.encode(NvmeStatus::Success, true);
+
+    eq.scheduleAt(msi, [this, my_epoch, qid, qp, cqe, cmd, trace, msi]() {
+        if (my_epoch != epoch)
+            return;
+        qp->complete(cqe);
+        if (_outstanding > 0)
+            --_outstanding;
+        if (handler)
+            handler(qid, cqe, cmd, trace, msi);
+    });
+}
+
+void
+NvmeController::powerFail()
+{
+    // Orphan every in-flight completion event; the SSD handles its own
+    // buffer fate.
+    ++epoch;
+    _outstanding = 0;
+}
+
+} // namespace hams

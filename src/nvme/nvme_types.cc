@@ -1,0 +1,41 @@
+#include "nvme/nvme_types.hh"
+
+namespace hams {
+
+NvmeCommand
+makeReadCommand(std::uint16_t cid, std::uint64_t slba, std::uint32_t blocks,
+                std::uint64_t prp1)
+{
+    NvmeCommand c;
+    c.opcode = static_cast<std::uint8_t>(NvmeOpcode::Read);
+    c.cid = cid;
+    c.slba = slba;
+    c.nlb = static_cast<std::uint16_t>(blocks - 1);
+    c.prp1 = prp1;
+    return c;
+}
+
+NvmeCommand
+makeWriteCommand(std::uint16_t cid, std::uint64_t slba, std::uint32_t blocks,
+                 std::uint64_t prp1, bool fua)
+{
+    NvmeCommand c;
+    c.opcode = static_cast<std::uint8_t>(NvmeOpcode::Write);
+    c.cid = cid;
+    c.slba = slba;
+    c.nlb = static_cast<std::uint16_t>(blocks - 1);
+    c.prp1 = prp1;
+    c.setFua(fua);
+    return c;
+}
+
+NvmeCommand
+makeFlushCommand(std::uint16_t cid)
+{
+    NvmeCommand c;
+    c.opcode = static_cast<std::uint8_t>(NvmeOpcode::Flush);
+    c.cid = cid;
+    return c;
+}
+
+} // namespace hams

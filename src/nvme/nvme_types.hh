@@ -1,0 +1,116 @@
+/**
+ * @file
+ * NVMe command set structures (subset sufficient for HAMS).
+ *
+ * Commands are fixed 64-byte records as in the NVMe 1.x submission queue
+ * entry format; completions are 16-byte records. HAMS repurposes one
+ * reserved dword as the journal tag that drives power-failure recovery
+ * (paper SSV-C).
+ */
+
+#ifndef HAMS_NVME_NVME_TYPES_HH_
+#define HAMS_NVME_NVME_TYPES_HH_
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace hams {
+
+/** NVMe I/O opcodes (NVM command set). */
+enum class NvmeOpcode : std::uint8_t {
+    Flush = 0x00,
+    Write = 0x01,
+    Read = 0x02,
+};
+
+/** Completion status codes (generic command set). */
+enum class NvmeStatus : std::uint16_t {
+    Success = 0x0,
+    InternalError = 0x6,
+    AbortedByPower = 0x371, // vendor: lost to power failure
+};
+
+/**
+ * A 64-byte submission queue entry.
+ *
+ * Field layout loosely follows the spec dwords; `journalTag` occupies a
+ * reserved dword (DW2) exactly as HAMS does, so it persists wherever the
+ * SQ ring lives — in HAMS, the MMU-invisible pinned NVDIMM region.
+ */
+struct NvmeCommand
+{
+    std::uint8_t opcode = 0;            // DW0[7:0]
+    std::uint8_t fuse = 0;              // DW0[9:8]
+    std::uint16_t cid = 0;              // DW0[31:16]
+    std::uint32_t nsid = 1;             // DW1
+    std::uint32_t journalTag = 0;       // DW2 (reserved; HAMS journal)
+    std::uint32_t reserved3 = 0;        // DW3
+    std::uint64_t metadataPtr = 0;      // DW4-5
+    std::uint64_t prp1 = 0;             // DW6-7
+    std::uint64_t prp2 = 0;             // DW8-9
+    std::uint64_t slba = 0;             // DW10-11
+    std::uint16_t nlb = 0;              // DW12[15:0], 0's based
+    std::uint16_t control = 0;          // DW12[31:16] (bit 14 = FUA)
+    std::uint32_t dsm = 0;              // DW13
+    std::uint32_t reserved14 = 0;       // DW14
+    std::uint32_t reserved15 = 0;       // DW15
+
+    static constexpr std::uint16_t fuaBit = 1u << 14;
+
+    bool fua() const { return control & fuaBit; }
+    void setFua(bool on)
+    {
+        control = on ? (control | fuaBit)
+                     : static_cast<std::uint16_t>(control & ~fuaBit);
+    }
+
+    NvmeOpcode op() const { return static_cast<NvmeOpcode>(opcode); }
+
+    /** Number of logical blocks (the field is zero-based). */
+    std::uint32_t blockCount() const { return std::uint32_t(nlb) + 1; }
+};
+
+static_assert(sizeof(NvmeCommand) == 64, "SQ entries must be 64 bytes");
+
+/** A 16-byte completion queue entry. */
+struct NvmeCompletion
+{
+    std::uint32_t result = 0;     // DW0 command specific
+    std::uint32_t reserved = 0;   // DW1
+    std::uint16_t sqHead = 0;     // DW2[15:0]
+    std::uint16_t sqId = 0;       // DW2[31:16]
+    std::uint16_t cid = 0;        // DW3[15:0]
+    std::uint16_t status = 0;     // DW3[31:16] (includes phase bit 0)
+
+    static constexpr std::uint16_t phaseBit = 1u;
+
+    bool phase() const { return status & phaseBit; }
+    NvmeStatus statusCode() const
+    {
+        return static_cast<NvmeStatus>(status >> 1);
+    }
+    void
+    encode(NvmeStatus sc, bool phase_tag)
+    {
+        status = static_cast<std::uint16_t>(
+            (static_cast<std::uint16_t>(sc) << 1) | (phase_tag ? 1 : 0));
+    }
+};
+
+static_assert(sizeof(NvmeCompletion) == 16, "CQ entries must be 16 bytes");
+
+/** Logical block size used throughout (NVMe format 4 KiB). */
+constexpr std::uint32_t nvmeBlockSize = 4096;
+
+/** Helpers for building common commands. */
+NvmeCommand makeReadCommand(std::uint16_t cid, std::uint64_t slba,
+                            std::uint32_t blocks, std::uint64_t prp1);
+NvmeCommand makeWriteCommand(std::uint16_t cid, std::uint64_t slba,
+                             std::uint32_t blocks, std::uint64_t prp1,
+                             bool fua = false);
+NvmeCommand makeFlushCommand(std::uint16_t cid);
+
+} // namespace hams
+
+#endif // HAMS_NVME_NVME_TYPES_HH_

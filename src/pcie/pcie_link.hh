@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Serial interconnect model covering PCIe (Gen3 x4 for NVMe devices) and
+ * SATA 3.0 links.
+ *
+ * Transfers pay a propagation/encapsulation latency plus occupancy of the
+ * per-direction bandwidth; payloads are packetised (TLPs for PCIe, FIS
+ * for SATA) with a header-efficiency factor. This is the interface whose
+ * limited bandwidth caps baseline HAMS on cache misses (paper SSIV-C).
+ */
+
+#ifndef HAMS_PCIE_PCIE_LINK_HH_
+#define HAMS_PCIE_PCIE_LINK_HH_
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace hams {
+
+/** Transfer direction over the link. */
+enum class LinkDir : std::uint8_t { ToDevice, ToHost };
+
+/** Link parameters. */
+struct LinkConfig
+{
+    double bandwidth = 3.938e9;   //!< raw bytes/s per direction
+    std::uint32_t maxPayload = 256; //!< packet payload bytes
+    std::uint32_t headerBytes = 26; //!< per-packet framing overhead
+    Tick propagation = nanoseconds(350); //!< end-to-end latency
+    bool fullDuplex = true;
+
+    /** PCIe 3.0 x4 (985 MB/s/lane raw). */
+    static LinkConfig pcieGen3(std::uint32_t lanes);
+
+    /** SATA 3.0 (600 MB/s, half duplex, longer latency). */
+    static LinkConfig sata3();
+
+    /** Effective data bandwidth after packet framing. */
+    double
+    effectiveBandwidth() const
+    {
+        return bandwidth * maxPayload / double(maxPayload + headerBytes);
+    }
+};
+
+/**
+ * A point-to-point link with per-direction busy tracking.
+ */
+class PcieLink
+{
+  public:
+    explicit PcieLink(const LinkConfig& cfg);
+
+    /**
+     * Move @p bytes in direction @p dir starting no earlier than @p at.
+     * @return tick at which the last byte lands.
+     */
+    Tick transfer(std::uint64_t bytes, LinkDir dir, Tick at);
+
+    /** A register-sized write (doorbell, MSI): latency only. */
+    Tick signal(Tick at) const { return at + cfg.propagation; }
+
+    /** Total bytes moved (for utilisation stats). */
+    std::uint64_t bytesMoved() const { return _bytesMoved; }
+
+    const LinkConfig& config() const { return cfg; }
+
+    /** Clear busy state (power cycle). */
+    void reset();
+
+  private:
+    LinkConfig cfg;
+    Tick busyUntil[2] = {0, 0};
+    std::uint64_t _bytesMoved = 0;
+};
+
+} // namespace hams
+
+#endif // HAMS_PCIE_PCIE_LINK_HH_

@@ -1,0 +1,99 @@
+#include "sim/event_queue.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace hams {
+
+EventId
+EventQueue::schedule(Tick delay, Callback cb)
+{
+    return scheduleAt(_now + delay, std::move(cb));
+}
+
+EventId
+EventQueue::scheduleAt(Tick when, Callback cb)
+{
+    if (when < _now)
+        panic("scheduleAt(", when, ") is in the past (now=", _now, ")");
+    EventId id = nextId++;
+    heap.push_back(Entry{when, nextSeq++, id, std::move(cb)});
+    std::push_heap(heap.begin(), heap.end(), Later{});
+    ++livePending;
+    return id;
+}
+
+void
+EventQueue::deschedule(EventId id)
+{
+    // Lazy cancellation: remember the id; skip it when it surfaces.
+    if (id == 0 || id >= nextId)
+        return;
+    if (cancelled.insert(id).second && livePending > 0)
+        --livePending;
+}
+
+void
+EventQueue::skipCancelled()
+{
+    while (!heap.empty()) {
+        auto it = cancelled.find(heap.front().id);
+        if (it == cancelled.end())
+            return;
+        cancelled.erase(it);
+        std::pop_heap(heap.begin(), heap.end(), Later{});
+        heap.pop_back();
+    }
+}
+
+bool
+EventQueue::step()
+{
+    skipCancelled();
+    if (heap.empty())
+        return false;
+    std::pop_heap(heap.begin(), heap.end(), Later{});
+    Entry e = std::move(heap.back());
+    heap.pop_back();
+    _now = e.when;
+    --livePending;
+    ++firedCount;
+    e.cb();
+    return true;
+}
+
+Tick
+EventQueue::run()
+{
+    while (step()) {
+    }
+    return _now;
+}
+
+Tick
+EventQueue::runUntil(Tick limit)
+{
+    for (;;) {
+        skipCancelled();
+        if (heap.empty())
+            return _now;
+        if (heap.front().when > limit) {
+            _now = limit;
+            return _now;
+        }
+        step();
+    }
+}
+
+void
+EventQueue::reset(bool rewind_time)
+{
+    heap.clear();
+    cancelled.clear();
+    livePending = 0;
+    if (rewind_time)
+        _now = 0;
+}
+
+} // namespace hams

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The discrete-event simulation kernel.
+ *
+ * A single EventQueue owns simulated time. Components schedule callbacks
+ * at absolute or relative ticks; events scheduled for the same tick fire
+ * in FIFO order of scheduling, which keeps the simulation deterministic.
+ */
+
+#ifndef HAMS_SIM_EVENT_QUEUE_HH_
+#define HAMS_SIM_EVENT_QUEUE_HH_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace hams {
+
+/** Handle used to cancel a scheduled event. */
+using EventId = std::uint64_t;
+
+/**
+ * Deterministic discrete-event queue.
+ *
+ * Ties at the same tick are broken by scheduling order (a monotonically
+ * increasing sequence number), so two runs with identical inputs produce
+ * identical event interleavings. Cancellation is lazy: descheduled ids
+ * are skipped when they surface at the top of the heap.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue&) = delete;
+    EventQueue& operator=(const EventQueue&) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return _now; }
+
+    /**
+     * Schedule a callback @p delay ticks from now.
+     * @return an id usable with deschedule().
+     */
+    EventId schedule(Tick delay, Callback cb);
+
+    /** Schedule a callback at an absolute tick (must be >= now). */
+    EventId scheduleAt(Tick when, Callback cb);
+
+    /** Cancel a previously scheduled event. Safe on already-fired ids. */
+    void deschedule(EventId id);
+
+    /** Number of pending (non-cancelled) events. */
+    std::size_t pending() const { return livePending; }
+
+    /** True if no live events remain. */
+    bool empty() const { return livePending == 0; }
+
+    /** Run until the queue drains. @return the final tick. */
+    Tick run();
+
+    /**
+     * Run until the queue drains or simulated time passes @p limit.
+     * Events scheduled exactly at @p limit still fire.
+     * @return the final tick (== limit if stopped by the limit).
+     */
+    Tick runUntil(Tick limit);
+
+    /** Fire at most one live event. @return false if none remained. */
+    bool step();
+
+    /**
+     * Drop every pending event and optionally rewind time to zero.
+     * Used by power-failure injection: the machine's in-flight work
+     * simply vanishes.
+     */
+    void reset(bool rewind_time = false);
+
+    /** Total events fired since construction (for stats/tests). */
+    std::uint64_t fired() const { return firedCount; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        EventId id;
+        Callback cb;
+    };
+
+    // Min-heap ordering on (when, seq).
+    struct Later
+    {
+        bool
+        operator()(const Entry& a, const Entry& b) const
+        {
+            return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+        }
+    };
+
+    /** Pop cancelled entries off the heap top. */
+    void skipCancelled();
+
+    Tick _now = 0;
+    std::uint64_t nextSeq = 0;
+    EventId nextId = 1;
+    std::size_t livePending = 0;
+    std::uint64_t firedCount = 0;
+    std::vector<Entry> heap;
+    std::unordered_set<EventId> cancelled;
+};
+
+} // namespace hams
+
+#endif // HAMS_SIM_EVENT_QUEUE_HH_

@@ -1,0 +1,48 @@
+#include "sim/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hams {
+
+namespace {
+bool quietMode = false;
+} // namespace
+
+void
+setQuiet(bool quiet)
+{
+    quietMode = quiet;
+}
+
+namespace detail {
+
+void
+informImpl(const std::string& msg)
+{
+    if (!quietMode)
+        std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+void
+warnImpl(const std::string& msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+fatalImpl(const std::string& msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    throw FatalError(msg);
+}
+
+void
+panicImpl(const std::string& msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+} // namespace detail
+} // namespace hams

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * gem5-style status and error reporting: inform, warn, fatal, panic.
+ *
+ * fatal() reports a user/configuration error and throws FatalError so
+ * tests can assert on misconfiguration; panic() reports an internal
+ * simulator bug and aborts.
+ */
+
+#ifndef HAMS_SIM_LOGGING_HH_
+#define HAMS_SIM_LOGGING_HH_
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hams {
+
+/** Thrown by fatal() so configuration errors are testable. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+/** Fold any streamable argument pack into one string. */
+template <typename... Args>
+std::string
+format(Args&&... args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+void informImpl(const std::string& msg);
+void warnImpl(const std::string& msg);
+[[noreturn]] void fatalImpl(const std::string& msg);
+[[noreturn]] void panicImpl(const std::string& msg);
+
+} // namespace detail
+
+/** Print an informational status message to the console. */
+template <typename... Args>
+void
+inform(Args&&... args)
+{
+    detail::informImpl(detail::format(std::forward<Args>(args)...));
+}
+
+/** Warn about questionable but survivable behaviour. */
+template <typename... Args>
+void
+warn(Args&&... args)
+{
+    detail::warnImpl(detail::format(std::forward<Args>(args)...));
+}
+
+/** Report a user error (bad configuration) and throw FatalError. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args&&... args)
+{
+    detail::fatalImpl(detail::format(std::forward<Args>(args)...));
+}
+
+/** Report an internal bug that should never happen and abort. */
+template <typename... Args>
+[[noreturn]] void
+panic(Args&&... args)
+{
+    detail::panicImpl(detail::format(std::forward<Args>(args)...));
+}
+
+/** Suppress inform() output (benches use this to keep tables clean). */
+void setQuiet(bool quiet);
+
+} // namespace hams
+
+#endif // HAMS_SIM_LOGGING_HH_

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Deterministic xorshift128+ random number generator.
+ *
+ * Every stochastic choice in the simulator (workload addresses, SSD
+ * internal reordering jitter) draws from a seeded Rng so that tests and
+ * benches are exactly reproducible across runs and platforms.
+ */
+
+#ifndef HAMS_SIM_RNG_HH_
+#define HAMS_SIM_RNG_HH_
+
+#include <cstdint>
+
+namespace hams {
+
+/** Small, fast, seedable PRNG (xorshift128+). */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        // SplitMix64 seeding to decorrelate nearby seeds.
+        auto next = [&seed]() {
+            seed += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = seed;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            return z ^ (z >> 31);
+        };
+        s0 = next();
+        s1 = next();
+        if (s0 == 0 && s1 == 0)
+            s1 = 1;
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = s0;
+        const std::uint64_t y = s1;
+        s0 = y;
+        x ^= x << 23;
+        s1 = x ^ y ^ (x >> 17) ^ (y >> 26);
+        return s1 + y;
+    }
+
+    /** Uniform value in [0, bound). bound must be > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Bernoulli trial with probability @p p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+  private:
+    std::uint64_t s0;
+    std::uint64_t s1;
+};
+
+} // namespace hams
+
+#endif // HAMS_SIM_RNG_HH_

@@ -1,0 +1,18 @@
+#include "sim/stats.hh"
+
+#include <iomanip>
+
+namespace hams {
+
+void
+StatGroup::dump(std::ostream& os) const
+{
+    for (const auto& [k, s] : stats) {
+        os << std::left << std::setw(40) << (_name + "." + k) << " "
+           << std::right << std::setw(12) << s.count() << " "
+           << std::setw(16) << s.sum() << " "
+           << std::setw(14) << s.mean() << "\n";
+    }
+}
+
+} // namespace hams

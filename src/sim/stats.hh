@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Lightweight statistics: scalar counters, averages and histograms that
+ * components register by name and harnesses dump as tables.
+ */
+
+#ifndef HAMS_SIM_STATS_HH_
+#define HAMS_SIM_STATS_HH_
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace hams {
+
+/** A running scalar statistic with count/sum/min/max. */
+class Stat
+{
+  public:
+    void
+    sample(double v)
+    {
+        if (_count == 0 || v < _min)
+            _min = v;
+        if (_count == 0 || v > _max)
+            _max = v;
+        _sum += v;
+        ++_count;
+    }
+
+    void
+    add(double v)
+    {
+        _sum += v;
+        ++_count;
+    }
+
+    void
+    reset()
+    {
+        _count = 0;
+        _sum = 0;
+        _min = 0;
+        _max = 0;
+    }
+
+    std::uint64_t count() const { return _count; }
+    double sum() const { return _sum; }
+    double min() const { return _min; }
+    double max() const { return _max; }
+    double mean() const { return _count ? _sum / _count : 0.0; }
+
+  private:
+    std::uint64_t _count = 0;
+    double _sum = 0;
+    double _min = 0;
+    double _max = 0;
+};
+
+/**
+ * A named collection of statistics. Components create groups and register
+ * stats; the owner dumps everything in one table.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : _name(std::move(name)) {}
+
+    /** Find or create the named stat. */
+    Stat& stat(const std::string& name) { return stats[name]; }
+
+    /** Const lookup; returns nullptr if absent. */
+    const Stat*
+    find(const std::string& name) const
+    {
+        auto it = stats.find(name);
+        return it == stats.end() ? nullptr : &it->second;
+    }
+
+    const std::string& name() const { return _name; }
+
+    /** Reset every stat in the group. */
+    void
+    reset()
+    {
+        for (auto& [k, s] : stats)
+            s.reset();
+    }
+
+    /** Print "group.stat count sum mean" rows. */
+    void dump(std::ostream& os) const;
+
+  private:
+    std::string _name;
+    std::map<std::string, Stat> stats;
+};
+
+} // namespace hams
+
+#endif // HAMS_SIM_STATS_HH_

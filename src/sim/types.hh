@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Fundamental simulation types: the Tick timebase and unit helpers.
+ *
+ * One Tick equals one picosecond. All component latencies are expressed
+ * as integer Ticks so event ordering is exact and platform independent.
+ */
+
+#ifndef HAMS_SIM_TYPES_HH_
+#define HAMS_SIM_TYPES_HH_
+
+#include <cstdint>
+
+namespace hams {
+
+/** Simulation time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** Largest representable tick, used as "never". */
+constexpr Tick maxTick = ~Tick(0);
+
+/** @name Unit conversion helpers (all return Ticks). */
+///@{
+constexpr Tick
+picoseconds(std::uint64_t v)
+{
+    return v;
+}
+
+constexpr Tick
+nanoseconds(double v)
+{
+    return static_cast<Tick>(v * 1e3);
+}
+
+constexpr Tick
+microseconds(double v)
+{
+    return static_cast<Tick>(v * 1e6);
+}
+
+constexpr Tick
+milliseconds(double v)
+{
+    return static_cast<Tick>(v * 1e9);
+}
+
+constexpr Tick
+seconds(double v)
+{
+    return static_cast<Tick>(v * 1e12);
+}
+///@}
+
+/** Convert ticks back to floating-point seconds (for reporting). */
+constexpr double
+ticksToSeconds(Tick t)
+{
+    return static_cast<double>(t) * 1e-12;
+}
+
+/** Convert ticks to microseconds (for reporting). */
+constexpr double
+ticksToUs(Tick t)
+{
+    return static_cast<double>(t) * 1e-6;
+}
+
+/** Convert ticks to nanoseconds (for reporting). */
+constexpr double
+ticksToNs(Tick t)
+{
+    return static_cast<double>(t) * 1e-3;
+}
+
+/** @name Capacity helpers. */
+///@{
+constexpr std::uint64_t operator""_KiB(unsigned long long v)
+{
+    return v << 10;
+}
+
+constexpr std::uint64_t operator""_MiB(unsigned long long v)
+{
+    return v << 20;
+}
+
+constexpr std::uint64_t operator""_GiB(unsigned long long v)
+{
+    return v << 30;
+}
+///@}
+
+/** Byte address within a device or the MoS address pool. */
+using Addr = std::uint64_t;
+
+} // namespace hams
+
+#endif // HAMS_SIM_TYPES_HH_

@@ -1,0 +1,123 @@
+#include "ssd/device_configs.hh"
+
+#include "sim/logging.hh"
+
+namespace hams {
+
+namespace {
+
+/** Derive blocksPerPlane so the geometry's raw capacity matches. */
+std::uint32_t
+blocksFor(std::uint64_t raw_bytes, const FlashGeometry& g)
+{
+    std::uint64_t per_block =
+        std::uint64_t(g.pageSize) * g.pagesPerBlock * g.parallelUnits();
+    std::uint64_t blocks = raw_bytes / per_block;
+    if (blocks < 8)
+        fatal("requested SSD capacity too small for the geometry");
+    return static_cast<std::uint32_t>(blocks);
+}
+
+} // namespace
+
+SsdConfig
+ullFlashConfig(std::uint64_t raw_bytes, bool functional_data,
+               bool with_supercap, bool with_buffer)
+{
+    SsdConfig c;
+    c.name = "ull-flash";
+    c.geom.channels = 16;
+    c.geom.packagesPerChannel = 1;
+    c.geom.diesPerPackage = 4;
+    c.geom.planesPerDie = 2;
+    c.geom.pagesPerBlock = 256;
+    c.geom.pageSize = 2048; // dual-channel striping of 4 KiB accesses
+    c.geom.blocksPerPlane = blocksFor(raw_bytes, c.geom);
+    c.nand = NandTiming::zNand();
+    c.hil.readFirmware = microseconds(1.2);
+    c.hil.writeFirmware = microseconds(3.0);
+    c.hasBuffer = with_buffer;
+    c.buffer.capacity = 512ull << 20;
+    c.buffer.bandwidth = 6.4e9;
+    c.hasSupercap = with_supercap;
+    // The device sustains ~16 outstanding commands before its internal
+    // queues backpressure (paper SSIII-A).
+    c.maxOutstanding = 16;
+    c.functionalData = functional_data;
+    return c;
+}
+
+SsdConfig
+nvmeSsdConfig(std::uint64_t raw_bytes, bool functional_data)
+{
+    SsdConfig c;
+    c.name = "nvme-ssd";
+    c.geom.channels = 8;
+    c.geom.packagesPerChannel = 1;
+    c.geom.diesPerPackage = 4;
+    c.geom.planesPerDie = 2;
+    c.geom.pagesPerBlock = 256;
+    c.geom.pageSize = 4096;
+    c.geom.blocksPerPlane = blocksFor(raw_bytes, c.geom);
+    // Planar-MLC class media: 120 us / 30 us datasheet read/write.
+    c.nand.tR = microseconds(95);
+    c.nand.tPROG = microseconds(1200);
+    c.nand.tERASE = milliseconds(8);
+    c.nand.channelBandwidth = 0.64e9;
+    c.nand.cmdOverhead = nanoseconds(300);
+    c.hil.readFirmware = microseconds(8);
+    c.hil.writeFirmware = microseconds(20);
+    c.hasBuffer = true;
+    c.buffer.capacity = 512ull << 20;
+    c.buffer.bandwidth = 4.8e9;
+    c.maxOutstanding = 64;
+    c.functionalData = functional_data;
+    return c;
+}
+
+SsdConfig
+sataSsdConfig(std::uint64_t raw_bytes, bool functional_data)
+{
+    SsdConfig c;
+    c.name = "sata-ssd";
+    c.geom.channels = 8;
+    c.geom.packagesPerChannel = 1;
+    c.geom.diesPerPackage = 2;
+    c.geom.planesPerDie = 2;
+    c.geom.pagesPerBlock = 256;
+    c.geom.pageSize = 4096;
+    c.geom.blocksPerPlane = blocksFor(raw_bytes, c.geom);
+    c.nand.tR = microseconds(90);
+    c.nand.tPROG = microseconds(1300);
+    c.nand.tERASE = milliseconds(8);
+    c.nand.channelBandwidth = 0.4e9;
+    c.nand.cmdOverhead = nanoseconds(400);
+    c.hil.readFirmware = microseconds(15);
+    c.hil.writeFirmware = microseconds(30);
+    c.hasBuffer = true;
+    c.buffer.capacity = 256ull << 20;
+    c.buffer.bandwidth = 3.2e9;
+    c.maxOutstanding = 32;
+    c.functionalData = functional_data;
+    return c;
+}
+
+LinkConfig
+ullFlashLink()
+{
+    return LinkConfig::pcieGen3(4);
+}
+
+LinkConfig
+nvmeSsdLink()
+{
+    return LinkConfig::pcieGen3(4);
+}
+
+LinkConfig
+sataSsdLink()
+{
+    return LinkConfig::sata3();
+}
+
+} // namespace hams

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Preset device configurations for the three SSDs the paper evaluates:
+ * the ULL-Flash (Samsung Z-SSD class), a high-end NVMe SSD (Intel 750
+ * class) and a SATA SSD (Intel 535 class).
+ *
+ * Capacities default to 64 GiB of modelled media — large enough for
+ * every paper workload (max 44 GB) while keeping FTL metadata light;
+ * pass the paper's full 800 GB when desired.
+ */
+
+#ifndef HAMS_SSD_DEVICE_CONFIGS_HH_
+#define HAMS_SSD_DEVICE_CONFIGS_HH_
+
+#include <cstdint>
+
+#include "pcie/pcie_link.hh"
+#include "ssd/ssd.hh"
+
+namespace hams {
+
+/**
+ * Ultra-low-latency flash archive (Z-SSD class): Z-NAND media, 16
+ * channels, 2 KiB FTL units so each 4 KiB access stripes across two
+ * channels, 512 MiB internal buffer.
+ *
+ * @param raw_bytes raw media capacity
+ * @param functional_data allocate the byte-carrying data plane
+ * @param with_supercap HAMS adds supercaps so buffered data survives
+ *        power failure (paper SSIV-B)
+ * @param with_buffer advanced HAMS removes the internal DRAM entirely
+ */
+SsdConfig ullFlashConfig(std::uint64_t raw_bytes = 64ull << 30,
+                         bool functional_data = true,
+                         bool with_supercap = false,
+                         bool with_buffer = true);
+
+/** High-performance NVMe SSD (Intel 750 class): MLC media. */
+SsdConfig nvmeSsdConfig(std::uint64_t raw_bytes = 64ull << 30,
+                        bool functional_data = true);
+
+/** SATA SSD (Intel 535 class). */
+SsdConfig sataSsdConfig(std::uint64_t raw_bytes = 64ull << 30,
+                        bool functional_data = true);
+
+/** The host link each device ships with. */
+LinkConfig ullFlashLink();
+LinkConfig nvmeSsdLink();
+LinkConfig sataSsdLink();
+
+} // namespace hams
+
+#endif // HAMS_SSD_DEVICE_CONFIGS_HH_

@@ -1,0 +1,111 @@
+#include "ssd/dram_buffer.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace hams {
+
+DramBuffer::DramBuffer(const DramBufferConfig& cfg)
+    : cfg(cfg), capacityFrames(cfg.capacity / cfg.frameSize)
+{
+    if (capacityFrames == 0)
+        fatal("DRAM buffer smaller than one frame");
+}
+
+Tick
+DramBuffer::access(std::uint32_t bytes, Tick at)
+{
+    Tick start = std::max(at, busyUntil);
+    auto occupancy = static_cast<Tick>(
+        static_cast<double>(bytes) / cfg.bandwidth * 1e12);
+    Tick done = start + cfg.accessLatency + occupancy;
+    busyUntil = start + occupancy;
+    _bytesAccessed += bytes;
+    return done;
+}
+
+bool
+DramBuffer::lookup(std::uint64_t key)
+{
+    auto it = frames.find(key);
+    if (it == frames.end())
+        return false;
+    lru.erase(it->second.lruIt);
+    lru.push_front(key);
+    it->second.lruIt = lru.begin();
+    return true;
+}
+
+bool
+DramBuffer::isDirty(std::uint64_t key) const
+{
+    auto it = frames.find(key);
+    return it != frames.end() && it->second.dirty;
+}
+
+BufferEviction
+DramBuffer::insert(std::uint64_t key, bool dirty)
+{
+    BufferEviction ev;
+    auto it = frames.find(key);
+    if (it != frames.end()) {
+        lru.erase(it->second.lruIt);
+        lru.push_front(key);
+        it->second.lruIt = lru.begin();
+        it->second.dirty = it->second.dirty || dirty;
+        return ev;
+    }
+
+    if (frames.size() >= capacityFrames) {
+        std::uint64_t victim = lru.back();
+        auto vit = frames.find(victim);
+        ev.happened = true;
+        ev.dirty = vit->second.dirty;
+        ev.frameKey = victim;
+        lru.pop_back();
+        frames.erase(vit);
+    }
+
+    lru.push_front(key);
+    frames[key] = FrameInfo{lru.begin(), dirty};
+    return ev;
+}
+
+void
+DramBuffer::markClean(std::uint64_t key)
+{
+    auto it = frames.find(key);
+    if (it != frames.end())
+        it->second.dirty = false;
+}
+
+void
+DramBuffer::erase(std::uint64_t key)
+{
+    auto it = frames.find(key);
+    if (it == frames.end())
+        return;
+    lru.erase(it->second.lruIt);
+    frames.erase(it);
+}
+
+std::vector<std::uint64_t>
+DramBuffer::dirtyFrames() const
+{
+    std::vector<std::uint64_t> out;
+    for (const auto& [key, info] : frames)
+        if (info.dirty)
+            out.push_back(key);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+void
+DramBuffer::dropAll()
+{
+    lru.clear();
+    frames.clear();
+}
+
+} // namespace hams

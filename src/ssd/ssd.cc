@@ -1,0 +1,217 @@
+#include "ssd/ssd.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace hams {
+
+Ssd::Ssd(const SsdConfig& cfg) : cfg(cfg)
+{
+    fil = std::make_unique<Fil>(cfg.geom, cfg.nand);
+    ftl = std::make_unique<PageFtl>(cfg.geom, *fil, cfg.ftl);
+    if (cfg.hasBuffer)
+        buf = std::make_unique<DramBuffer>(cfg.buffer);
+    hil = std::make_unique<Hil>(cfg.hil, *ftl, buf.get(), cfg.geom);
+
+    _logicalBlocks =
+        ftl->logicalPages() * cfg.geom.pageSize / nvmeBlockSize;
+    if (_logicalBlocks == 0)
+        fatal("SSD '", cfg.name, "' exports zero capacity");
+
+    if (cfg.functionalData)
+        store = std::make_unique<SparseMemory>(
+            _logicalBlocks * std::uint64_t(nvmeBlockSize));
+}
+
+Tick
+Ssd::admit(Tick at)
+{
+    while (!inflight.empty() && inflight.top() <= at)
+        inflight.pop();
+    if (inflight.size() >= cfg.maxOutstanding) {
+        ++_stats.throttledCommands;
+        at = std::max(at, inflight.top());
+        inflight.pop();
+    }
+    return at;
+}
+
+void
+Ssd::retire(Tick done)
+{
+    inflight.push(done);
+}
+
+void
+Ssd::destage(std::uint64_t block)
+{
+    auto it = volatileData.find(block);
+    if (it == volatileData.end())
+        return;
+    if (store)
+        store->write(block * nvmeBlockSize, it->second.data(),
+                     nvmeBlockSize);
+    volatileData.erase(it);
+}
+
+Tick
+Ssd::hostRead(std::uint64_t slba, std::uint32_t blocks, Tick at,
+              std::uint8_t* dst)
+{
+    if (slba + blocks > _logicalBlocks)
+        fatal("read beyond SSD '", cfg.name, "' capacity");
+
+    Tick start = admit(at);
+    Tick done = start;
+    for (std::uint32_t i = 0; i < blocks; ++i) {
+        std::uint64_t block = slba + i;
+        bool hit = false;
+        done = std::max(done, hil->readBlock(block, start, hit));
+        if (hit)
+            ++_stats.bufferHits;
+        else
+            ++_stats.bufferMisses;
+
+        if (dst) {
+            std::uint8_t* out = dst + std::size_t(i) * nvmeBlockSize;
+            auto vit = volatileData.find(block);
+            if (vit != volatileData.end())
+                std::memcpy(out, vit->second.data(), nvmeBlockSize);
+            else if (store)
+                store->read(block * nvmeBlockSize, out, nvmeBlockSize);
+            else
+                std::memset(out, 0, nvmeBlockSize);
+        }
+    }
+    retire(done);
+    return done;
+}
+
+Tick
+Ssd::hostWrite(std::uint64_t slba, std::uint32_t blocks, bool fua, Tick at,
+               const std::uint8_t* src)
+{
+    if (slba + blocks > _logicalBlocks)
+        fatal("write beyond SSD '", cfg.name, "' capacity");
+    if (fua)
+        ++_stats.fuaWrites;
+
+    Tick start = admit(at);
+    Tick done = start;
+    bool buffered = buf && !fua;
+    for (std::uint32_t i = 0; i < blocks; ++i) {
+        std::uint64_t block = slba + i;
+        BufferEviction ev;
+        done = std::max(done, hil->writeBlock(block, fua, start, ev));
+        if (ev.happened && ev.dirty)
+            destage(ev.frameKey);
+
+        if (src) {
+            const std::uint8_t* in = src + std::size_t(i) * nvmeBlockSize;
+            if (buffered) {
+                auto& frame = volatileData[block];
+                frame.assign(in, in + nvmeBlockSize);
+            } else if (store) {
+                store->write(block * nvmeBlockSize, in, nvmeBlockSize);
+                volatileData.erase(block);
+            }
+        } else if (!buffered) {
+            // Timing-only run can still destage stale volatile bytes.
+            destage(block);
+        }
+    }
+    retire(done);
+    return done;
+}
+
+void
+Ssd::pokeWrite(std::uint64_t slba, std::uint32_t blocks, bool fua,
+               const std::uint8_t* src)
+{
+    if (slba + blocks > _logicalBlocks)
+        fatal("pokeWrite beyond SSD '", cfg.name, "' capacity");
+    bool buffered = buf && !fua;
+    for (std::uint32_t i = 0; i < blocks; ++i) {
+        std::uint64_t block = slba + i;
+        const std::uint8_t* in = src + std::size_t(i) * nvmeBlockSize;
+        if (buffered) {
+            auto& frame = volatileData[block];
+            frame.assign(in, in + nvmeBlockSize);
+        } else if (store) {
+            store->write(block * nvmeBlockSize, in, nvmeBlockSize);
+            volatileData.erase(block);
+        }
+    }
+}
+
+Tick
+Ssd::hostFlush(Tick at)
+{
+    ++_stats.flushes;
+    Tick done = hil->flushAll(admit(at));
+    // Functionally everything buffered becomes durable.
+    std::vector<std::uint64_t> keys;
+    keys.reserve(volatileData.size());
+    for (auto& [k, v] : volatileData)
+        keys.push_back(k);
+    for (std::uint64_t k : keys)
+        destage(k);
+    retire(done);
+    return done;
+}
+
+Tick
+Ssd::powerFail()
+{
+    Tick drain = 0;
+    if (cfg.hasSupercap && buf) {
+        // The supercap powers a full buffer drain: every dirty frame is
+        // programmed before the device dies. Model the drain as the
+        // aggregate program throughput of the flash complex.
+        auto dirty = buf->dirtyFrames();
+        if (!dirty.empty()) {
+            double pages_per_sec =
+                static_cast<double>(cfg.geom.parallelUnits()) /
+                (static_cast<double>(cfg.nand.tPROG) * 1e-12);
+            double frames_per_sec =
+                pages_per_sec * cfg.geom.pageSize / nvmeBlockSize;
+            drain = seconds(dirty.size() / frames_per_sec);
+            for (std::uint64_t k : dirty)
+                destage(k);
+        }
+    } else {
+        // No supercap: buffered writes that never reached flash are gone.
+        volatileData.clear();
+    }
+    if (buf)
+        buf->dropAll();
+    return drain;
+}
+
+void
+Ssd::powerRestore()
+{
+    fil->reset();
+    while (!inflight.empty())
+        inflight.pop();
+}
+
+void
+Ssd::peek(std::uint64_t slba, std::uint32_t blocks, std::uint8_t* dst) const
+{
+    for (std::uint32_t i = 0; i < blocks; ++i) {
+        std::uint64_t block = slba + i;
+        std::uint8_t* out = dst + std::size_t(i) * nvmeBlockSize;
+        auto vit = volatileData.find(block);
+        if (vit != volatileData.end())
+            std::memcpy(out, vit->second.data(), nvmeBlockSize);
+        else if (store)
+            store->read(block * nvmeBlockSize, out, nvmeBlockSize);
+        else
+            std::memset(out, 0, nvmeBlockSize);
+    }
+}
+
+} // namespace hams

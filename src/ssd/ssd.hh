@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Full SSD device model: HIL + FTL + FIL + internal DRAM buffer, with a
+ * functional data plane and power-failure semantics.
+ *
+ * The same class instantiates the ULL-Flash (Z-NAND, dual-channel
+ * striping, optional supercap per the HAMS design), the comparison NVMe
+ * SSD (V-NAND/TLC class) and the SATA SSD, differing only in SsdConfig.
+ */
+
+#ifndef HAMS_SSD_SSD_HH_
+#define HAMS_SSD_SSD_HH_
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "flash/fil.hh"
+#include "ftl/page_ftl.hh"
+#include "mem/sparse_memory.hh"
+#include "ssd/dram_buffer.hh"
+#include "ssd/hil.hh"
+#include "sim/types.hh"
+
+namespace hams {
+
+/** Complete configuration of one SSD device. */
+struct SsdConfig
+{
+    std::string name = "ssd";
+    FlashGeometry geom;
+    NandTiming nand = NandTiming::zNand();
+    FtlConfig ftl;
+    HilConfig hil;
+    bool hasBuffer = true;
+    DramBufferConfig buffer;
+    /** Supercap drains the volatile buffer to flash on power loss. */
+    bool hasSupercap = false;
+    /** Device-internal outstanding-command limit. */
+    std::uint32_t maxOutstanding = 64;
+    /** Allocate a functional (byte-carrying) data plane. */
+    bool functionalData = true;
+};
+
+/** Device statistics beyond FTL/flash counters. */
+struct SsdStats
+{
+    std::uint64_t bufferHits = 0;
+    std::uint64_t bufferMisses = 0;
+    std::uint64_t fuaWrites = 0;
+    std::uint64_t flushes = 0;
+    std::uint64_t throttledCommands = 0; //!< delayed by maxOutstanding
+};
+
+/**
+ * One SSD. Host-visible operations are 4 KiB-block granular; timing and
+ * (optionally) bytes move together so crash tests observe exactly what a
+ * real device would lose.
+ */
+class Ssd
+{
+  public:
+    explicit Ssd(const SsdConfig& cfg);
+
+    /** Exported capacity in 4 KiB logical blocks (after FTL OP). */
+    std::uint64_t logicalBlocks() const { return _logicalBlocks; }
+
+    /** Exported capacity in bytes. */
+    std::uint64_t capacityBytes() const
+    {
+        return _logicalBlocks * nvmeBlockSize;
+    }
+
+    /**
+     * Timed+functional read. @p dst (if non-null) receives
+     * blocks*4096 bytes.
+     * @return completion tick.
+     */
+    Tick hostRead(std::uint64_t slba, std::uint32_t blocks, Tick at,
+                  std::uint8_t* dst = nullptr);
+
+    /**
+     * Timed+functional write. @p src (if non-null) supplies
+     * blocks*4096 bytes. FUA forces write-through to flash.
+     * @return completion tick.
+     */
+    Tick hostWrite(std::uint64_t slba, std::uint32_t blocks, bool fua,
+                   Tick at, const std::uint8_t* src = nullptr);
+
+    /** Flush the volatile buffer to flash. */
+    Tick hostFlush(Tick at);
+
+    /**
+     * Functional-only write used by DMA engines that pull host bytes at
+     * their actual transfer tick (the timing ran earlier through
+     * hostWrite with a null payload). Mirrors hostWrite's durability
+     * decision: buffered writes land in the volatile buffer, FUA or
+     * bufferless writes land in the durable store.
+     */
+    void pokeWrite(std::uint64_t slba, std::uint32_t blocks, bool fua,
+                   const std::uint8_t* src);
+
+    /**
+     * Power loss. With a supercap, dirty buffer contents drain to flash
+     * (both functionally and in time); without one they are lost.
+     * @return the time the drain took (0 without supercap).
+     */
+    Tick powerFail();
+
+    /** Bring the device back up (clears transient busy state). */
+    void powerRestore();
+
+    /** @name Introspection for tests and benches. */
+    ///@{
+    const SsdConfig& config() const { return cfg; }
+    const SsdStats& stats() const { return _stats; }
+    const FtlStats& ftlStats() const { return ftl->stats(); }
+    const FlashActivity& flashActivity() const { return fil->activity(); }
+    DramBuffer* buffer() { return buf.get(); }
+    PageFtl& pageFtl() { return *ftl; }
+    Fil& flashLayer() { return *fil; }
+    std::uint64_t bufferBytesAccessed() const
+    {
+        return buf ? buf->bytesAccessed() : 0;
+    }
+
+    /** Read bytes for verification without timing effects. */
+    void peek(std::uint64_t slba, std::uint32_t blocks,
+              std::uint8_t* dst) const;
+    ///@}
+
+  private:
+    /** Apply internal queue-depth throttling to a start tick. */
+    Tick admit(Tick at);
+
+    /** Record a command's completion for queue accounting. */
+    void retire(Tick done);
+
+    /** Move a volatile frame's bytes into the durable store. */
+    void destage(std::uint64_t block);
+
+    SsdConfig cfg;
+    std::uint64_t _logicalBlocks;
+    std::unique_ptr<Fil> fil;
+    std::unique_ptr<PageFtl> ftl;
+    std::unique_ptr<DramBuffer> buf;
+    std::unique_ptr<Hil> hil;
+    SsdStats _stats;
+
+    /** Durable (flash-backed) contents, 4 KiB frames, LBA space. */
+    std::unique_ptr<SparseMemory> store;
+    /** Buffered-but-unflushed contents (lost without supercap). */
+    std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> volatileData;
+
+    /** Outstanding-command completion times (min-heap). */
+    std::priority_queue<Tick, std::vector<Tick>, std::greater<>> inflight;
+};
+
+} // namespace hams
+
+#endif // HAMS_SSD_SSD_HH_

@@ -1,0 +1,195 @@
+#include "workload/workload.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace hams {
+
+SyntheticWorkload::SyntheticWorkload(const WorkloadSpec& spec,
+                                     std::uint64_t seed)
+    : _spec(spec), seed(seed), rng(seed)
+{
+    if (_spec.datasetBytes < (1u << 20))
+        fatal("workload dataset too small: ", _spec.datasetBytes);
+
+    // Reserve a WAL tail when the workload journals.
+    if (_spec.walBytesPerOp > 0) {
+        walBytes = std::max<std::uint64_t>(_spec.datasetBytes / 16,
+                                           1u << 20);
+        dataBytes = _spec.datasetBytes - walBytes;
+        walBase = dataBytes;
+    } else {
+        dataBytes = _spec.datasetBytes;
+        walBase = 0;
+        walBytes = 0;
+    }
+    reset();
+}
+
+void
+SyntheticWorkload::reset()
+{
+    rng = Rng(seed);
+    phase = Phase::Btree;
+    phaseLeft = _spec.btreeTouches;
+    seqCursor = 0;
+    walCursor = 0;
+    lastPage = ~Addr(0);
+    opsEmitted = 0;
+    opRowBase = 0;
+    if (phaseLeft == 0) {
+        phase = Phase::Data;
+        phaseLeft = _spec.accessesPerOp;
+    }
+}
+
+Addr
+SyntheticWorkload::randomDataPage()
+{
+    std::uint64_t pages = dataBytes / 4096;
+    if (_spec.hotFraction > 0 && rng.chance(_spec.hotProbability)) {
+        auto hot = static_cast<std::uint64_t>(
+            static_cast<double>(pages) * _spec.hotFraction);
+        return rng.below(std::max<std::uint64_t>(hot, 1)) * 4096;
+    }
+    return rng.below(pages) * 4096;
+}
+
+Addr
+SyntheticWorkload::pickDataAddr()
+{
+    if (_spec.pattern == AccessPattern::Sequential) {
+        Addr a = seqCursor;
+        seqCursor += 64;
+        if (seqCursor + 64 > dataBytes)
+            seqCursor = 0;
+        return a;
+    }
+    // Random: rows cluster within the per-op row base so one op touches
+    // one neighbourhood, like a random row fetch.
+    Addr a = opRowBase + (phaseLeft % _spec.accessesPerOp) * 64;
+    if (a + 64 > dataBytes)
+        a = a % (dataBytes - 64);
+    return a & ~Addr(63);
+}
+
+bool
+SyntheticWorkload::next(WorkloadOp& op)
+{
+    op = WorkloadOp{};
+    op.computeInstructions = _spec.computePerAccess;
+
+    switch (phase) {
+      case Phase::Btree: {
+        // Two hot index levels (they stay cache resident) plus a
+        // uniformly random leaf page.
+        Addr addr;
+        if (phaseLeft > 1) {
+            // Hot level: one of 32 branch pages near the start.
+            addr = (rng.below(32) * 4096 + rng.below(64) * 64) %
+                   (dataBytes - 64);
+        } else {
+            addr = randomDataPage() + rng.below(64) * 64;
+            if (addr + 64 > dataBytes)
+                addr = dataBytes - 4096;
+        }
+        op.hasAccess = true;
+        op.access = MemAccess{addr & ~Addr(63), 64, MemOp::Read};
+        if (--phaseLeft == 0) {
+            phase = Phase::Data;
+            phaseLeft = _spec.accessesPerOp;
+            if (_spec.pattern == AccessPattern::Random)
+                opRowBase = randomDataPage();
+        }
+        break;
+      }
+      case Phase::Data: {
+        if (_spec.pattern == AccessPattern::Random &&
+            phaseLeft == _spec.accessesPerOp && _spec.btreeTouches == 0)
+            opRowBase = randomDataPage();
+        Addr addr = pickDataAddr();
+        bool is_read = rng.uniform() < _spec.readFraction;
+        op.hasAccess = true;
+        op.access = MemAccess{addr, 64,
+                              is_read ? MemOp::Read : MemOp::Write};
+        if (--phaseLeft == 0) {
+            if (_spec.walBytesPerOp > 0) {
+                phase = Phase::Wal;
+                phaseLeft = (_spec.walBytesPerOp + 63) / 64;
+            } else {
+                phase = Phase::Boundary;
+                phaseLeft = 1;
+            }
+        }
+        break;
+      }
+      case Phase::Wal: {
+        Addr addr = walBase + walCursor;
+        walCursor += 64;
+        if (walCursor + 64 > walBytes)
+            walCursor = 0;
+        op.hasAccess = true;
+        op.access = MemAccess{addr, 64, MemOp::Write};
+        if (--phaseLeft == 0) {
+            phase = Phase::Boundary;
+            phaseLeft = 1;
+        }
+        break;
+      }
+      case Phase::Boundary: {
+        op.opBoundary = true;
+        ++opsEmitted;
+        if (_spec.flushEveryOps > 0 &&
+            opsEmitted % _spec.flushEveryOps == 0)
+            op.flushBarrier = true;
+        phase = _spec.btreeTouches > 0 ? Phase::Btree : Phase::Data;
+        phaseLeft = _spec.btreeTouches > 0 ? _spec.btreeTouches
+                                           : _spec.accessesPerOp;
+        break;
+      }
+    }
+
+    if (op.hasAccess) {
+        Addr page = op.access.addr / 4096;
+        if (page != lastPage) {
+            op.newPage = true;
+            lastPage = page;
+        }
+    }
+    return true; // endless stream; the core enforces the budget
+}
+
+std::unique_ptr<WorkloadGenerator>
+makeWorkload(const std::string& name, std::uint64_t dataset_bytes,
+             std::uint64_t seed)
+{
+    for (const auto& n : microWorkloadNames())
+        if (n == name)
+            return std::make_unique<SyntheticWorkload>(
+                microSpec(name, dataset_bytes), seed);
+    for (const auto& n : sqliteWorkloadNames())
+        if (n == name)
+            return std::make_unique<SyntheticWorkload>(
+                sqliteSpec(name, dataset_bytes), seed);
+    for (const auto& n : rodiniaWorkloadNames())
+        if (n == name)
+            return std::make_unique<SyntheticWorkload>(
+                rodiniaSpec(name, dataset_bytes), seed);
+    fatal("unknown workload '", name, "'");
+}
+
+std::vector<std::string>
+allWorkloadNames()
+{
+    std::vector<std::string> all;
+    for (const auto& n : microWorkloadNames())
+        all.push_back(n);
+    for (const auto& n : rodiniaWorkloadNames())
+        all.push_back(n);
+    for (const auto& n : sqliteWorkloadNames())
+        all.push_back(n);
+    return all;
+}
+
+} // namespace hams

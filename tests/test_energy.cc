@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Energy-model tests: DRAM/flash/CPU models and the qualitative
+ * properties Fig. 19 relies on (internal-DRAM overhead, idle cost of a
+ * slow platform).
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/cpu_power.hh"
+#include "energy/dram_power.hh"
+#include "energy/energy_meter.hh"
+#include "energy/flash_power.hh"
+
+namespace hams {
+namespace {
+
+TEST(DramPower, BackgroundScalesWithTime)
+{
+    DramPowerModel m;
+    DramActivity idle;
+    double e1 = m.energyJ(idle, seconds(1), 2);
+    double e2 = m.energyJ(idle, seconds(2), 2);
+    EXPECT_NEAR(e2, 2 * e1, e1 * 1e-9);
+    EXPECT_GT(e1, 0.0);
+}
+
+TEST(DramPower, OperationsAddEnergy)
+{
+    DramPowerModel m;
+    DramActivity busy;
+    busy.activates = 1000;
+    busy.reads = 10000;
+    busy.writes = 10000;
+    DramActivity idle;
+    EXPECT_GT(m.energyJ(busy, seconds(1), 2),
+              m.energyJ(idle, seconds(1), 2));
+}
+
+TEST(DramPower, MoreRanksMoreBackground)
+{
+    DramPowerModel m;
+    DramActivity idle;
+    EXPECT_GT(m.energyJ(idle, seconds(1), 8),
+              m.energyJ(idle, seconds(1), 2));
+}
+
+TEST(FlashPower, ProgramCostsMoreThanRead)
+{
+    FlashPowerModel m{FlashPowerParams::zNand()};
+    FlashActivity reads, progs;
+    reads.reads = 1000;
+    progs.programs = 1000;
+    EXPECT_GT(m.energyJ(progs, 0, 64), m.energyJ(reads, 0, 64));
+}
+
+TEST(FlashPower, VNandCostsMoreThanZNandPerOp)
+{
+    FlashActivity act;
+    act.reads = 1000;
+    FlashPowerModel z{FlashPowerParams::zNand()};
+    FlashPowerModel v{FlashPowerParams::vNand()};
+    EXPECT_GT(v.energyJ(act, 0, 64), z.energyJ(act, 0, 64));
+}
+
+TEST(FlashPower, IdleScalesWithDies)
+{
+    FlashPowerModel m{FlashPowerParams::zNand()};
+    FlashActivity idle;
+    EXPECT_GT(m.energyJ(idle, seconds(1), 128),
+              m.energyJ(idle, seconds(1), 32));
+}
+
+TEST(CpuPower, ActiveCostsMoreThanStalled)
+{
+    CpuPowerModel m;
+    EXPECT_GT(m.energyJ(seconds(1), 0), m.energyJ(0, seconds(1)));
+}
+
+TEST(CpuPower, SlowPlatformBurnsIdleEnergy)
+{
+    // The paper's Fig. 19 observation: mmap's longer runtime costs CPU
+    // and memory idle energy even though the work is the same.
+    CpuPowerModel m;
+    Tick active = seconds(1);
+    double fast = m.energyJ(active, seconds(0.2));
+    double slow = m.energyJ(active, seconds(3.0));
+    EXPECT_GT(slow, 1.5 * fast);
+}
+
+TEST(EnergyMeter, BreakdownSumsAndAccumulates)
+{
+    EnergyBreakdownJ a{1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(a.total(), 10.0);
+    EnergyBreakdownJ b{0.5, 0.5, 0.5, 0.5};
+    a += b;
+    EXPECT_DOUBLE_EQ(a.total(), 12.0);
+    EXPECT_DOUBLE_EQ(a.cpu, 1.5);
+}
+
+TEST(EnergyMeter, InternalDramIsMeaningfulShare)
+{
+    // Paper SSIV-C: the SSD-internal DRAM draws 17% more power than a
+    // 32-chip flash complex; in our constants an idle 512 MB module
+    // must cost more per second than 32 idle dies.
+    DramPowerModel dram;
+    FlashPowerModel flash{FlashPowerParams::zNand()};
+    DramActivity d_idle;
+    FlashActivity f_idle;
+    double dram_j = dram.energyJ(d_idle, seconds(1), 1);
+    double flash_j = flash.energyJ(f_idle, seconds(1), 32);
+    EXPECT_GT(dram_j, flash_j * 0.5);
+}
+
+} // namespace
+} // namespace hams

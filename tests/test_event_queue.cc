@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Unit tests for the DES kernel: ordering, determinism, cancellation,
+ * time limits and reset semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+
+namespace hams {
+namespace {
+
+TEST(EventQueue, StartsAtTickZeroAndEmpty)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.pending(), 0u);
+}
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameTickFiresFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        eq.schedule(100, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, NestedSchedulingWorks)
+{
+    EventQueue eq;
+    std::vector<Tick> fire_times;
+    eq.schedule(5, [&] {
+        fire_times.push_back(eq.now());
+        eq.schedule(5, [&] { fire_times.push_back(eq.now()); });
+    });
+    eq.run();
+    ASSERT_EQ(fire_times.size(), 2u);
+    EXPECT_EQ(fire_times[0], 5u);
+    EXPECT_EQ(fire_times[1], 10u);
+}
+
+TEST(EventQueue, DescheduleCancelsEvent)
+{
+    EventQueue eq;
+    bool fired = false;
+    EventId id = eq.schedule(10, [&] { fired = true; });
+    eq.deschedule(id);
+    eq.run();
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(eq.pending(), 0u);
+}
+
+TEST(EventQueue, DescheduleIsIdempotent)
+{
+    EventQueue eq;
+    EventId id = eq.schedule(10, [] {});
+    eq.deschedule(id);
+    eq.deschedule(id);
+    eq.deschedule(999999); // unknown ids are ignored
+    EXPECT_EQ(eq.pending(), 0u);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue eq;
+    int count = 0;
+    eq.schedule(10, [&] { ++count; });
+    eq.schedule(20, [&] { ++count; });
+    eq.schedule(30, [&] { ++count; });
+    Tick t = eq.runUntil(20);
+    EXPECT_EQ(t, 20u);
+    EXPECT_EQ(count, 2); // the event exactly at the limit fires
+    EXPECT_EQ(eq.pending(), 1u);
+}
+
+TEST(EventQueue, RunUntilAdvancesTimeToLimitWhenIdle)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.runUntil(40);
+    EXPECT_EQ(eq.now(), 40u);
+}
+
+TEST(EventQueue, StepFiresExactlyOne)
+{
+    EventQueue eq;
+    int count = 0;
+    eq.schedule(1, [&] { ++count; });
+    eq.schedule(2, [&] { ++count; });
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(count, 1);
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(count, 2);
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, ResetDropsPendingEvents)
+{
+    EventQueue eq;
+    bool fired = false;
+    eq.schedule(10, [&] { fired = true; });
+    eq.reset();
+    eq.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, ResetCanRewindTime)
+{
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    eq.run();
+    EXPECT_EQ(eq.now(), 10u);
+    eq.reset(/*rewind_time=*/true);
+    EXPECT_EQ(eq.now(), 0u);
+}
+
+TEST(EventQueue, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    eq.run();
+    EXPECT_DEATH(eq.scheduleAt(5, [] {}), "in the past");
+}
+
+TEST(EventQueue, FiredCounterCounts)
+{
+    EventQueue eq;
+    for (int i = 0; i < 5; ++i)
+        eq.schedule(i, [] {});
+    eq.run();
+    EXPECT_EQ(eq.fired(), 5u);
+}
+
+TEST(EventQueue, ManyEventsKeepStrictOrder)
+{
+    EventQueue eq;
+    Rng rng(7);
+    Tick last = 0;
+    bool monotonic = true;
+    for (int i = 0; i < 2000; ++i) {
+        eq.schedule(rng.below(10000), [&] {
+            monotonic = monotonic && eq.now() >= last;
+            last = eq.now();
+        });
+    }
+    eq.run();
+    EXPECT_TRUE(monotonic);
+}
+
+TEST(RngTest, Deterministic)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformInRange)
+{
+    Rng r(9);
+    for (int i = 0; i < 1000; ++i) {
+        double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        EXPECT_LT(r.below(17), 17u);
+    }
+}
+
+} // namespace
+} // namespace hams

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Flash substrate tests: address codec, Z-NAND timing, FIL scheduling
+ * and the parallelism properties the ULL-Flash design relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "flash/fil.hh"
+#include "flash/nand_timing.hh"
+
+namespace hams {
+namespace {
+
+FlashGeometry
+smallGeom()
+{
+    FlashGeometry g;
+    g.channels = 4;
+    g.packagesPerChannel = 1;
+    g.diesPerPackage = 2;
+    g.planesPerDie = 2;
+    g.blocksPerPlane = 16;
+    g.pagesPerBlock = 32;
+    g.pageSize = 2048;
+    return g;
+}
+
+TEST(FlashAddress, RoundTripsAllFields)
+{
+    FlashGeometry g = smallGeom();
+    for (std::uint64_t ppn = 0; ppn < g.totalPages(); ppn += 97) {
+        FlashAddress a = FlashAddress::decompose(ppn, g);
+        EXPECT_EQ(a.flatten(g), ppn);
+        EXPECT_LT(a.channel, g.channels);
+        EXPECT_LT(a.die, g.diesPerPackage);
+        EXPECT_LT(a.plane, g.planesPerDie);
+        EXPECT_LT(a.block, g.blocksPerPlane);
+        EXPECT_LT(a.page, g.pagesPerBlock);
+    }
+}
+
+TEST(FlashAddress, ParallelUnitIndexIsDense)
+{
+    FlashGeometry g = smallGeom();
+    std::vector<bool> seen(g.parallelUnits(), false);
+    for (std::uint32_t ch = 0; ch < g.channels; ++ch)
+        for (std::uint32_t d = 0; d < g.diesPerPackage; ++d)
+            for (std::uint32_t pl = 0; pl < g.planesPerDie; ++pl) {
+                FlashAddress a{ch, 0, d, pl, 0, 0};
+                ASSERT_LT(a.parallelUnit(g), g.parallelUnits());
+                seen[a.parallelUnit(g)] = true;
+            }
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+TEST(FlashAddress, ConsecutiveUnitsRotateChannels)
+{
+    // Channel must be the innermost PU dimension so the FTL's
+    // round-robin write allocation stripes across buses (the property
+    // the ULL-Flash dual-channel split relies on).
+    FlashGeometry g = smallGeom();
+    std::uint64_t unit_pages = g.pagesPerPlane();
+    FlashAddress u0 = FlashAddress::decompose(0, g);
+    FlashAddress u1 = FlashAddress::decompose(unit_pages, g);
+    EXPECT_NE(u0.channel, u1.channel);
+}
+
+TEST(FlashGeometry, CapacityArithmetic)
+{
+    FlashGeometry g = smallGeom();
+    EXPECT_EQ(g.parallelUnits(), 16u);
+    EXPECT_EQ(g.totalPages(), 16u * 16 * 32);
+    EXPECT_EQ(g.rawCapacity(), g.totalPages() * 2048);
+}
+
+TEST(NandTiming, ZNandMatchesPaper)
+{
+    NandTiming z = NandTiming::zNand();
+    EXPECT_EQ(z.tR, microseconds(3));
+    EXPECT_EQ(z.tPROG, microseconds(100));
+}
+
+TEST(NandTiming, VNandRatiosMatchPaper)
+{
+    // V-NAND read/write are 15x/7x slower than Z-NAND (SSII-C).
+    NandTiming z = NandTiming::zNand();
+    NandTiming v = NandTiming::vNand();
+    EXPECT_EQ(v.tR, z.tR * 15);
+    EXPECT_EQ(v.tPROG, z.tPROG * 7);
+}
+
+TEST(NandTiming, TransferTimeScalesWithSize)
+{
+    NandTiming z = NandTiming::zNand();
+    Tick t2k = z.transferTime(2048);
+    Tick t4k = z.transferTime(4096);
+    EXPECT_GT(t4k, t2k);
+    EXPECT_NEAR(static_cast<double>(t4k - z.cmdOverhead),
+                2.0 * static_cast<double>(t2k - z.cmdOverhead),
+                static_cast<double>(t2k) * 0.01);
+}
+
+TEST(Fil, ReadLatencyIsCellPlusTransfer)
+{
+    Fil fil(smallGeom(), NandTiming::zNand());
+    Tick done = fil.submit({FlashOp::Type::Read, 0, 2048}, 0);
+    NandTiming z = NandTiming::zNand();
+    Tick expected = z.cmdOverhead + z.tR + z.transferTime(2048);
+    EXPECT_EQ(done, expected);
+}
+
+TEST(Fil, ProgramLatencyIsTransferPlusCell)
+{
+    Fil fil(smallGeom(), NandTiming::zNand());
+    Tick done = fil.submit({FlashOp::Type::Program, 0, 2048}, 0);
+    NandTiming z = NandTiming::zNand();
+    EXPECT_GE(done, z.tPROG);
+    EXPECT_LT(done, z.tPROG + microseconds(3));
+}
+
+TEST(Fil, DifferentChannelsRunConcurrently)
+{
+    FlashGeometry g = smallGeom();
+    Fil fil(g, NandTiming::zNand());
+    std::uint64_t other_ch = FlashAddress{1, 0, 0, 0, 0, 0}.flatten(g);
+    Tick a = fil.submit({FlashOp::Type::Read, 0, 2048}, 0);
+    Tick b = fil.submit({FlashOp::Type::Read, other_ch, 2048}, 0);
+    // Full overlap: both finish at (almost) the same time.
+    EXPECT_LT(b, a + microseconds(1));
+}
+
+TEST(Fil, SameDieSerialises)
+{
+    Fil fil(smallGeom(), NandTiming::zNand());
+    Tick a = fil.submit({FlashOp::Type::Read, 0, 2048}, 0);
+    Tick b = fil.submit({FlashOp::Type::Read, 1, 2048}, 0);
+    EXPECT_GT(b, a); // same die register: the second waits
+}
+
+TEST(Fil, SameChannelTransfersSerialise)
+{
+    FlashGeometry g = smallGeom();
+    Fil fil(g, NandTiming::zNand());
+    // Same channel, different die: cell reads overlap but the channel
+    // drains serially.
+    std::uint64_t other_die = FlashAddress{0, 0, 1, 0, 0, 0}.flatten(g);
+    Tick a = fil.submit({FlashOp::Type::Read, 0, 2048}, 0);
+    Tick b = fil.submit({FlashOp::Type::Read, other_die, 2048}, 0);
+    EXPECT_GT(b, a);
+    EXPECT_LT(b, a + NandTiming::zNand().transferTime(2048) +
+                     microseconds(1));
+}
+
+TEST(Fil, ProgramDoesNotHoldChannelDuringCellPhase)
+{
+    FlashGeometry g = smallGeom();
+    Fil fil(g, NandTiming::zNand());
+    std::uint64_t other_die = FlashAddress{0, 0, 1, 0, 0, 0}.flatten(g);
+    Tick p = fil.submit({FlashOp::Type::Program, 0, 2048}, 0);
+    // A read on a different die of the same channel should not wait for
+    // the 100 us program, only for the data transfer.
+    Tick r = fil.submit({FlashOp::Type::Read, other_die, 2048}, 0);
+    EXPECT_LT(r, p);
+}
+
+TEST(Fil, EraseTakesMilliseconds)
+{
+    Fil fil(smallGeom(), NandTiming::zNand());
+    Tick done = fil.submit({FlashOp::Type::Erase, 0, 0}, 0);
+    EXPECT_GE(done, milliseconds(3));
+}
+
+TEST(Fil, ActivityCountersTrack)
+{
+    Fil fil(smallGeom(), NandTiming::zNand());
+    fil.submit({FlashOp::Type::Read, 0, 2048}, 0);
+    fil.submit({FlashOp::Type::Program, 64, 2048}, 0);
+    fil.submit({FlashOp::Type::Erase, 0, 0}, 0);
+    EXPECT_EQ(fil.activity().reads, 1u);
+    EXPECT_EQ(fil.activity().programs, 1u);
+    EXPECT_EQ(fil.activity().erases, 1u);
+    EXPECT_EQ(fil.activity().bytesTransferred, 4096u);
+}
+
+TEST(Fil, ResetClearsBusyState)
+{
+    Fil fil(smallGeom(), NandTiming::zNand());
+    fil.submit({FlashOp::Type::Program, 0, 2048}, 0);
+    fil.reset();
+    Tick done = fil.submit({FlashOp::Type::Read, 1, 2048}, 0);
+    NandTiming z = NandTiming::zNand();
+    EXPECT_EQ(done, z.cmdOverhead + z.tR + z.transferTime(2048));
+}
+
+TEST(Fil, OversizedOpPanics)
+{
+    Fil fil(smallGeom(), NandTiming::zNand());
+    EXPECT_DEATH(fil.submit({FlashOp::Type::Read, 0, 999999}, 0),
+                 "exceed page size");
+}
+
+} // namespace
+} // namespace hams

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * HAMS NVMe engine + register interface tests: journal lifecycle, PRP
+ * frame recycling, replay mechanics and the DDR4 command path.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/hams_system.hh"
+#include "core/nvme_engine.hh"
+#include "core/register_interface.hh"
+#include "sim/logging.hh"
+
+namespace hams {
+namespace {
+
+HamsSystemConfig
+engineConfig()
+{
+    HamsSystemConfig c = HamsSystemConfig::looseExtend();
+    c.nvdimm.capacity = 256ull << 20;
+    c.ssdRawBytes = 2ull << 30;
+    c.pinnedBytes = 64ull << 20;
+    c.queueEntries = 128;
+    return c;
+}
+
+TEST(NvmeEngine, SubmitAssignsCidsAndJournals)
+{
+    HamsSystem sys(engineConfig());
+    HamsNvmeEngine& eng = sys.nvmeEngine();
+
+    NvmeCommand cmd = makeReadCommand(0, 0, 32, 0);
+    std::uint16_t cid = eng.submit(cmd, 0, nullptr);
+    EXPECT_NE(cid, 0);
+    EXPECT_EQ(eng.outstanding(), 1u);
+    EXPECT_EQ(eng.scanJournal().size(), 1u);
+    sys.eventQueue().run();
+    EXPECT_EQ(eng.outstanding(), 0u);
+    EXPECT_TRUE(eng.scanJournal().empty());
+}
+
+TEST(NvmeEngine, CompletionCallbackCarriesTrace)
+{
+    HamsSystem sys(engineConfig());
+    HamsNvmeEngine& eng = sys.nvmeEngine();
+
+    bool called = false;
+    eng.submit(makeReadCommand(0, 0, 32, 0), 0,
+               [&](const NvmeCommand& cmd, const NvmeCmdTrace& trace,
+                   Tick at) {
+                   called = true;
+                   EXPECT_GT(at, 0u);
+                   EXPECT_GT(trace.media + trace.dma + trace.protocol, 0u);
+                   EXPECT_EQ(cmd.op(), NvmeOpcode::Read);
+               });
+    sys.eventQueue().run();
+    EXPECT_TRUE(called);
+}
+
+TEST(NvmeEngine, StatsCountLifecycle)
+{
+    HamsSystem sys(engineConfig());
+    HamsNvmeEngine& eng = sys.nvmeEngine();
+    for (int i = 0; i < 4; ++i)
+        eng.submit(makeReadCommand(0, std::uint64_t(i) * 32, 32, 0), 0,
+                   nullptr);
+    sys.eventQueue().run();
+    EXPECT_EQ(eng.stats().submitted, 4u);
+    EXPECT_EQ(eng.stats().completed, 4u);
+    EXPECT_EQ(eng.stats().journalSets, 4u);
+    EXPECT_EQ(eng.stats().journalClears, 4u);
+}
+
+TEST(NvmeEngine, ReplayReissuesOnlyPending)
+{
+    HamsSystem sys(engineConfig());
+    HamsNvmeEngine& eng = sys.nvmeEngine();
+
+    // One command completes; one is in flight when the power dies.
+    eng.submit(makeReadCommand(0, 0, 32, 0), 0, nullptr);
+    sys.eventQueue().run();
+    eng.submit(makeReadCommand(0, 64, 32, 0), sys.eventQueue().now(),
+               nullptr);
+    EXPECT_EQ(eng.scanJournal().size(), 1u);
+
+    sys.eventQueue().reset();
+    eng.onPowerFail();
+    sys.ullFlash().powerRestore();
+
+    int replayed = 0;
+    bool done = false;
+    eng.replayPending(
+        sys.eventQueue().now(),
+        [&](const NvmeCommand&, const NvmeCmdTrace&, Tick) {
+            ++replayed;
+        },
+        [&](Tick) { done = true; });
+    sys.eventQueue().run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(replayed, 1);
+    EXPECT_EQ(eng.stats().replayed, 1u);
+    EXPECT_TRUE(eng.scanJournal().empty());
+}
+
+TEST(NvmeEngine, ReplayWithNothingPendingCompletesImmediately)
+{
+    HamsSystem sys(engineConfig());
+    bool done = false;
+    sys.nvmeEngine().replayPending(
+        0, nullptr, [&](Tick t) {
+            done = true;
+            EXPECT_EQ(t, 0u);
+        });
+    EXPECT_TRUE(done);
+}
+
+TEST(RegisterInterfaceTest, CommandCostsOneBurst)
+{
+    NvdimmConfig ncfg;
+    ncfg.capacity = 64ull << 20;
+    Nvdimm n(ncfg);
+    RegisterInterface reg(n);
+    Tick done = reg.sendCommand(0);
+    const Ddr4Timing& t = n.controller().device().timing();
+    EXPECT_EQ(done, 2 * t.tCK + t.tBURST);
+    EXPECT_EQ(reg.stats().commandsSent, 1u);
+}
+
+TEST(RegisterInterfaceTest, CommandsContendWithNvdimmTraffic)
+{
+    NvdimmConfig ncfg;
+    ncfg.capacity = 64ull << 20;
+    Nvdimm n(ncfg);
+    RegisterInterface reg(n);
+    // A large NVDIMM transfer occupies the shared bus; the register
+    // write must wait behind it.
+    Tick busy = n.access(0, 64 * 1024, MemOp::Read, 0);
+    Tick done = reg.sendCommand(0);
+    EXPECT_GE(done, busy - nanoseconds(50));
+}
+
+TEST(RegisterInterfaceTest, LockLifecycle)
+{
+    NvdimmConfig ncfg;
+    ncfg.capacity = 64ull << 20;
+    Nvdimm n(ncfg);
+    RegisterInterface reg(n);
+    EXPECT_FALSE(reg.locked());
+    Tick t = reg.acquireLock(0);
+    EXPECT_TRUE(reg.locked());
+    reg.releaseLock(t);
+    EXPECT_FALSE(reg.locked());
+    EXPECT_EQ(reg.stats().lockAcquisitions, 1u);
+}
+
+TEST(RegisterInterfaceTest, DoubleAcquirePanics)
+{
+    NvdimmConfig ncfg;
+    ncfg.capacity = 64ull << 20;
+    Nvdimm n(ncfg);
+    RegisterInterface reg(n);
+    reg.acquireLock(0);
+    EXPECT_DEATH(reg.acquireLock(0), "two bus masters");
+}
+
+TEST(RegisterInterfaceTest, ReleaseWithoutAcquirePanics)
+{
+    NvdimmConfig ncfg;
+    ncfg.capacity = 64ull << 20;
+    Nvdimm n(ncfg);
+    RegisterInterface reg(n);
+    EXPECT_DEATH(reg.releaseLock(0), "not set");
+}
+
+} // namespace
+} // namespace hams

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Unit tests for the sparse functional backing store.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "mem/sparse_memory.hh"
+#include "sim/logging.hh"
+
+namespace hams {
+namespace {
+
+TEST(SparseMemory, UnwrittenReadsAsZero)
+{
+    SparseMemory m(1 << 20);
+    std::uint8_t buf[64];
+    std::memset(buf, 0xAB, sizeof(buf));
+    m.read(1000, buf, sizeof(buf));
+    for (auto b : buf)
+        EXPECT_EQ(b, 0);
+    EXPECT_EQ(m.allocatedFrames(), 0u);
+}
+
+TEST(SparseMemory, WriteReadRoundtrip)
+{
+    SparseMemory m(1 << 20);
+    const char* msg = "memory over storage";
+    m.write(4096, msg, std::strlen(msg));
+    std::vector<char> out(std::strlen(msg));
+    m.read(4096, out.data(), out.size());
+    EXPECT_EQ(std::memcmp(out.data(), msg, out.size()), 0);
+}
+
+TEST(SparseMemory, CrossFrameTransfer)
+{
+    SparseMemory m(1 << 20, 4096);
+    std::vector<std::uint8_t> in(10000);
+    for (std::size_t i = 0; i < in.size(); ++i)
+        in[i] = static_cast<std::uint8_t>(i * 7);
+    m.write(4000, in.data(), in.size()); // spans 3+ frames
+    std::vector<std::uint8_t> out(in.size());
+    m.read(4000, out.data(), out.size());
+    EXPECT_EQ(in, out);
+    EXPECT_GE(m.allocatedFrames(), 3u);
+}
+
+TEST(SparseMemory, TypedAccessors)
+{
+    SparseMemory m(1 << 20);
+    m.writeValue<std::uint64_t>(128, 0xDEADBEEFCAFEull);
+    EXPECT_EQ(m.readValue<std::uint64_t>(128), 0xDEADBEEFCAFEull);
+}
+
+TEST(SparseMemory, FillPattern)
+{
+    SparseMemory m(1 << 20);
+    m.fill(8192, 0x5A, 12345);
+    std::vector<std::uint8_t> out(12345);
+    m.read(8192, out.data(), out.size());
+    for (auto b : out)
+        ASSERT_EQ(b, 0x5A);
+}
+
+TEST(SparseMemory, ChecksumDetectsChange)
+{
+    SparseMemory m(1 << 20);
+    m.fill(0, 0x11, 8192);
+    std::uint64_t before = m.checksum(0, 8192);
+    m.writeValue<std::uint8_t>(5000, 0x12);
+    EXPECT_NE(m.checksum(0, 8192), before);
+}
+
+TEST(SparseMemory, ChecksumOfHolesIsStable)
+{
+    SparseMemory a(1 << 20), b(1 << 20);
+    EXPECT_EQ(a.checksum(0, 65536), b.checksum(0, 65536));
+}
+
+TEST(SparseMemory, OutOfBoundsReadFails)
+{
+    SparseMemory m(4096);
+    std::uint8_t b;
+    EXPECT_THROW(m.read(4096, &b, 1), FatalError);
+}
+
+TEST(SparseMemory, OutOfBoundsWriteFails)
+{
+    SparseMemory m(4096);
+    std::uint8_t b = 1;
+    EXPECT_THROW(m.write(4090, &b, 8), FatalError);
+}
+
+TEST(SparseMemory, NonPowerOfTwoFrameRejected)
+{
+    EXPECT_THROW(SparseMemory(1 << 20, 1000), FatalError);
+}
+
+TEST(SparseMemory, CapacityMustBeFrameMultiple)
+{
+    EXPECT_THROW(SparseMemory(5000, 4096), FatalError);
+}
+
+TEST(SparseMemory, ClearDropsContents)
+{
+    SparseMemory m(1 << 20);
+    m.writeValue<std::uint32_t>(0, 42);
+    m.clear();
+    EXPECT_EQ(m.readValue<std::uint32_t>(0), 0u);
+    EXPECT_EQ(m.allocatedFrames(), 0u);
+}
+
+TEST(SparseMemory, ZeroWriteIsNoop)
+{
+    SparseMemory m(1 << 20);
+    std::uint8_t b = 9;
+    m.write(0, &b, 0);
+    EXPECT_EQ(m.allocatedFrames(), 0u);
+}
+
+} // namespace
+} // namespace hams
