@@ -9,6 +9,7 @@
 #include "baselines/optane_platform.hh"
 #include "baselines/oracle_platform.hh"
 #include "core/hams_system.hh"
+#include "sim/alloc_hook.hh"
 #include "sim/logging.hh"
 
 namespace hams::bench {
@@ -148,6 +149,19 @@ runOn(MemoryPlatform& platform, const std::string& workload,
     // stream.
     core.run(*gen, budget / 2);
     return core.run(*gen, budget);
+}
+
+std::string
+jsonOutPath(const std::string& fallback)
+{
+    const char* env = std::getenv("HAMS_BENCH_JSON");
+    return env && *env ? std::string(env) : fallback;
+}
+
+std::uint64_t
+allocCallsNow()
+{
+    return alloc_hook::newCalls();
 }
 
 void

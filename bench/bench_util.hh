@@ -66,6 +66,21 @@ RunResult runOn(MemoryPlatform& platform, const std::string& workload,
 /** Print a harness banner with the figure reference. */
 void banner(const std::string& figure, const std::string& what);
 
+/**
+ * Output path for machine-readable benchmark results: the
+ * HAMS_BENCH_JSON environment variable, or @p fallback. Used by
+ * micro_hotpaths to write BENCH_hotpaths.json so every PR records a
+ * perf trajectory.
+ */
+std::string jsonOutPath(const std::string& fallback);
+
+/**
+ * Heap allocations since process start (global operator new calls).
+ * Re-exported from sim/alloc_hook.hh so harnesses can report
+ * allocations-per-operation alongside their timings.
+ */
+std::uint64_t allocCallsNow();
+
 } // namespace hams::bench
 
 #endif // HAMS_BENCH_BENCH_UTIL_HH_

@@ -3,10 +3,19 @@
  * google-benchmark microbenchmarks over the simulator's hot paths and
  * the design-choice ablations DESIGN.md calls out (tag probe cost,
  * dual-channel split, clone-vs-serialize hazard policies).
+ *
+ * Results are written to BENCH_hotpaths.json (override the path with
+ * HAMS_BENCH_JSON) so every PR records a perf trajectory; the
+ * `allocs_per_op` counters report steady-state heap allocations per
+ * simulated operation, which the hot paths keep at zero.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
 #include "core/hams_system.hh"
 #include "core/mos_tag_array.hh"
 #include "cpu/cache_model.hh"
@@ -22,19 +31,49 @@ namespace {
 
 using namespace hams;
 
+/** Report heap allocations per loop iteration of the timed run. */
+void
+reportAllocRate(benchmark::State& state, std::uint64_t alloc_start)
+{
+    state.counters["allocs_per_op"] = benchmark::Counter(
+        static_cast<double>(bench::allocCallsNow() - alloc_start) /
+        static_cast<double>(state.iterations()));
+}
+
 void
 BM_EventQueueScheduleRun(benchmark::State& state)
 {
     EventQueue eq;
     std::uint64_t sink = 0;
+    std::uint64_t allocs = bench::allocCallsNow();
     for (auto _ : state) {
         for (int i = 0; i < 64; ++i)
             eq.schedule(i, [&sink] { ++sink; });
         eq.run();
     }
     benchmark::DoNotOptimize(sink);
+    reportAllocRate(state, allocs);
 }
 BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_EventQueueScheduleCancel(benchmark::State& state)
+{
+    // Schedule/deschedule churn: the generation-tagged free-list arena
+    // replaces the old hash-set lazy-cancel scheme.
+    EventQueue eq;
+    EventId ids[64];
+    std::uint64_t allocs = bench::allocCallsNow();
+    for (auto _ : state) {
+        for (int i = 0; i < 64; ++i)
+            ids[i] = eq.schedule(i + 1, [] {});
+        for (int i = 0; i < 64; ++i)
+            eq.deschedule(ids[i]);
+        eq.run();
+    }
+    reportAllocRate(state, allocs);
+}
+BENCHMARK(BM_EventQueueScheduleCancel);
 
 void
 BM_TagArrayProbe(benchmark::State& state)
@@ -109,14 +148,78 @@ BENCHMARK(BM_CacheModelAccess);
 void
 BM_SparseMemoryWrite4K(benchmark::State& state)
 {
+    // Steady state: the 64 MiB working set is pre-touched, so the loop
+    // measures the two-level table walk + memcpy, not first-touch
+    // allocation (see BM_SparseMemoryFirstTouch for that).
+    constexpr std::uint64_t working_set = 64ull << 20;
     SparseMemory mem(1ull << 30);
     std::vector<std::uint8_t> buf(4096, 0xAB);
+    mem.fill(0, 0, working_set);
     Rng rng(5);
+    std::uint64_t allocs = bench::allocCallsNow();
     for (auto _ : state)
-        mem.write(rng.below((1ull << 30) / 4096) * 4096, buf.data(),
+        mem.write(rng.below(working_set / 4096) * 4096, buf.data(),
                   buf.size());
+    reportAllocRate(state, allocs);
 }
 BENCHMARK(BM_SparseMemoryWrite4K);
+
+void
+BM_SparseMemoryFirstTouch(benchmark::State& state)
+{
+    // Cold path: every write allocates (and zeroes) a fresh frame.
+    SparseMemory mem(1ull << 40);
+    std::vector<std::uint8_t> buf(4096, 0xCD);
+    Addr next = 0;
+    for (auto _ : state) {
+        mem.write(next, buf.data(), buf.size());
+        next += 4096;
+    }
+}
+BENCHMARK(BM_SparseMemoryFirstTouch);
+
+void
+BM_SparseMemorySpanRead128K(benchmark::State& state)
+{
+    // The MoS-page-sized span transfer of the miss path: 32 frames per
+    // read, walked with direct indexing.
+    SparseMemory mem(1ull << 30);
+    std::vector<std::uint8_t> buf(128 * 1024);
+    mem.fill(0, 0x5A, 16ull << 20);
+    Rng rng(6);
+    std::uint64_t allocs = bench::allocCallsNow();
+    for (auto _ : state)
+        mem.read(rng.below((16ull << 20) / buf.size()) * buf.size(),
+                 buf.data(), buf.size());
+    reportAllocRate(state, allocs);
+}
+BENCHMARK(BM_SparseMemorySpanRead128K);
+
+/** The HAMS hit path: logic latency + one NVDIMM access, no I/O. */
+void
+BM_HamsHit_Extend(benchmark::State& state)
+{
+    HamsSystemConfig cfg = HamsSystemConfig::looseExtend();
+    cfg.nvdimm.capacity = 128ull << 20;
+    cfg.ssdRawBytes = 1ull << 30;
+    cfg.pinnedBytes = 32ull << 20;
+    cfg.functionalData = false;
+    HamsSystem sys(cfg);
+
+    std::uint32_t v = 1;
+    sys.write(0, &v, sizeof(v)); // fault the page in once
+    std::uint64_t allocs = bench::allocCallsNow();
+    int flip = 0;
+    for (auto _ : state) {
+        // Bounce within the resident page: every access hits.
+        sys.write((flip++ % 2) ? 64 : 0, &v, sizeof(v));
+    }
+    reportAllocRate(state, allocs);
+    state.counters["sim_us_per_hit"] = benchmark::Counter(
+        ticksToUs(sys.eventQueue().now()) /
+        static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_HamsHit_Extend);
 
 /** Ablation: HAMS end-to-end miss latency per hazard policy. */
 void
@@ -133,11 +236,13 @@ hamsMissLatency(benchmark::State& state, HazardPolicy policy)
 
     std::uint32_t v = 1;
     int flip = 0;
+    std::uint64_t allocs = bench::allocCallsNow();
     for (auto _ : state) {
         // Alternate aliasing dirty pages: every write is a miss with a
         // dirty eviction — the worst case each policy must handle.
         sys.write((flip++ % 2) ? cache : 0, &v, sizeof(v));
     }
+    reportAllocRate(state, allocs);
     state.counters["sim_us_per_miss"] = benchmark::Counter(
         ticksToUs(sys.eventQueue().now()) /
         static_cast<double>(state.iterations()));
@@ -191,4 +296,35 @@ BENCHMARK(BM_SsdRead_WholeUnits);
 
 } // namespace
 
-BENCHMARK_MAIN();
+/**
+ * Custom main: mirror the console output into a JSON file
+ * (BENCH_hotpaths.json by default, HAMS_BENCH_JSON to override) so CI
+ * and scripts/bench_hotpaths.sh can track the perf trajectory.
+ */
+int
+main(int argc, char** argv)
+{
+    // Default to JSON output in BENCH_hotpaths.json unless the caller
+    // passed an explicit --benchmark_out.
+    std::vector<char*> args(argv, argv + argc);
+    std::string out_flag;
+    bool has_out = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0)
+            has_out = true;
+    std::string fmt_flag = "--benchmark_out_format=json";
+    if (!has_out) {
+        out_flag = "--benchmark_out=" +
+                   hams::bench::jsonOutPath("BENCH_hotpaths.json");
+        args.push_back(out_flag.data());
+        args.push_back(fmt_flag.data());
+    }
+    int args_count = static_cast<int>(args.size());
+
+    benchmark::Initialize(&args_count, args.data());
+    if (benchmark::ReportUnrecognizedArguments(args_count, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

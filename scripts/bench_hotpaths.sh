@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Build the Release microbenchmarks and record the hot-path perf
+# trajectory in BENCH_hotpaths.json (repo root, or $HAMS_BENCH_JSON).
+#
+# Usage: scripts/bench_hotpaths.sh [extra google-benchmark args...]
+#   e.g. scripts/bench_hotpaths.sh --benchmark_filter='HamsMiss'
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build-bench"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+      -DCMAKE_BUILD_TYPE=Release \
+      -DHAMS_BUILD_TESTS=OFF \
+      -DHAMS_BUILD_EXAMPLES=OFF
+cmake --build "${build_dir}" --target micro_hotpaths -j"$(nproc)"
+
+export HAMS_BENCH_JSON="${HAMS_BENCH_JSON:-${repo_root}/BENCH_hotpaths.json}"
+"${build_dir}/micro_hotpaths" --benchmark_min_time=0.2 "$@"
+
+echo
+echo "Results written to ${HAMS_BENCH_JSON}"

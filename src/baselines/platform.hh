@@ -43,7 +43,7 @@ dramFoldAddr(Addr addr, std::uint64_t dram_bytes,
 class MemoryPlatform
 {
   public:
-    using AccessCb = std::function<void(Tick, const LatencyBreakdown&)>;
+    using AccessCb = hams::AccessCb;
 
     virtual ~MemoryPlatform() = default;
 

@@ -1,8 +1,6 @@
 #include "core/hams_controller.hh"
 
 #include <algorithm>
-#include <memory>
-#include <vector>
 
 #include "sim/logging.hh"
 
@@ -15,7 +13,8 @@ HamsController::HamsController(EventQueue& eq, Nvdimm& nvdimm,
     : eq(eq), nvdimm(nvdimm), engine(engine), pinned(pinned), cfg(cfg),
       _mosCapacity(mos_capacity),
       tags(pinned.cacheBytes() - pinned.cacheBytes() % cfg.pageBytes,
-           cfg.pageBytes)
+           cfg.pageBytes),
+      staging(cfg.pageBytes)
 {
     if (cfg.pageBytes % nvmeBlockSize != 0)
         fatal("MoS page size must be a multiple of the 4 KiB NVMe block");
@@ -24,6 +23,28 @@ HamsController::HamsController(EventQueue& eq, Nvdimm& nvdimm,
     if (pinned.config().prpFrameBytes < cfg.pageBytes)
         fatal("PRP pool frames (", pinned.config().prpFrameBytes,
               ") smaller than the MoS page (", cfg.pageBytes, ")");
+
+    waitHead.assign(tags.sets(), nil);
+    waitTail.assign(tags.sets(), nil);
+}
+
+HamsController::Op*
+HamsController::makeOp(const MemAccess& acc, const std::uint8_t* wdata,
+                       std::uint8_t* rdata, std::uint64_t idx, AccessCb cb)
+{
+    // Pooled objects keep their previous contents: reset every field.
+    Op* op = opPool.acquire();
+    op->acc = acc;
+    op->wdata = wdata;
+    op->rdata = rdata;
+    op->idx = idx;
+    op->newTag = 0;
+    op->reqAt = 0;
+    op->line = 0;
+    op->done = 0;
+    op->bd = LatencyBreakdown{};
+    op->cb = std::move(cb);
+    return op;
 }
 
 void
@@ -48,57 +69,57 @@ HamsController::access(const MemAccess& acc, const std::uint8_t* wdata,
         ++_stats.waitQueued;
         if (e.valid && e.dirty)
             ++_stats.redundantEvictionsAvoided;
-        waitQueue[idx].push_back(Waiter{acc, wdata, rdata, std::move(cb)});
+        parkWaiter(acc, wdata, rdata, idx, std::move(cb));
         return;
     }
 
+    Op* op = makeOp(acc, wdata, rdata, idx, std::move(cb));
     if (e.valid && e.tag == tags.tagOf(acc.addr))
-        handleHit(acc, wdata, rdata, at, std::move(cb));
+        handleHit(op, at);
     else
-        handleMiss(acc, wdata, rdata, at, std::move(cb));
+        handleMiss(op, at);
 }
 
 void
-HamsController::serveFromFrame(const MemAccess& acc,
-                               const std::uint8_t* wdata,
-                               std::uint8_t* rdata, std::uint64_t idx,
-                               Tick at, LatencyBreakdown bd, AccessCb cb)
+HamsController::serveFromFrame(Op* op, Tick at)
 {
-    Addr line = frameAddr(idx) + acc.addr % cfg.pageBytes;
-    Tick done = nvdimm.access(line, acc.size, acc.op, at);
-    bd.nvdimm += done - at;
-    _stats.memoryDelay += bd;
+    op->line = frameAddr(op->idx) + op->acc.addr % cfg.pageBytes;
+    Tick done = nvdimm.access(op->line, op->acc.size, op->acc.op, at);
+    op->bd.nvdimm += done - at;
+    _stats.memoryDelay += op->bd;
 
-    if (acc.op == MemOp::Write) {
-        tags.entry(idx).dirty = true;
-        if (wdata && nvdimm.data())
-            nvdimm.data()->write(line, wdata, acc.size);
+    if (op->acc.op == MemOp::Write) {
+        tags.entry(op->idx).dirty = true;
+        if (op->wdata && nvdimm.data())
+            nvdimm.data()->write(op->line, op->wdata, op->acc.size);
     }
 
-    std::uint32_t size = acc.size;
-    eq.scheduleAt(done, [this, line, size, rdata, done, bd,
-                         cb = std::move(cb)]() {
-        if (rdata && nvdimm.data())
-            nvdimm.data()->read(line, rdata, size);
+    op->done = done;
+    eq.scheduleAt(done, [this, op]() {
+        if (op->rdata && nvdimm.data())
+            nvdimm.data()->read(op->line, op->rdata, op->acc.size);
+        AccessCb cb = std::move(op->cb);
+        Tick when = op->done;
+        LatencyBreakdown bd = op->bd;
+        // Release before the callback: it may re-enter access() and
+        // reuse this very context.
+        opPool.release(op);
         if (cb)
-            cb(done, bd);
+            cb(when, bd);
     });
 }
 
 void
-HamsController::handleHit(const MemAccess& acc, const std::uint8_t* wdata,
-                          std::uint8_t* rdata, Tick at, AccessCb cb)
+HamsController::handleHit(Op* op, Tick at)
 {
     ++_stats.hits;
     // The tag is read out with the line itself, so the hit path is the
     // logic latency plus the single NVDIMM access.
-    LatencyBreakdown bd;
-    serveFromFrame(acc, wdata, rdata, tags.indexOf(acc.addr),
-                   at + cfg.logicLatency, bd, std::move(cb));
+    serveFromFrame(op, at + cfg.logicLatency);
 }
 
 void
-HamsController::gateSubmit(Tick at, std::function<void(Tick)> thunk)
+HamsController::gateSubmit(Tick at, GateThunk thunk)
 {
     if (cfg.mode != HamsMode::Persist) {
         thunk(at);
@@ -122,36 +143,28 @@ HamsController::gateRelease(Tick at)
         gateBusy = false;
         return;
     }
-    auto next = std::move(gateQueue.front());
+    GateThunk next = std::move(gateQueue.front());
     gateQueue.pop_front();
     next(at);
 }
 
 void
-HamsController::handleMiss(const MemAccess& acc, const std::uint8_t* wdata,
-                           std::uint8_t* rdata, Tick at, AccessCb cb)
+HamsController::handleMiss(Op* op, Tick at)
 {
     ++_stats.misses;
-    std::uint64_t idx = tags.indexOf(acc.addr);
-    tags.entry(idx).busy = true;
-
-    LatencyBreakdown bd;
-    Tick t0 = at + cfg.logicLatency;
-    startMissIo(acc, wdata, rdata, t0, bd, std::move(cb));
+    tags.entry(op->idx).busy = true;
+    op->newTag = tags.tagOf(op->acc.addr);
+    startMissIo(op, at + cfg.logicLatency);
 }
 
 void
-HamsController::startMissIo(const MemAccess& acc, const std::uint8_t* wdata,
-                            std::uint8_t* rdata, Tick at,
-                            LatencyBreakdown bd, AccessCb cb)
+HamsController::startMissIo(Op* op, Tick at)
 {
-    std::uint64_t idx = tags.indexOf(acc.addr);
-    MosTagEntry& e = tags.entry(idx);
+    MosTagEntry& e = tags.entry(op->idx);
     bool need_evict = e.valid && e.dirty;
     bool fua = cfg.mode == HamsMode::Persist;
-    Addr frame = frameAddr(idx);
-    Addr mos_page = acc.addr - acc.addr % cfg.pageBytes;
-    std::uint64_t new_tag = tags.tagOf(acc.addr);
+    Addr frame = frameAddr(op->idx);
+    op->reqAt = at;
 
     if (e.valid && !e.dirty)
         ++_stats.cleanVictims;
@@ -165,59 +178,26 @@ HamsController::startMissIo(const MemAccess& acc, const std::uint8_t* wdata,
         Addr clone = pinned.allocPrpFrame();
         Tick r = nvdimm.access(frame, cfg.pageBytes, MemOp::Read, at);
         Tick w = nvdimm.access(clone, cfg.pageBytes, MemOp::Write, r);
-        if (nvdimm.data()) {
-            std::vector<std::uint8_t> buf(cfg.pageBytes);
-            nvdimm.data()->read(frame, buf.data(), cfg.pageBytes);
-            nvdimm.data()->write(clone, buf.data(), cfg.pageBytes);
+        if (nvdimm.data() && cfg.functionalData) {
+            std::uint8_t* buf = staging.acquire();
+            nvdimm.data()->read(frame, buf, cfg.pageBytes);
+            nvdimm.data()->write(clone, buf, cfg.pageBytes);
+            staging.release(buf);
         }
-        bd.nvdimm += w - at;
+        op->bd.nvdimm += w - at;
         evict_ready = w;
         evict_prp = clone;
         ++_stats.prpClones;
     }
 
-    // Shared completion state for the (up to two) I/Os of this miss.
-    Tick req_at = at;
-    auto fill_done_cb = [this, acc, wdata, rdata, idx, new_tag, req_at,
-                         cb = std::move(cb), bd](
-                            const NvmeCommand&, const NvmeCmdTrace& trace,
-                            Tick when) mutable {
-        MosTagEntry& entry = tags.entry(idx);
-        entry.tag = new_tag;
-        entry.valid = true;
-        entry.dirty = false;
-        entry.busy = false;
-        ++_stats.fills;
-
-        LatencyBreakdown miss_bd = bd;
-        miss_bd.ssd += trace.media;
-        miss_bd.dma += trace.dma + trace.protocol;
-        // Whatever the fill trace does not explain — chiefly waiting
-        // for a serialised eviction in persist mode — is time the
-        // device held the request.
-        Tick counted = miss_bd.total();
-        if (when > req_at && when - req_at > counted)
-            miss_bd.ssd += (when - req_at) - counted;
-        gateRelease(when);
-        serveFromFrame(acc, wdata, rdata, idx, when, miss_bd,
-                       std::move(cb));
-        drainWaiters(idx, when);
-    };
-
-    auto submit_fill = [this, frame, mos_page, fill_done_cb](Tick t) {
-        NvmeCommand fill = makeReadCommand(
-            0, slbaOf(mos_page), blocksPerPage(), frame);
-        engine.submit(fill, t, fill_done_cb);
-    };
-
     if (!need_evict) {
-        gateSubmit(at, [submit_fill](Tick t) { submit_fill(t); });
+        gateSubmit(at, [this, op](Tick t) { submitFill(op, t); });
         return;
     }
 
     // --- Dirty victim: evict it first. ---
     ++_stats.dirtyEvictions;
-    Addr victim_page = tags.mosPageAddr(e.tag, idx);
+    Addr victim_page = tags.mosPageAddr(e.tag, op->idx);
     std::uint64_t victim_slba = slbaOf(victim_page);
 
     switch (cfg.hazard) {
@@ -228,17 +208,16 @@ HamsController::startMissIo(const MemAccess& acc, const std::uint8_t* wdata,
         // reproduces the paper's Fig. 13 corruption.
         if (cfg.mode == HamsMode::Persist) {
             // Persist mode still serialises: evict, then fill.
-            gateSubmit(evict_ready, [this, evict_prp, victim_slba, fua,
-                                     submit_fill](Tick t) {
+            gateSubmit(evict_ready,
+                       [this, op, evict_prp, victim_slba](Tick t) {
                 NvmeCommand ev = makeWriteCommand(
-                    0, victim_slba, blocksPerPage(), evict_prp, fua);
+                    0, victim_slba, blocksPerPage(), evict_prp, true);
                 engine.submit(ev, t,
-                              [this, submit_fill](const NvmeCommand&,
-                                                  const NvmeCmdTrace&,
-                                                  Tick when) {
+                              [this, op](const NvmeCommand&,
+                                         const NvmeCmdTrace&, Tick when) {
                                   gateRelease(when);
-                                  gateSubmit(when, [submit_fill](Tick t2) {
-                                      submit_fill(t2);
+                                  gateSubmit(when, [this, op](Tick t2) {
+                                      submitFill(op, t2);
                                   });
                               });
             });
@@ -247,14 +226,14 @@ HamsController::startMissIo(const MemAccess& acc, const std::uint8_t* wdata,
                                               blocksPerPage(), evict_prp,
                                               fua);
             engine.submit(ev, evict_ready, nullptr);
-            submit_fill(evict_ready);
+            submitFill(op, evict_ready);
         } else {
             // Unprotected: no clone and no ordering guarantee. A
             // latency-minded controller issues the demand fill first
             // and evicts lazily — so the eviction's DMA pulls the frame
             // *after* the fill (and subsequent MMU writes) replaced its
             // contents: the paper's Fig. 13 corruption.
-            submit_fill(evict_ready);
+            submitFill(op, evict_ready);
             NvmeCommand ev = makeWriteCommand(0, victim_slba,
                                               blocksPerPage(), evict_prp,
                                               fua);
@@ -266,17 +245,17 @@ HamsController::startMissIo(const MemAccess& acc, const std::uint8_t* wdata,
         // Safe without a clone: the fill only starts once the eviction
         // pulled the frame. Costs the full eviction latency on the
         // critical path.
-        gateSubmit(evict_ready, [this, evict_prp, victim_slba, fua,
-                                 submit_fill](Tick t) {
+        bool ser_fua = fua;
+        gateSubmit(evict_ready,
+                   [this, op, evict_prp, victim_slba, ser_fua](Tick t) {
             NvmeCommand ev = makeWriteCommand(
-                0, victim_slba, blocksPerPage(), evict_prp, fua);
+                0, victim_slba, blocksPerPage(), evict_prp, ser_fua);
             engine.submit(ev, t,
-                          [this, submit_fill](const NvmeCommand&,
-                                              const NvmeCmdTrace&,
-                                              Tick when) {
+                          [this, op](const NvmeCommand&,
+                                     const NvmeCmdTrace&, Tick when) {
                               gateRelease(when);
-                              gateSubmit(when, [submit_fill](Tick t2) {
-                                  submit_fill(t2);
+                              gateSubmit(when, [this, op](Tick t2) {
+                                  submitFill(op, t2);
                               });
                           });
         });
@@ -286,16 +265,94 @@ HamsController::startMissIo(const MemAccess& acc, const std::uint8_t* wdata,
 }
 
 void
+HamsController::submitFill(Op* op, Tick t)
+{
+    Addr mos_page = op->acc.addr - op->acc.addr % cfg.pageBytes;
+    NvmeCommand fill = makeReadCommand(0, slbaOf(mos_page), blocksPerPage(),
+                                       frameAddr(op->idx));
+    engine.submit(fill, t,
+                  [this, op](const NvmeCommand&, const NvmeCmdTrace& trace,
+                             Tick when) { onFillDone(op, trace, when); });
+}
+
+void
+HamsController::onFillDone(Op* op, const NvmeCmdTrace& trace, Tick when)
+{
+    // One batched tag/stat update per fill.
+    MosTagEntry& entry = tags.entry(op->idx);
+    entry.tag = op->newTag;
+    entry.valid = true;
+    entry.dirty = false;
+    entry.busy = false;
+    ++_stats.fills;
+
+    op->bd.ssd += trace.media;
+    op->bd.dma += trace.dma + trace.protocol;
+    // Whatever the fill trace does not explain — chiefly waiting for a
+    // serialised eviction in persist mode — is time the device held the
+    // request.
+    Tick counted = op->bd.total();
+    if (when > op->reqAt && when - op->reqAt > counted)
+        op->bd.ssd += (when - op->reqAt) - counted;
+    gateRelease(when);
+
+    std::uint64_t idx = op->idx;
+    serveFromFrame(op, when);
+    drainWaiters(idx, when);
+}
+
+void
+HamsController::parkWaiter(const MemAccess& acc, const std::uint8_t* wdata,
+                           std::uint8_t* rdata, std::uint64_t idx,
+                           AccessCb cb)
+{
+    std::uint32_t node;
+    if (waiterFreeHead != nil) {
+        node = waiterFreeHead;
+        waiterFreeHead = waiterPool[node].next;
+    } else {
+        node = static_cast<std::uint32_t>(waiterPool.size());
+        waiterPool.emplace_back();
+    }
+    Waiter& w = waiterPool[node];
+    w.acc = acc;
+    w.wdata = wdata;
+    w.rdata = rdata;
+    w.cb = std::move(cb);
+    w.next = nil;
+
+    if (waitHead[idx] == nil)
+        waitHead[idx] = node;
+    else
+        waiterPool[waitTail[idx]].next = node;
+    waitTail[idx] = node;
+}
+
+void
 HamsController::drainWaiters(std::uint64_t idx, Tick at)
 {
-    auto it = waitQueue.find(idx);
-    if (it == waitQueue.end() || it->second.empty())
+    // Detach the whole list first: re-injected requests may park again
+    // on the same frame (a fresh miss sets the busy bit anew).
+    std::uint32_t node = waitHead[idx];
+    if (node == nil)
         return;
-    std::deque<Waiter> waiters = std::move(it->second);
-    waitQueue.erase(it);
-    for (auto& w : waiters) {
+    waitHead[idx] = nil;
+    waitTail[idx] = nil;
+
+    while (node != nil) {
+        Waiter& w = waiterPool[node];
+        MemAccess acc = w.acc;
+        const std::uint8_t* wdata = w.wdata;
+        std::uint8_t* rdata = w.rdata;
+        AccessCb cb = std::move(w.cb);
+        std::uint32_t next = w.next;
+        // Recycle before re-injecting: access() may grow the arena and
+        // invalidate the reference (never the freed slot itself).
+        w.next = waiterFreeHead;
+        waiterFreeHead = node;
+        node = next;
         // Re-inject; most will now hit (the fill just landed).
-        access(w.acc, w.wdata, w.rdata, at, std::move(w.cb));
+        access(acc, wdata, rdata, at, std::move(cb));
     }
 }
 
@@ -305,9 +362,16 @@ HamsController::onPowerFail()
     // Wait queue and persist gate are volatile controller state. The
     // tag array itself lives in NVDIMM lines and therefore persists
     // (with stale busy bits recovery must clear).
-    waitQueue.clear();
+    std::fill(waitHead.begin(), waitHead.end(), nil);
+    std::fill(waitTail.begin(), waitTail.end(), nil);
+    waiterPool.clear();
+    waiterFreeHead = nil;
     gateQueue.clear();
     gateBusy = false;
+    // The event queue and the NVMe engine have already dropped every
+    // reference to in-flight Op contexts, so the pool can take them
+    // all back (callers reset fields on acquire).
+    opPool.reclaimAll();
 }
 
 void

@@ -15,6 +15,12 @@
  *  - persist mode (FUA on every I/O, single outstanding command) versus
  *    extend mode (full NVMe parallelism + journal-tag recovery);
  *  - power-failure recovery orchestration (paper Fig. 15).
+ *
+ * Hot-path discipline: the per-access machinery is allocation-free in
+ * steady state. Each in-flight access rides a pooled Op context
+ * (event callbacks capture just {this, op}); parked requests live in
+ * per-frame intrusive lists drawn from a waiter arena; and the PRP
+ * clone staging copy reuses pooled 128 KiB buffers.
  */
 
 #ifndef HAMS_CORE_HAMS_CONTROLLER_HH_
@@ -23,7 +29,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <unordered_map>
+#include <vector>
 
 #include "core/mos_tag_array.hh"
 #include "core/nvme_engine.hh"
@@ -31,6 +37,7 @@
 #include "dram/nvdimm.hh"
 #include "mem/request.hh"
 #include "sim/event_queue.hh"
+#include "sim/pool.hh"
 
 namespace hams {
 
@@ -55,6 +62,15 @@ struct HamsControllerConfig
     HazardPolicy hazard = HazardPolicy::PrpClone;
     /** Cache-logic latency: decompose + comparator + mux. */
     Tick logicLatency = nanoseconds(15);
+    /**
+     * True when the platform carries real bytes end to end (functional
+     * SSD). Timing-only runs skip the PRP-clone byte copy: the NVDIMM
+     * store always exists for the pinned region, but with a
+     * non-functional SSD nothing ever reads the cloned frame, so the
+     * 2x page-size memcpy per dirty miss would be pure host-side
+     * overhead. The clone's *timing* is charged either way.
+     */
+    bool functionalData = true;
 };
 
 /** Aggregate controller statistics. */
@@ -82,7 +98,7 @@ struct HamsStats
 class HamsController
 {
   public:
-    using AccessCb = std::function<void(Tick, const LatencyBreakdown&)>;
+    using AccessCb = hams::AccessCb;
 
     HamsController(EventQueue& eq, Nvdimm& nvdimm, HamsNvmeEngine& engine,
                    PinnedRegion& pinned, std::uint64_t mos_capacity,
@@ -107,7 +123,7 @@ class HamsController
     void
     access(const MemAccess& acc, Tick at, AccessCb cb)
     {
-        access(acc, nullptr, nullptr, at, cb);
+        access(acc, nullptr, nullptr, at, std::move(cb));
     }
 
     /** Drop volatile state (wait queue, persist gate) on power failure. */
@@ -119,14 +135,49 @@ class HamsController
      */
     void recover(Tick at, std::function<void(Tick)> done);
 
+    /** @name Pool introspection (tests/bench). */
+    ///@{
+    std::size_t stagingFramesAllocated() const
+    {
+        return staging.totalFrames();
+    }
+    std::size_t opContextsAllocated() const { return opPool.totalObjects(); }
+    ///@}
+
   private:
+    static constexpr std::uint32_t nil = ~std::uint32_t(0);
+
+    /**
+     * Pooled context of one in-flight access. All per-access state
+     * lives here so event and completion callbacks capture only
+     * {this, op} — 16 bytes, well inside the inline-callback budget.
+     */
+    struct Op
+    {
+        MemAccess acc;
+        const std::uint8_t* wdata;
+        std::uint8_t* rdata;
+        std::uint64_t idx;    //!< cache frame (computed once in access())
+        std::uint64_t newTag; //!< tag after the fill lands
+        Tick reqAt;           //!< miss submit time (device-held check)
+        Addr line;            //!< resolved NVDIMM line address
+        Tick done;            //!< completion tick
+        LatencyBreakdown bd;
+        AccessCb cb;
+    };
+
+    /** One parked request in a per-frame intrusive wait list. */
     struct Waiter
     {
         MemAccess acc;
         const std::uint8_t* wdata;
         std::uint8_t* rdata;
         AccessCb cb;
+        std::uint32_t next;
     };
+
+    /** Persist-gate / eviction-chain thunk (inline capture). */
+    using GateThunk = InlineFunction<void(Tick)>;
 
     /** NVDIMM byte address of cache frame @p idx. */
     Addr frameAddr(std::uint64_t idx) const
@@ -145,24 +196,32 @@ class HamsController
         return cfg.pageBytes / nvmeBlockSize;
     }
 
-    void handleHit(const MemAccess& acc, const std::uint8_t* wdata,
-                   std::uint8_t* rdata, Tick at, AccessCb cb);
-    void handleMiss(const MemAccess& acc, const std::uint8_t* wdata,
-                    std::uint8_t* rdata, Tick at, AccessCb cb);
+    /** Build a pooled Op for a new request. */
+    Op* makeOp(const MemAccess& acc, const std::uint8_t* wdata,
+               std::uint8_t* rdata, std::uint64_t idx, AccessCb cb);
+
+    void handleHit(Op* op, Tick at);
+    void handleMiss(Op* op, Tick at);
 
     /** Final NVDIMM data access of a request, plus functional bytes. */
-    void serveFromFrame(const MemAccess& acc, const std::uint8_t* wdata,
-                        std::uint8_t* rdata, std::uint64_t idx, Tick at,
-                        LatencyBreakdown bd, AccessCb cb);
+    void serveFromFrame(Op* op, Tick at);
 
     /** Issue fill (and possibly eviction) for a missing page. */
-    void startMissIo(const MemAccess& acc, const std::uint8_t* wdata,
-                     std::uint8_t* rdata, Tick at, LatencyBreakdown bd,
-                     AccessCb cb);
+    void startMissIo(Op* op, Tick at);
+
+    /** Submit the demand fill of @p op. */
+    void submitFill(Op* op, Tick t);
+
+    /** Fill landed: install the tag, serve the line, wake waiters. */
+    void onFillDone(Op* op, const NvmeCmdTrace& trace, Tick when);
 
     /** Persist-mode gate: run thunks one I/O at a time. */
-    void gateSubmit(Tick at, std::function<void(Tick)> thunk);
+    void gateSubmit(Tick at, GateThunk thunk);
     void gateRelease(Tick at);
+
+    /** Park a request on frame @p idx's wait list. */
+    void parkWaiter(const MemAccess& acc, const std::uint8_t* wdata,
+                    std::uint8_t* rdata, std::uint64_t idx, AccessCb cb);
 
     /** Wake accesses parked on @p idx. */
     void drainWaiters(std::uint64_t idx, Tick at);
@@ -176,11 +235,18 @@ class HamsController
     MosTagArray tags;
     HamsStats _stats;
 
-    std::unordered_map<std::uint64_t, std::deque<Waiter>> waitQueue;
+    ObjectPool<Op> opPool;
+    FrameBufferPool staging; //!< PRP-clone staging copies (pageBytes each)
+
+    /** Waiter arena + per-frame intrusive list heads/tails. */
+    std::vector<Waiter> waiterPool;
+    std::uint32_t waiterFreeHead = nil;
+    std::vector<std::uint32_t> waitHead;
+    std::vector<std::uint32_t> waitTail;
 
     /** Persist-mode serialisation. */
     bool gateBusy = false;
-    std::deque<std::function<void(Tick)>> gateQueue;
+    std::deque<GateThunk> gateQueue;
 };
 
 } // namespace hams

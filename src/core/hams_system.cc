@@ -151,6 +151,7 @@ HamsSystem::HamsSystem(const HamsSystemConfig& cfg)
     ccfg.pageBytes = cfg.mosPageBytes;
     ccfg.mode = cfg.mode;
     ccfg.hazard = cfg.hazard;
+    ccfg.functionalData = cfg.functionalData;
     std::uint64_t mos_capacity =
         ssd->capacityBytes() / cfg.mosPageBytes * cfg.mosPageBytes;
     ctrl = std::make_unique<HamsController>(eq, *nvdimm, *engine, *pinned,
@@ -234,7 +235,7 @@ HamsSystem::powerFail()
 {
     // In-flight events evaporate with the power.
     eq.reset(false);
-    nvmeCtrl->powerFail();
+    nvmeCtrl->powerFail(/*events_dropped=*/true);
     engine->onPowerFail();
     ctrl->onPowerFail();
     ssd->powerFail();

@@ -1,6 +1,6 @@
 #include "core/nvme_engine.hh"
 
-#include <memory>
+#include <algorithm>
 
 #include "sim/logging.hh"
 
@@ -19,6 +19,8 @@ HamsNvmeEngine::HamsNvmeEngine(EventQueue& eq, NvmeController& ctrl,
             return;
         handleCompletion(cqe, cmd, trace, at);
     });
+
+    inFlight.resize(65536);
 }
 
 Tick
@@ -47,7 +49,13 @@ HamsNvmeEngine::submit(NvmeCommand cmd, Tick at, DoneCb done)
     ++_stats.journalSets;
 
     std::uint16_t slot = qp.push(cmd);
-    inFlight.emplace(cmd.cid, Pending{slot, std::move(done)});
+    Pending& p = inFlight[cmd.cid];
+    if (p.live)
+        panic("cid space exhausted: 64Ki commands outstanding");
+    p.slot = slot;
+    p.live = true;
+    p.done = std::move(done);
+    ++_outstanding;
     ++_stats.submitted;
 
     Tick notified = notifyDevice(at);
@@ -60,25 +68,27 @@ HamsNvmeEngine::handleCompletion(const NvmeCompletion& cqe,
                                  const NvmeCommand& cmd,
                                  const NvmeCmdTrace& trace, Tick at)
 {
-    auto it = inFlight.find(cqe.cid);
-    if (it == inFlight.end())
+    Pending& p = inFlight[cqe.cid];
+    if (!p.live)
         return; // stale completion from before a power failure
 
     // Consume the CQE and clear the journal tag in the persistent SQ
     // slot: the command is now durable on the device side.
     pinned.queuePair().popCompletion();
-    NvmeCommand journalled = pinned.queuePair().readSlot(it->second.slot);
+    NvmeCommand journalled = pinned.queuePair().readSlot(p.slot);
     if (journalled.cid == cmd.cid) {
         journalled.journalTag = 0;
-        pinned.queuePair().writeSlot(it->second.slot, journalled);
+        pinned.queuePair().writeSlot(p.slot, journalled);
         ++_stats.journalClears;
     }
 
     if (pinned.isPrpFrame(cmd.prp1))
         pinned.freePrpFrame(cmd.prp1);
 
-    DoneCb done = std::move(it->second.done);
-    inFlight.erase(it);
+    DoneCb done = std::move(p.done);
+    p.live = false;
+    if (_outstanding > 0)
+        --_outstanding;
     ++_stats.completed;
     if (done)
         done(cmd, trace, at);
@@ -100,7 +110,11 @@ HamsNvmeEngine::scanJournal() const
 void
 HamsNvmeEngine::onPowerFail()
 {
-    inFlight.clear();
+    for (Pending& p : inFlight) {
+        p.live = false;
+        p.done = nullptr;
+    }
+    _outstanding = 0;
 }
 
 void
@@ -127,25 +141,28 @@ HamsNvmeEngine::replayPending(Tick at, DoneCb per_cmd,
         return;
     }
 
-    auto remaining = std::make_shared<std::size_t>(pending.size());
-    auto last_tick = std::make_shared<Tick>(at);
-    auto per_cmd_shared = std::make_shared<DoneCb>(std::move(per_cmd));
-    auto done_shared =
-        std::make_shared<std::function<void(Tick)>>(std::move(done));
+    replay.remaining = pending.size();
+    replay.lastTick = at;
+    replay.perCmd = std::move(per_cmd);
+    replay.done = std::move(done);
 
     for (const NvmeCommand& cmd : pending) {
         ++_stats.replayed;
         // Re-issue with a fresh cid; the original slot content is
         // superseded by the new journalled entry.
-        NvmeCommand replay = cmd;
-        submit(replay, at,
-               [remaining, last_tick, per_cmd_shared, done_shared](
-                   const NvmeCommand& c, const NvmeCmdTrace& t, Tick when) {
-                   *last_tick = std::max(*last_tick, when);
-                   if (*per_cmd_shared)
-                       (*per_cmd_shared)(c, t, when);
-                   if (--*remaining == 0 && *done_shared)
-                       (*done_shared)(*last_tick);
+        NvmeCommand rep = cmd;
+        submit(rep, at,
+               [this](const NvmeCommand& c, const NvmeCmdTrace& t,
+                      Tick when) {
+                   replay.lastTick = std::max(replay.lastTick, when);
+                   if (replay.perCmd)
+                       replay.perCmd(c, t, when);
+                   if (--replay.remaining == 0) {
+                       auto finish = std::move(replay.done);
+                       replay.perCmd = nullptr;
+                       if (finish)
+                           finish(replay.lastTick);
+                   }
                });
     }
 }

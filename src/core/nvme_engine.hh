@@ -8,6 +8,11 @@
  * HAMS, streams the command over the DDR4 register interface), tracks
  * completions, and maintains the *journal tag* of every in-flight
  * command so a power failure can be repaired by rescanning the SQ.
+ *
+ * Hot-path discipline: completion callbacks are inline-stored
+ * (InlineFunction) and the in-flight command table is a fixed,
+ * cid-indexed array instead of a hash map, so submit/complete never
+ * allocate in steady state.
  */
 
 #ifndef HAMS_CORE_NVME_ENGINE_HH_
@@ -15,13 +20,13 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "core/pinned_region.hh"
 #include "core/register_interface.hh"
 #include "nvme/nvme_controller.hh"
 #include "sim/event_queue.hh"
+#include "sim/inline_function.hh"
 
 namespace hams {
 
@@ -43,8 +48,8 @@ class HamsNvmeEngine
 {
   public:
     /** Completion callback: (command, latency trace, completion tick). */
-    using DoneCb =
-        std::function<void(const NvmeCommand&, const NvmeCmdTrace&, Tick)>;
+    using DoneCb = InlineFunction<void(const NvmeCommand&,
+                                       const NvmeCmdTrace&, Tick)>;
 
     /**
      * @param reg_if register-based interface for advanced HAMS, or
@@ -63,10 +68,7 @@ class HamsNvmeEngine
     std::uint16_t submit(NvmeCommand cmd, Tick at, DoneCb done);
 
     /** Commands submitted but not yet completed. */
-    std::uint32_t outstanding() const
-    {
-        return static_cast<std::uint32_t>(inFlight.size());
-    }
+    std::uint32_t outstanding() const { return _outstanding; }
 
     /**
      * Scan the (persistent) SQ region for commands whose journal tag is
@@ -106,13 +108,34 @@ class HamsNvmeEngine
     std::uint16_t qid;
     std::uint16_t nextCid = 1;
     NvmeEngineStats _stats;
+    std::uint32_t _outstanding = 0;
 
+    /**
+     * In-flight table indexed directly by the 16-bit cid (SQ slots
+     * free at fetch time, so outstanding commands are NOT bounded by
+     * SQ depth — only the full cid space guarantees no collision).
+     * Stale completions from before a power failure fail the live
+     * check; a submit that would overwrite a live entry (cid space
+     * exhausted by 64 Ki outstanding commands) panics instead of
+     * silently dropping a completion callback.
+     */
     struct Pending
     {
-        std::uint16_t slot;
+        std::uint16_t slot = 0;
+        bool live = false;
         DoneCb done;
     };
-    std::unordered_map<std::uint16_t, Pending> inFlight;
+    std::vector<Pending> inFlight;
+
+    /** Recovery replay bookkeeping (one replay at a time). */
+    struct ReplayState
+    {
+        std::size_t remaining = 0;
+        Tick lastTick = 0;
+        DoneCb perCmd;
+        std::function<void(Tick)> done;
+    };
+    ReplayState replay;
 };
 
 } // namespace hams

@@ -21,6 +21,8 @@ PageFtl::PageFtl(const FlashGeometry& geom, Fil& fil, const FtlConfig& cfg)
     _logicalPages = static_cast<std::uint64_t>(
         static_cast<double>(geom.totalPages()) * (1.0 - cfg.overProvision));
 
+    l2p.init(_logicalPages);
+
     std::uint64_t pu_count = geom.parallelUnits();
     units.resize(pu_count);
     blocks.resize(pu_count * geom.blocksPerPlane);
@@ -92,10 +94,10 @@ Tick
 PageFtl::readPage(std::uint64_t lpn, std::uint32_t bytes, Tick at)
 {
     ++_stats.hostReads;
-    auto it = l2p.find(lpn);
-    if (it == l2p.end())
+    std::uint64_t ppn = l2p.get(lpn);
+    if (ppn == L2pMap::unmapped)
         return at; // unmapped: zero-fill, no flash access
-    return fil.submit({FlashOp::Type::Read, it->second, bytes}, at);
+    return fil.submit({FlashOp::Type::Read, ppn, bytes}, at);
 }
 
 std::uint32_t
@@ -154,12 +156,13 @@ PageFtl::writePage(std::uint64_t lpn, std::uint32_t bytes, Tick at)
               " pages)");
     ++_stats.hostWrites;
 
-    auto it = l2p.find(lpn);
-    if (it != l2p.end())
-        invalidate(it->second);
+    std::uint64_t old_ppn = l2p.get(lpn);
+    if (old_ppn != L2pMap::unmapped)
+        invalidate(old_ppn);
 
     std::uint64_t pu = nextPu;
-    nextPu = (nextPu + 1) % units.size();
+    if (++nextPu == units.size())
+        nextPu = 0;
 
     std::uint64_t ppn = allocate(pu, at);
     std::uint64_t pu2;
@@ -169,7 +172,7 @@ PageFtl::writePage(std::uint64_t lpn, std::uint32_t bytes, Tick at)
     b.pageLpns[page] = lpn;
     b.validBits[page / 64] |= 1ull << (page % 64);
     ++b.validCount;
-    l2p[lpn] = ppn;
+    l2p.set(lpn, ppn);
 
     return fil.submit({FlashOp::Type::Program, ppn, bytes}, at);
 }
@@ -177,26 +180,26 @@ PageFtl::writePage(std::uint64_t lpn, std::uint32_t bytes, Tick at)
 void
 PageFtl::trim(std::uint64_t lpn)
 {
-    auto it = l2p.find(lpn);
-    if (it == l2p.end())
+    std::uint64_t ppn = l2p.get(lpn);
+    if (ppn == L2pMap::unmapped)
         return;
-    invalidate(it->second);
-    l2p.erase(it);
+    invalidate(ppn);
+    l2p.erase(lpn);
 }
 
 bool
 PageFtl::isMapped(std::uint64_t lpn) const
 {
-    return l2p.count(lpn) != 0;
+    return l2p.get(lpn) != L2pMap::unmapped;
 }
 
 std::uint64_t
 PageFtl::physicalOf(std::uint64_t lpn) const
 {
-    auto it = l2p.find(lpn);
-    if (it == l2p.end())
+    std::uint64_t ppn = l2p.get(lpn);
+    if (ppn == L2pMap::unmapped)
         panic("physicalOf on unmapped LPN ", lpn);
-    return it->second;
+    return ppn;
 }
 
 void
@@ -243,7 +246,7 @@ PageFtl::collect(std::uint64_t pu, Tick& at)
             nb.pageLpns[npage] = lpn;
             nb.validBits[npage / 64] |= 1ull << (npage % 64);
             ++nb.validCount;
-            l2p[lpn] = new_ppn;
+            l2p.set(lpn, new_ppn);
             ++_stats.gcRelocations;
 
             at = fil.submit({FlashOp::Type::Program, new_ppn,

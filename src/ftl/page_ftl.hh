@@ -12,8 +12,9 @@
 #ifndef HAMS_FTL_PAGE_FTL_HH_
 #define HAMS_FTL_PAGE_FTL_HH_
 
+#include <array>
 #include <cstdint>
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
 #include "flash/fil.hh"
@@ -131,6 +132,64 @@ class PageFtl
     /** Greedy GC on one unit until the high watermark is met. */
     void collect(std::uint64_t pu, Tick& at);
 
+    /**
+     * Two-level direct logical-to-physical map (no hashing): every
+     * host I/O probes this once per FTL unit, so the lookup is a
+     * shift, an index and a load. Leaves cover 512 LPNs and allocate
+     * lazily, keeping sparsity for mostly-unmapped devices.
+     */
+    class L2pMap
+    {
+      public:
+        static constexpr std::uint64_t unmapped = ~std::uint64_t(0);
+
+        void
+        init(std::uint64_t pages)
+        {
+            root.resize((pages + leafPages - 1) >> leafBits);
+        }
+
+        std::uint64_t
+        get(std::uint64_t lpn) const
+        {
+            // Out-of-range LPNs read as unmapped (the public FTL API
+            // tolerates them, as the old hash map did).
+            std::uint64_t hi = lpn >> leafBits;
+            if (hi >= root.size())
+                return unmapped;
+            const Leaf* leaf = root[hi].get();
+            return leaf ? (*leaf)[lpn & (leafPages - 1)] : unmapped;
+        }
+
+        void
+        set(std::uint64_t lpn, std::uint64_t ppn)
+        {
+            std::unique_ptr<Leaf>& leaf = root[lpn >> leafBits];
+            if (!leaf) {
+                leaf = std::make_unique<Leaf>();
+                leaf->fill(unmapped);
+            }
+            (*leaf)[lpn & (leafPages - 1)] = ppn;
+        }
+
+        void
+        erase(std::uint64_t lpn)
+        {
+            std::uint64_t hi = lpn >> leafBits;
+            if (hi >= root.size())
+                return;
+            Leaf* leaf = root[hi].get();
+            if (leaf)
+                (*leaf)[lpn & (leafPages - 1)] = unmapped;
+        }
+
+      private:
+        static constexpr std::uint32_t leafBits = 9;
+        static constexpr std::uint32_t leafPages = 1u << leafBits;
+        using Leaf = std::array<std::uint64_t, leafPages>;
+        std::vector<std::unique_ptr<Leaf>> root;
+    };
+
     FlashGeometry geom;
     Fil& fil;
     FtlConfig cfg;
@@ -142,7 +201,7 @@ class PageFtl
 
     std::vector<Unit> units;
     std::vector<Block> blocks; //!< all blocks, indexed globally
-    std::unordered_map<std::uint64_t, std::uint64_t> l2p;
+    L2pMap l2p;
 };
 
 } // namespace hams

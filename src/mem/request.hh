@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <string>
 
+#include "sim/inline_function.hh"
 #include "sim/types.hh"
 
 namespace hams {
@@ -61,6 +62,15 @@ struct LatencyBreakdown
         return *this;
     }
 };
+
+/**
+ * Completion callback of one access: (completion tick, attribution).
+ *
+ * An InlineFunction rather than std::function: completions fire on
+ * every simulated access, and captures up to 48 bytes ride inline with
+ * no heap allocation (hot-path discipline, ROADMAP.md).
+ */
+using AccessCb = InlineFunction<void(Tick, const LatencyBreakdown&)>;
 
 /** Human-readable op name. */
 inline const char*

@@ -15,22 +15,31 @@ SparseMemory::SparseMemory(std::uint64_t capacity, std::uint32_t frame_size)
     if (capacity % frame_size != 0)
         fatal("SparseMemory capacity ", capacity,
               " is not a multiple of the frame size ", frame_size);
+
+    frameShift = 0;
+    while ((1u << frameShift) != frame_size)
+        ++frameShift;
+
+    std::uint64_t frames = capacity >> frameShift;
+    root.resize((frames + framesPerLeaf - 1) >> leafBits);
 }
 
-const SparseMemory::Frame*
-SparseMemory::findFrame(std::uint64_t frame_no) const
-{
-    auto it = frames.find(frame_no);
-    return it == frames.end() ? nullptr : &it->second;
-}
-
-SparseMemory::Frame&
+std::uint8_t*
 SparseMemory::getFrame(std::uint64_t frame_no)
 {
-    auto& f = frames[frame_no];
-    if (f.empty())
-        f.resize(_frameSize, 0);
-    return f;
+    std::unique_ptr<Leaf>& leaf = root[frame_no >> leafBits];
+    if (!leaf)
+        leaf = std::make_unique<Leaf>();
+    std::unique_ptr<std::uint8_t[]>& frame =
+        (*leaf)[frame_no & (framesPerLeaf - 1)];
+    if (!frame) {
+        frame = std::make_unique<std::uint8_t[]>(_frameSize);
+        std::memset(frame.get(), 0, _frameSize);
+        ++_allocatedFrames;
+    }
+    lastFrameNo = frame_no;
+    lastFrame = frame.get();
+    return frame.get();
 }
 
 void
@@ -40,17 +49,30 @@ SparseMemory::read(Addr addr, void* dst, std::uint64_t size) const
         fatal("SparseMemory read [", addr, ", ", addr + size,
               ") exceeds capacity ", _capacity);
     auto* out = static_cast<std::uint8_t*>(dst);
+
+    // Fast path: the whole read lands in the cached frame.
+    std::uint64_t frame_no = addr >> frameShift;
+    std::uint64_t off = addr & (_frameSize - 1);
+    if (frame_no == lastFrameNo && off + size <= _frameSize) {
+        std::memcpy(out, lastFrame + off, size);
+        return;
+    }
+
+    // Span path: walk frames with direct table indexing.
     while (size > 0) {
-        std::uint64_t frame_no = addr / _frameSize;
-        std::uint64_t off = addr % _frameSize;
-        std::uint64_t chunk = std::min<std::uint64_t>(size, _frameSize - off);
-        if (const Frame* f = findFrame(frame_no))
-            std::memcpy(out, f->data() + off, chunk);
-        else
+        std::uint64_t chunk =
+            std::min<std::uint64_t>(size, _frameSize - off);
+        if (const std::uint8_t* f = findFrame(frame_no)) {
+            std::memcpy(out, f + off, chunk);
+            lastFrameNo = frame_no;
+            lastFrame = const_cast<std::uint8_t*>(f);
+        } else {
             std::memset(out, 0, chunk);
+        }
         out += chunk;
-        addr += chunk;
         size -= chunk;
+        ++frame_no;
+        off = 0;
     }
 }
 
@@ -61,47 +83,83 @@ SparseMemory::write(Addr addr, const void* src, std::uint64_t size)
         fatal("SparseMemory write [", addr, ", ", addr + size,
               ") exceeds capacity ", _capacity);
     const auto* in = static_cast<const std::uint8_t*>(src);
+
+    // Fast path: the whole write lands in the cached frame.
+    std::uint64_t frame_no = addr >> frameShift;
+    std::uint64_t off = addr & (_frameSize - 1);
+    if (frame_no == lastFrameNo && off + size <= _frameSize) {
+        std::memcpy(lastFrame + off, in, size);
+        return;
+    }
+
     while (size > 0) {
-        std::uint64_t frame_no = addr / _frameSize;
-        std::uint64_t off = addr % _frameSize;
-        std::uint64_t chunk = std::min<std::uint64_t>(size, _frameSize - off);
-        std::memcpy(getFrame(frame_no).data() + off, in, chunk);
+        std::uint64_t chunk =
+            std::min<std::uint64_t>(size, _frameSize - off);
+        std::memcpy(getFrame(frame_no) + off, in, chunk);
         in += chunk;
-        addr += chunk;
         size -= chunk;
+        ++frame_no;
+        off = 0;
     }
 }
 
 void
 SparseMemory::fill(Addr addr, std::uint8_t value, std::uint64_t size)
 {
-    std::vector<std::uint8_t> buf(std::min<std::uint64_t>(size, _frameSize),
-                                  value);
+    if (addr + size > _capacity)
+        fatal("SparseMemory fill [", addr, ", ", addr + size,
+              ") exceeds capacity ", _capacity);
+    std::uint64_t frame_no = addr >> frameShift;
+    std::uint64_t off = addr & (_frameSize - 1);
     while (size > 0) {
-        std::uint64_t chunk = std::min<std::uint64_t>(size, buf.size());
-        write(addr, buf.data(), chunk);
-        addr += chunk;
+        std::uint64_t chunk =
+            std::min<std::uint64_t>(size, _frameSize - off);
+        std::memset(getFrame(frame_no) + off, value, chunk);
         size -= chunk;
+        ++frame_no;
+        off = 0;
     }
 }
 
 std::uint64_t
 SparseMemory::checksum(Addr addr, std::uint64_t size) const
 {
-    // FNV-1a, chunked through a scratch buffer so holes hash as zeros.
+    if (addr + size > _capacity)
+        fatal("SparseMemory checksum [", addr, ", ", addr + size,
+              ") exceeds capacity ", _capacity);
+    // FNV-1a straight over the frames; holes hash as zeros without a
+    // scratch buffer.
+    constexpr std::uint64_t prime = 1099511628211ULL;
     std::uint64_t h = 1469598103934665603ULL;
-    std::vector<std::uint8_t> buf(std::min<std::uint64_t>(size, _frameSize));
+    std::uint64_t frame_no = addr >> frameShift;
+    std::uint64_t off = addr & (_frameSize - 1);
     while (size > 0) {
-        std::uint64_t chunk = std::min<std::uint64_t>(size, buf.size());
-        read(addr, buf.data(), chunk);
-        for (std::uint64_t i = 0; i < chunk; ++i) {
-            h ^= buf[i];
-            h *= 1099511628211ULL;
+        std::uint64_t chunk =
+            std::min<std::uint64_t>(size, _frameSize - off);
+        if (const std::uint8_t* f = findFrame(frame_no)) {
+            for (std::uint64_t i = 0; i < chunk; ++i) {
+                h ^= f[off + i];
+                h *= prime;
+            }
+        } else {
+            for (std::uint64_t i = 0; i < chunk; ++i)
+                h *= prime; // h ^= 0 is a no-op
         }
-        addr += chunk;
         size -= chunk;
+        ++frame_no;
+        off = 0;
     }
     return h;
+}
+
+void
+SparseMemory::clear()
+{
+    for (auto& leaf : root)
+        leaf.reset();
+    _allocatedFrames = 0;
+    lastFrameNo = ~std::uint64_t(0);
+    lastFrame = nullptr;
 }
 
 } // namespace hams

@@ -6,15 +6,21 @@
  * tests can verify end-to-end integrity, while only allocating frames
  * that are actually touched. Unwritten bytes read as zero, mirroring a
  * freshly formatted device.
+ *
+ * Lookup is a two-level direct page table (no hashing): a root array of
+ * leaf pointers, each leaf holding 512 frame pointers. A last-frame
+ * cache short-circuits the common case of consecutive accesses landing
+ * in the same frame, and span transfers walk frames with direct
+ * indexing instead of per-frame map lookups.
  */
 
 #ifndef HAMS_MEM_SPARSE_MEMORY_HH_
 #define HAMS_MEM_SPARSE_MEMORY_HH_
 
+#include <array>
 #include <cstdint>
 #include <cstring>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/types.hh"
@@ -25,12 +31,14 @@ namespace hams {
  * A sparse byte-addressable store backed by lazily allocated frames.
  *
  * Frames default to 4 KiB. Reads of never-written regions return zeros
- * without allocating.
+ * without allocating. Frames never move once allocated, so the
+ * last-frame cache stays valid until clear().
  */
 class SparseMemory
 {
   public:
-    explicit SparseMemory(std::uint64_t capacity, std::uint32_t frame_size = 4096);
+    explicit SparseMemory(std::uint64_t capacity,
+                          std::uint32_t frame_size = 4096);
 
     std::uint64_t capacity() const { return _capacity; }
     std::uint32_t frameSize() const { return _frameSize; }
@@ -65,20 +73,39 @@ class SparseMemory
     std::uint64_t checksum(Addr addr, std::uint64_t size) const;
 
     /** Number of frames actually allocated. */
-    std::size_t allocatedFrames() const { return frames.size(); }
+    std::size_t allocatedFrames() const { return _allocatedFrames; }
 
     /** Drop all contents (device reformat). */
-    void clear() { frames.clear(); }
+    void clear();
 
   private:
-    using Frame = std::vector<std::uint8_t>;
+    /** log2 of frames per leaf table. */
+    static constexpr std::uint32_t leafBits = 9;
+    static constexpr std::uint32_t framesPerLeaf = 1u << leafBits;
 
-    const Frame* findFrame(std::uint64_t frame_no) const;
-    Frame& getFrame(std::uint64_t frame_no);
+    using Leaf = std::array<std::unique_ptr<std::uint8_t[]>, framesPerLeaf>;
+
+    /** Frame data pointer, or nullptr for a hole. */
+    const std::uint8_t*
+    findFrame(std::uint64_t frame_no) const
+    {
+        const Leaf* leaf = root[frame_no >> leafBits].get();
+        return leaf ? (*leaf)[frame_no & (framesPerLeaf - 1)].get()
+                    : nullptr;
+    }
+
+    /** Frame data pointer, allocating leaf and frame as needed. */
+    std::uint8_t* getFrame(std::uint64_t frame_no);
 
     std::uint64_t _capacity;
     std::uint32_t _frameSize;
-    std::unordered_map<std::uint64_t, Frame> frames;
+    std::uint32_t frameShift; //!< log2(_frameSize)
+    std::size_t _allocatedFrames = 0;
+    std::vector<std::unique_ptr<Leaf>> root;
+
+    /** Last-frame cache: valid until clear() (frames never move). */
+    mutable std::uint64_t lastFrameNo = ~std::uint64_t(0);
+    mutable std::uint8_t* lastFrame = nullptr;
 };
 
 } // namespace hams

@@ -1,6 +1,6 @@
 #include "nvme/nvme_controller.hh"
 
-#include <memory>
+#include <utility>
 
 #include "sim/logging.hh"
 
@@ -40,7 +40,11 @@ NvmeController::ringDoorbell(std::uint16_t qid, Tick at)
     // happen early on the wire, and executing in between would let one
     // command's (later) data DMA reserve host memory ahead of the next
     // command's (earlier) fetch in the analytic resource model.
-    std::vector<std::pair<NvmeCommand, Tick>> fetched_cmds;
+    // Swap-to-local reuses the batch buffer's capacity while staying
+    // safe against reentrant rings.
+    std::vector<std::pair<NvmeCommand, Tick>> batch;
+    batch.swap(fetchScratch);
+    batch.clear();
     while (qp->hasWork()) {
         std::uint16_t slot = qp->sqHead();
         NvmeCommand cmd = qp->fetch();
@@ -49,10 +53,12 @@ NvmeController::ringDoorbell(std::uint16_t qid, Tick at)
                                        MemOp::Read, db_at_device);
         Tick fetched = link.transfer(sizeof(NvmeCommand), LinkDir::ToDevice,
                                      mem_done);
-        fetched_cmds.emplace_back(cmd, fetched + cfg.cmdProcessing);
+        batch.emplace_back(cmd, fetched + cfg.cmdProcessing);
     }
-    for (auto& [cmd, start] : fetched_cmds)
+    for (auto& [cmd, start] : batch)
         execute(qid, cmd, start);
+    batch.clear();
+    fetchScratch.swap(batch);
 }
 
 void
@@ -76,15 +82,20 @@ NvmeController::execute(std::uint16_t qid, const NvmeCommand& cmd,
 
     Tick done = start;
     std::uint64_t my_epoch = epoch;
+    bool functional = host.dmaData() && _ssd.config().functionalData;
 
     switch (cmd.op()) {
       case NvmeOpcode::Read: {
         Tick media_done;
-        auto buf = std::make_shared<std::vector<std::uint8_t>>();
-        if (host.dmaData() && _ssd.config().functionalData) {
-            buf->resize(bytes);
+        DataCtx* dctx = nullptr;
+        if (functional) {
+            dctx = dataPool.acquire();
+            dctx->epoch = my_epoch;
+            dctx->prp = cmd.prp1;
+            dctx->bytes = bytes;
+            dctx->data.resize(bytes);
             media_done = _ssd.hostRead(cmd.slba, cmd.blockCount(), start,
-                                       buf->data());
+                                       dctx->data.data());
         } else {
             media_done = _ssd.hostRead(cmd.slba, cmd.blockCount(), start);
         }
@@ -94,13 +105,13 @@ NvmeController::execute(std::uint16_t qid, const NvmeCommand& cmd,
         done = host.dmaAccess(cmd.prp1, static_cast<std::uint32_t>(bytes),
                               MemOp::Write, link_done);
         trace.dma = done - media_done;
-        if (!buf->empty()) {
+        if (dctx) {
             // Bytes land in host memory when the DMA completes.
-            Addr prp = cmd.prp1;
-            eq.scheduleAt(done, [this, my_epoch, prp, buf]() {
-                if (my_epoch != epoch)
-                    return;
-                host.dmaData()->write(prp, buf->data(), buf->size());
+            eq.scheduleAt(done, [this, dctx]() {
+                if (dctx->epoch == epoch)
+                    host.dmaData()->write(dctx->prp, dctx->data.data(),
+                                          dctx->bytes);
+                dataPool.release(dctx);
             });
         }
         break;
@@ -118,18 +129,23 @@ NvmeController::execute(std::uint16_t qid, const NvmeCommand& cmd,
         done = _ssd.hostWrite(cmd.slba, cmd.blockCount(), cmd.fua(),
                               dma_done);
         trace.media = done - dma_done;
-        if (host.dmaData() && _ssd.config().functionalData) {
-            Addr prp = cmd.prp1;
-            std::uint64_t slba = cmd.slba;
-            std::uint32_t blocks = cmd.blockCount();
-            bool fua = cmd.fua();
-            eq.scheduleAt(dma_done, [this, my_epoch, prp, slba, blocks,
-                                     fua, bytes]() {
-                if (my_epoch != epoch)
-                    return;
-                std::vector<std::uint8_t> data(bytes);
-                host.dmaData()->read(prp, data.data(), bytes);
-                _ssd.pokeWrite(slba, blocks, fua, data.data());
+        if (functional) {
+            DataCtx* dctx = dataPool.acquire();
+            dctx->epoch = my_epoch;
+            dctx->prp = cmd.prp1;
+            dctx->slba = cmd.slba;
+            dctx->blocks = cmd.blockCount();
+            dctx->bytes = bytes;
+            dctx->fua = cmd.fua();
+            eq.scheduleAt(dma_done, [this, dctx]() {
+                if (dctx->epoch == epoch) {
+                    dctx->data.resize(dctx->bytes);
+                    host.dmaData()->read(dctx->prp, dctx->data.data(),
+                                         dctx->bytes);
+                    _ssd.pokeWrite(dctx->slba, dctx->blocks, dctx->fua,
+                                   dctx->data.data());
+                }
+                dataPool.release(dctx);
             });
         }
         break;
@@ -150,28 +166,55 @@ NvmeController::execute(std::uint16_t qid, const NvmeCommand& cmd,
     Tick msi = link.signal(cqe_mem);
     trace.protocol += msi - (done + cfg.cplProcessing);
 
-    NvmeCompletion cqe;
-    cqe.cid = cmd.cid;
-    cqe.encode(NvmeStatus::Success, true);
+    CplCtx* ctx = cplPool.acquire();
+    ctx->epoch = my_epoch;
+    ctx->qid = qid;
+    ctx->qp = qp;
+    ctx->cqe = NvmeCompletion{};
+    ctx->cqe.cid = cmd.cid;
+    ctx->cqe.encode(NvmeStatus::Success, true);
+    ctx->cmd = cmd;
+    ctx->trace = trace;
+    ctx->msi = msi;
 
-    eq.scheduleAt(msi, [this, my_epoch, qid, qp, cqe, cmd, trace, msi]() {
-        if (my_epoch != epoch)
+    eq.scheduleAt(msi, [this, ctx]() {
+        if (ctx->epoch != epoch) {
+            cplPool.release(ctx);
             return;
-        qp->complete(cqe);
+        }
+        // Copy out and release first: the handler may submit new
+        // commands and reuse this context.
+        std::uint16_t q = ctx->qid;
+        QueuePair* queue = ctx->qp;
+        NvmeCompletion cqe = ctx->cqe;
+        NvmeCommand command = ctx->cmd;
+        NvmeCmdTrace tr = ctx->trace;
+        Tick when = ctx->msi;
+        cplPool.release(ctx);
+
+        queue->complete(cqe);
         if (_outstanding > 0)
             --_outstanding;
         if (handler)
-            handler(qid, cqe, cmd, trace, msi);
+            handler(q, cqe, command, tr, when);
     });
 }
 
 void
-NvmeController::powerFail()
+NvmeController::powerFail(bool events_dropped)
 {
     // Orphan every in-flight completion event; the SSD handles its own
     // buffer fate.
     ++epoch;
     _outstanding = 0;
+    if (events_dropped) {
+        // The event queue was reset, so the events that would have
+        // released these contexts are gone: take them all back.
+        cplPool.reclaimAll();
+        dataPool.reclaimAll();
+    }
+    // Otherwise the stale events still fire, observe the epoch
+    // mismatch, and release their contexts themselves.
 }
 
 } // namespace hams

@@ -22,6 +22,7 @@
 #include "nvme/queue_pair.hh"
 #include "pcie/pcie_link.hh"
 #include "sim/event_queue.hh"
+#include "sim/pool.hh"
 #include "ssd/ssd.hh"
 
 namespace hams {
@@ -96,13 +97,49 @@ class NvmeController
     /** Number of commands fetched but not yet completed. */
     std::uint32_t outstanding() const { return _outstanding; }
 
-    /** Drop in-flight work (power failure). */
-    void powerFail();
+    /**
+     * Drop in-flight work (power failure).
+     *
+     * @p events_dropped must be true iff the owning event queue was
+     * reset (its pending events discarded): then the pooled contexts
+     * those events referenced are reclaimed here. When the queue keeps
+     * running (false), the now-stale events release their own contexts
+     * on firing, and reclaiming early would double-free them.
+     */
+    void powerFail(bool events_dropped = false);
 
     Ssd& ssd() { return _ssd; }
 
   private:
     void execute(std::uint16_t qid, const NvmeCommand& cmd, Tick fetched);
+
+    /**
+     * Pooled context of one completion (CQE + MSI) event, so the event
+     * callback captures only {this, ctx} and stays inside the inline
+     * budget.
+     */
+    struct CplCtx
+    {
+        std::uint64_t epoch;
+        std::uint16_t qid;
+        QueuePair* qp;
+        NvmeCompletion cqe;
+        NvmeCommand cmd;
+        NvmeCmdTrace trace;
+        Tick msi;
+    };
+
+    /** Pooled context of one functional data-landing event. */
+    struct DataCtx
+    {
+        std::uint64_t epoch;
+        Addr prp;
+        std::uint64_t slba;
+        std::uint32_t blocks;
+        std::uint64_t bytes;
+        bool fua;
+        std::vector<std::uint8_t> data; //!< reused; resize is a no-op
+    };
 
     EventQueue& eq;
     Ssd& _ssd;
@@ -113,6 +150,11 @@ class NvmeController
     CompletionHandler handler;
     std::uint32_t _outstanding = 0;
     std::uint64_t epoch = 0; //!< bumped on power failure to orphan events
+
+    ObjectPool<CplCtx> cplPool;
+    ObjectPool<DataCtx> dataPool;
+    /** Doorbell fetch batch, reused across rings (swap-to-local). */
+    std::vector<std::pair<NvmeCommand, Tick>> fetchScratch;
 };
 
 } // namespace hams

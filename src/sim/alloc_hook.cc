@@ -1,0 +1,161 @@
+#include "sim/alloc_hook.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace hams::alloc_hook {
+namespace {
+
+std::atomic<std::uint64_t> calls{0};
+std::atomic<std::uint64_t> bytes{0};
+
+void*
+countedAlloc(std::size_t size)
+{
+    calls.fetch_add(1, std::memory_order_relaxed);
+    bytes.fetch_add(size, std::memory_order_relaxed);
+    return std::malloc(size ? size : 1);
+}
+
+void*
+countedAlignedAlloc(std::size_t size, std::size_t align)
+{
+    calls.fetch_add(1, std::memory_order_relaxed);
+    bytes.fetch_add(size, std::memory_order_relaxed);
+    void* p = nullptr;
+    if (posix_memalign(&p, align < sizeof(void*) ? sizeof(void*) : align,
+                       size ? size : align))
+        return nullptr;
+    return p;
+}
+
+} // namespace
+
+std::uint64_t
+newCalls()
+{
+    return calls.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+newBytes()
+{
+    return bytes.load(std::memory_order_relaxed);
+}
+
+} // namespace hams::alloc_hook
+
+// Counting replacements for the global allocation functions. Both
+// malloc results and posix_memalign results may be released through
+// free(), so every delete variant forwards there.
+
+void*
+operator new(std::size_t size)
+{
+    void* p = hams::alloc_hook::countedAlloc(size);
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+
+void*
+operator new[](std::size_t size)
+{
+    void* p = hams::alloc_hook::countedAlloc(size);
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+
+void*
+operator new(std::size_t size, const std::nothrow_t&) noexcept
+{
+    return hams::alloc_hook::countedAlloc(size);
+}
+
+void*
+operator new[](std::size_t size, const std::nothrow_t&) noexcept
+{
+    return hams::alloc_hook::countedAlloc(size);
+}
+
+void*
+operator new(std::size_t size, std::align_val_t align)
+{
+    void* p = hams::alloc_hook::countedAlignedAlloc(
+        size, static_cast<std::size_t>(align));
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+
+void*
+operator new[](std::size_t size, std::align_val_t align)
+{
+    void* p = hams::alloc_hook::countedAlignedAlloc(
+        size, static_cast<std::size_t>(align));
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+
+void
+operator delete(void* p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void* p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void* p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void* p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void* p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void* p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void* p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void* p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void* p, const std::nothrow_t&) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void* p, const std::nothrow_t&) noexcept
+{
+    std::free(p);
+}

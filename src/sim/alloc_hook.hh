@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Process-wide heap-allocation counter.
+ *
+ * The hot-path acceptance criterion is "zero steady-state heap
+ * allocations per simulated access"; this hook is how tests and
+ * benchmarks verify it. Linking alloc_hook.cc replaces the global
+ * operator new/delete with counting wrappers, so a test can snapshot
+ * newCalls() around a workload and assert the delta is zero.
+ *
+ * The counters are relaxed atomics: negligible overhead, and exact in
+ * the single-threaded simulator.
+ */
+
+#ifndef HAMS_SIM_ALLOC_HOOK_HH_
+#define HAMS_SIM_ALLOC_HOOK_HH_
+
+#include <cstdint>
+
+namespace hams::alloc_hook {
+
+/** Global operator new invocations since process start. */
+std::uint64_t newCalls();
+
+/** Total bytes requested through global operator new. */
+std::uint64_t newBytes();
+
+/**
+ * Convenience delta-counter:
+ *   AllocCounter c;
+ *   ... workload ...
+ *   EXPECT_EQ(c.delta(), 0u);
+ */
+class AllocCounter
+{
+  public:
+    AllocCounter() : start(newCalls()) {}
+    std::uint64_t delta() const { return newCalls() - start; }
+    void rebase() { start = newCalls(); }
+
+  private:
+    std::uint64_t start;
+};
+
+} // namespace hams::alloc_hook
+
+#endif // HAMS_SIM_ALLOC_HOOK_HH_

@@ -17,31 +17,43 @@ EventQueue::scheduleAt(Tick when, Callback cb)
 {
     if (when < _now)
         panic("scheduleAt(", when, ") is in the past (now=", _now, ")");
-    EventId id = nextId++;
-    heap.push_back(Entry{when, nextSeq++, id, std::move(cb)});
+
+    std::uint32_t slot;
+    if (!freeSlots.empty()) {
+        slot = freeSlots.back();
+        freeSlots.pop_back();
+    } else {
+        slot = static_cast<std::uint32_t>(slots.size());
+        slots.emplace_back();
+    }
+    std::uint32_t gen = slots[slot].gen;
+    slots[slot].cb = std::move(cb);
+
+    heap.push_back(Entry{when, nextSeq++, slot, gen});
     std::push_heap(heap.begin(), heap.end(), Later{});
     ++livePending;
-    return id;
+    return makeId(slot, gen);
 }
 
 void
 EventQueue::deschedule(EventId id)
 {
-    // Lazy cancellation: remember the id; skip it when it surfaces.
-    if (id == 0 || id >= nextId)
+    std::uint32_t slot = static_cast<std::uint32_t>(id);
+    std::uint32_t gen = static_cast<std::uint32_t>(id >> 32);
+    // Zero-generation ids never exist; stale ids (fired, cancelled or
+    // pre-reset) fail the generation compare.
+    if (gen == 0 || slot >= slots.size() || slots[slot].gen != gen)
         return;
-    if (cancelled.insert(id).second && livePending > 0)
-        --livePending;
+    retireSlot(slot);
+    --livePending;
+    // The heap entry stays behind; skipStale() drops it when it
+    // surfaces, recognizing the generation mismatch.
 }
 
 void
-EventQueue::skipCancelled()
+EventQueue::skipStale()
 {
-    while (!heap.empty()) {
-        auto it = cancelled.find(heap.front().id);
-        if (it == cancelled.end())
-            return;
-        cancelled.erase(it);
+    while (!heap.empty() && stale(heap.front())) {
         std::pop_heap(heap.begin(), heap.end(), Later{});
         heap.pop_back();
     }
@@ -50,16 +62,21 @@ EventQueue::skipCancelled()
 bool
 EventQueue::step()
 {
-    skipCancelled();
+    skipStale();
     if (heap.empty())
         return false;
     std::pop_heap(heap.begin(), heap.end(), Later{});
-    Entry e = std::move(heap.back());
+    Entry e = heap.back();
     heap.pop_back();
+    // Move the callback out and retire the slot before invoking, so
+    // the callback sees its own id as dead and can schedule into the
+    // recycled slot.
+    Callback cb = std::move(slots[e.slot].cb);
+    retireSlot(e.slot);
     _now = e.when;
     --livePending;
     ++firedCount;
-    e.cb();
+    cb();
     return true;
 }
 
@@ -75,7 +92,7 @@ Tick
 EventQueue::runUntil(Tick limit)
 {
     for (;;) {
-        skipCancelled();
+        skipStale();
         if (heap.empty())
             return _now;
         if (heap.front().when > limit) {
@@ -90,7 +107,17 @@ void
 EventQueue::reset(bool rewind_time)
 {
     heap.clear();
-    cancelled.clear();
+    // Invalidate every id handed out so far, drop the parked
+    // callbacks, then return all slots to the free list: pre-reset ids
+    // can never cancel post-reset events.
+    freeSlots.clear();
+    freeSlots.reserve(slots.size());
+    for (std::uint32_t i = static_cast<std::uint32_t>(slots.size());
+         i-- > 0;) {
+        ++slots[i].gen;
+        slots[i].cb = nullptr;
+        freeSlots.push_back(i);
+    }
     livePending = 0;
     if (rewind_time)
         _now = 0;

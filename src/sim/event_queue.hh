@@ -5,21 +5,29 @@
  * A single EventQueue owns simulated time. Components schedule callbacks
  * at absolute or relative ticks; events scheduled for the same tick fire
  * in FIFO order of scheduling, which keeps the simulation deterministic.
+ *
+ * The kernel is allocation-free in steady state: callbacks are stored
+ * inline (InlineFunction, 48-byte capture budget) and cancellation uses
+ * generation-tagged slots in a free-list arena instead of a hash set, so
+ * schedule/fire/deschedule never touch the heap once the arena and the
+ * binary heap have grown to the workload's high-water mark.
  */
 
 #ifndef HAMS_SIM_EVENT_QUEUE_HH_
 #define HAMS_SIM_EVENT_QUEUE_HH_
 
 #include <cstdint>
-#include <functional>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/inline_function.hh"
 #include "sim/types.hh"
 
 namespace hams {
 
-/** Handle used to cancel a scheduled event. */
+/**
+ * Handle used to cancel a scheduled event: generation in the high 32
+ * bits, arena slot in the low 32. Value 0 is never a live id.
+ */
 using EventId = std::uint64_t;
 
 /**
@@ -27,13 +35,18 @@ using EventId = std::uint64_t;
  *
  * Ties at the same tick are broken by scheduling order (a monotonically
  * increasing sequence number), so two runs with identical inputs produce
- * identical event interleavings. Cancellation is lazy: descheduled ids
- * are skipped when they surface at the top of the heap.
+ * identical event interleavings.
+ *
+ * Each pending event owns a slot in a generation-tagged arena. The
+ * heap entry remembers the (slot, generation) it was scheduled under;
+ * deschedule() and firing bump the slot's generation, so stale heap
+ * entries and stale EventIds are recognized by a single array compare —
+ * no hash probe, and ids can never alias across slot reuse or reset().
  */
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = InlineFunction<void()>;
 
     EventQueue() = default;
     EventQueue(const EventQueue&) = delete;
@@ -76,19 +89,35 @@ class EventQueue
     /**
      * Drop every pending event and optionally rewind time to zero.
      * Used by power-failure injection: the machine's in-flight work
-     * simply vanishes.
+     * simply vanishes. All bookkeeping is cleared and every
+     * outstanding EventId is invalidated, so a pre-reset id can never
+     * cancel an event scheduled after the reset.
      */
     void reset(bool rewind_time = false);
 
     /** Total events fired since construction (for stats/tests). */
     std::uint64_t fired() const { return firedCount; }
 
+    /** Arena high-water mark (max concurrently pending events). */
+    std::size_t slotCount() const { return slots.size(); }
+
   private:
+    /**
+     * Heap entries are 24-byte PODs: the callback stays in its arena
+     * slot so sift operations move trivially copyable records instead
+     * of relocating type-erased callables.
+     */
     struct Entry
     {
         Tick when;
         std::uint64_t seq;
-        EventId id;
+        std::uint32_t slot;
+        std::uint32_t gen;
+    };
+
+    struct Slot
+    {
+        std::uint32_t gen = 1;
         Callback cb;
     };
 
@@ -102,16 +131,37 @@ class EventQueue
         }
     };
 
+    static EventId
+    makeId(std::uint32_t slot, std::uint32_t gen)
+    {
+        return (EventId(gen) << 32) | slot;
+    }
+
+    bool
+    stale(const Entry& e) const
+    {
+        return slots[e.slot].gen != e.gen;
+    }
+
+    /** Bump the generation and recycle the slot of a retired event. */
+    void
+    retireSlot(std::uint32_t slot)
+    {
+        ++slots[slot].gen;
+        slots[slot].cb = nullptr;
+        freeSlots.push_back(slot);
+    }
+
     /** Pop cancelled entries off the heap top. */
-    void skipCancelled();
+    void skipStale();
 
     Tick _now = 0;
     std::uint64_t nextSeq = 0;
-    EventId nextId = 1;
     std::size_t livePending = 0;
     std::uint64_t firedCount = 0;
     std::vector<Entry> heap;
-    std::unordered_set<EventId> cancelled;
+    std::vector<Slot> slots; //!< generation + callback arena
+    std::vector<std::uint32_t> freeSlots;
 };
 
 } // namespace hams

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Free-list pools backing the simulator's allocation-free hot paths.
+ *
+ * Objects and page-sized buffers that used to be allocated per
+ * simulated access (miss contexts, waiters, 128 KiB PRP staging
+ * copies) are acquired from these pools instead: the first use of a
+ * slot allocates, every later acquire/release cycle is two vector
+ * operations. Steady-state traffic therefore performs no heap
+ * allocation — the property the hot-path tests assert via the
+ * allocation-counting hook (sim/alloc_hook.hh).
+ */
+
+#ifndef HAMS_SIM_POOL_HH_
+#define HAMS_SIM_POOL_HH_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace hams {
+
+/**
+ * Pointer-stable pool of T objects. acquire() reuses a released object
+ * when one is available and allocates otherwise; objects live until the
+ * pool dies, so pointers handed out stay valid across pool growth.
+ *
+ * The pool does not reset object state: callers re-initialize the
+ * fields they use (and must, since a recycled object carries its
+ * previous contents).
+ */
+template <typename T>
+class ObjectPool
+{
+  public:
+    T*
+    acquire()
+    {
+        if (!freeList.empty()) {
+            T* obj = freeList.back();
+            freeList.pop_back();
+            return obj;
+        }
+        all.push_back(std::make_unique<T>());
+        return all.back().get();
+    }
+
+    void
+    release(T* obj)
+    {
+        freeList.push_back(obj);
+    }
+
+    /**
+     * Return every object to the free list. Only legal when no
+     * acquired pointer is still referenced — e.g. after a power
+     * failure has already dropped all in-flight events.
+     */
+    void
+    reclaimAll()
+    {
+        freeList.clear();
+        freeList.reserve(all.size());
+        for (auto& obj : all)
+            freeList.push_back(obj.get());
+    }
+
+    std::size_t totalObjects() const { return all.size(); }
+    std::size_t freeObjects() const { return freeList.size(); }
+    std::size_t liveObjects() const { return all.size() - freeList.size(); }
+
+  private:
+    std::vector<std::unique_ptr<T>> all;
+    std::vector<T*> freeList;
+};
+
+/**
+ * Pool of fixed-size byte buffers (the controller's 128 KiB PRP-clone
+ * staging frames). Frames are allocated on first use and recycled
+ * forever after.
+ */
+class FrameBufferPool
+{
+  public:
+    explicit FrameBufferPool(std::uint32_t frame_bytes = 0)
+        : frameBytes(frame_bytes)
+    {
+    }
+
+    /** Must be called before the first acquire() if constructed empty. */
+    void
+    setFrameBytes(std::uint32_t bytes)
+    {
+        frameBytes = bytes;
+    }
+
+    std::uint8_t*
+    acquire()
+    {
+        if (!freeList.empty()) {
+            std::uint8_t* f = freeList.back();
+            freeList.pop_back();
+            return f;
+        }
+        all.push_back(std::make_unique<std::uint8_t[]>(frameBytes));
+        return all.back().get();
+    }
+
+    void
+    release(std::uint8_t* frame)
+    {
+        freeList.push_back(frame);
+    }
+
+    std::size_t totalFrames() const { return all.size(); }
+    std::size_t freeFrames() const { return freeList.size(); }
+
+  private:
+    std::uint32_t frameBytes;
+    std::vector<std::unique_ptr<std::uint8_t[]>> all;
+    std::vector<std::uint8_t*> freeList;
+};
+
+} // namespace hams
+
+#endif // HAMS_SIM_POOL_HH_

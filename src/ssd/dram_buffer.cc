@@ -7,10 +7,19 @@
 namespace hams {
 
 DramBuffer::DramBuffer(const DramBufferConfig& cfg)
-    : cfg(cfg), capacityFrames(cfg.capacity / cfg.frameSize)
+    : cfg(cfg), capacityFrames(cfg.capacity / cfg.frameSize),
+      psPerByte(1e12 / cfg.bandwidth)
 {
     if (capacityFrames == 0)
         fatal("DRAM buffer smaller than one frame");
+
+    // Table at <= 50% load so linear probes stay short.
+    std::uint64_t want = std::uint64_t(capacityFrames) * 2;
+    std::uint64_t size = 16;
+    while (size < want)
+        size <<= 1;
+    table.assign(size, 0);
+    tableMask = static_cast<std::uint32_t>(size - 1);
 }
 
 Tick
@@ -18,85 +27,181 @@ DramBuffer::access(std::uint32_t bytes, Tick at)
 {
     Tick start = std::max(at, busyUntil);
     auto occupancy = static_cast<Tick>(
-        static_cast<double>(bytes) / cfg.bandwidth * 1e12);
+        static_cast<double>(bytes) * psPerByte);
     Tick done = start + cfg.accessLatency + occupancy;
     busyUntil = start + occupancy;
     _bytesAccessed += bytes;
     return done;
 }
 
+std::uint32_t
+DramBuffer::findSlot(std::uint64_t key) const
+{
+    std::uint32_t slot = idealSlot(key);
+    while (table[slot] != 0) {
+        if (nodes[table[slot] - 1].key == key)
+            return slot;
+        slot = (slot + 1) & tableMask;
+    }
+    return slot;
+}
+
+void
+DramBuffer::eraseSlot(std::uint32_t slot)
+{
+    // Backward-shift deletion (Knuth 6.4 R): pull displaced entries
+    // into the hole so probe chains never break, without tombstones.
+    for (;;) {
+        table[slot] = 0;
+        std::uint32_t hole = slot;
+        std::uint32_t j = slot;
+        for (;;) {
+            j = (j + 1) & tableMask;
+            if (table[j] == 0)
+                return;
+            std::uint32_t ideal = idealSlot(nodes[table[j] - 1].key);
+            // If ideal lies cyclically in (hole, j], the entry is
+            // already as close to home as it can get.
+            bool stays = hole <= j ? (hole < ideal && ideal <= j)
+                                   : (hole < ideal || ideal <= j);
+            if (stays)
+                continue;
+            table[hole] = table[j];
+            slot = j;
+            break;
+        }
+    }
+}
+
+std::uint32_t
+DramBuffer::allocNode()
+{
+    if (freeHead != nil) {
+        std::uint32_t n = freeHead;
+        freeHead = nodes[n].next;
+        return n;
+    }
+    nodes.emplace_back();
+    return static_cast<std::uint32_t>(nodes.size() - 1);
+}
+
+void
+DramBuffer::freeNode(std::uint32_t node)
+{
+    nodes[node].next = freeHead;
+    freeHead = node;
+}
+
+void
+DramBuffer::lruUnlink(std::uint32_t node)
+{
+    Node& n = nodes[node];
+    if (n.prev != nil)
+        nodes[n.prev].next = n.next;
+    else
+        lruHead = n.next;
+    if (n.next != nil)
+        nodes[n.next].prev = n.prev;
+    else
+        lruTail = n.prev;
+}
+
+void
+DramBuffer::lruPushFront(std::uint32_t node)
+{
+    Node& n = nodes[node];
+    n.prev = nil;
+    n.next = lruHead;
+    if (lruHead != nil)
+        nodes[lruHead].prev = node;
+    lruHead = node;
+    if (lruTail == nil)
+        lruTail = node;
+}
+
 bool
 DramBuffer::lookup(std::uint64_t key)
 {
-    auto it = frames.find(key);
-    if (it == frames.end())
+    std::uint32_t slot = findSlot(key);
+    if (table[slot] == 0)
         return false;
-    lru.erase(it->second.lruIt);
-    lru.push_front(key);
-    it->second.lruIt = lru.begin();
+    std::uint32_t node = table[slot] - 1;
+    lruUnlink(node);
+    lruPushFront(node);
     return true;
 }
 
 bool
 DramBuffer::isDirty(std::uint64_t key) const
 {
-    auto it = frames.find(key);
-    return it != frames.end() && it->second.dirty;
+    std::uint32_t slot = findSlot(key);
+    return table[slot] != 0 && nodes[table[slot] - 1].dirty;
 }
 
 BufferEviction
 DramBuffer::insert(std::uint64_t key, bool dirty)
 {
     BufferEviction ev;
-    auto it = frames.find(key);
-    if (it != frames.end()) {
-        lru.erase(it->second.lruIt);
-        lru.push_front(key);
-        it->second.lruIt = lru.begin();
-        it->second.dirty = it->second.dirty || dirty;
+    std::uint32_t slot = findSlot(key);
+    if (table[slot] != 0) {
+        std::uint32_t node = table[slot] - 1;
+        lruUnlink(node);
+        lruPushFront(node);
+        nodes[node].dirty = nodes[node].dirty || dirty;
         return ev;
     }
 
-    if (frames.size() >= capacityFrames) {
-        std::uint64_t victim = lru.back();
-        auto vit = frames.find(victim);
+    if (resident >= capacityFrames) {
+        std::uint32_t victim = lruTail;
         ev.happened = true;
-        ev.dirty = vit->second.dirty;
-        ev.frameKey = victim;
-        lru.pop_back();
-        frames.erase(vit);
+        ev.dirty = nodes[victim].dirty;
+        ev.frameKey = nodes[victim].key;
+        lruUnlink(victim);
+        eraseSlot(findSlot(nodes[victim].key));
+        freeNode(victim);
+        --resident;
+        // The backward shift may have moved entries; re-locate the
+        // insertion slot for the new key.
+        slot = findSlot(key);
     }
 
-    lru.push_front(key);
-    frames[key] = FrameInfo{lru.begin(), dirty};
+    std::uint32_t node = allocNode();
+    nodes[node].key = key;
+    nodes[node].dirty = dirty;
+    lruPushFront(node);
+    table[slot] = node + 1;
+    ++resident;
     return ev;
 }
 
 void
 DramBuffer::markClean(std::uint64_t key)
 {
-    auto it = frames.find(key);
-    if (it != frames.end())
-        it->second.dirty = false;
+    std::uint32_t slot = findSlot(key);
+    if (table[slot] != 0)
+        nodes[table[slot] - 1].dirty = false;
 }
 
 void
 DramBuffer::erase(std::uint64_t key)
 {
-    auto it = frames.find(key);
-    if (it == frames.end())
+    std::uint32_t slot = findSlot(key);
+    if (table[slot] == 0)
         return;
-    lru.erase(it->second.lruIt);
-    frames.erase(it);
+    std::uint32_t node = table[slot] - 1;
+    lruUnlink(node);
+    eraseSlot(slot);
+    freeNode(node);
+    --resident;
 }
 
 std::vector<std::uint64_t>
 DramBuffer::dirtyFrames() const
 {
     std::vector<std::uint64_t> out;
-    for (const auto& [key, info] : frames)
-        if (info.dirty)
-            out.push_back(key);
+    for (std::uint32_t n = lruHead; n != nil; n = nodes[n].next)
+        if (nodes[n].dirty)
+            out.push_back(nodes[n].key);
     std::sort(out.begin(), out.end());
     return out;
 }
@@ -104,8 +209,12 @@ DramBuffer::dirtyFrames() const
 void
 DramBuffer::dropAll()
 {
-    lru.clear();
-    frames.clear();
+    std::fill(table.begin(), table.end(), 0);
+    nodes.clear();
+    freeHead = nil;
+    lruHead = nil;
+    lruTail = nil;
+    resident = 0;
 }
 
 } // namespace hams

@@ -11,15 +11,17 @@
  * tracked at 4 KiB frame granularity with LRU replacement and a dirty
  * bit so power-failure behaviour (volatile unless a supercap drains it
  * to flash) is faithful.
+ *
+ * Hot-path discipline: every page-sized host I/O walks this cache once
+ * per 4 KiB block, so lookup/insert/evict are allocation-free — an
+ * intrusive doubly-linked LRU over a node arena, indexed by an
+ * open-addressing hash table (linear probing, backward-shift delete).
  */
 
 #ifndef HAMS_SSD_DRAM_BUFFER_HH_
 #define HAMS_SSD_DRAM_BUFFER_HH_
 
 #include <cstdint>
-#include <list>
-#include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/types.hh"
@@ -79,24 +81,61 @@ class DramBuffer
     /** Drop all contents (power loss without supercap). */
     void dropAll();
 
-    std::size_t residentFrames() const { return frames.size(); }
+    std::size_t residentFrames() const { return resident; }
     std::size_t maxFrames() const { return capacityFrames; }
     std::uint64_t bytesAccessed() const { return _bytesAccessed; }
     const DramBufferConfig& config() const { return cfg; }
 
   private:
-    struct FrameInfo
+    static constexpr std::uint32_t nil = ~std::uint32_t(0);
+
+    /** One resident frame: intrusive LRU links + metadata. */
+    struct Node
     {
-        std::list<std::uint64_t>::iterator lruIt;
-        bool dirty = false;
+        std::uint64_t key;
+        std::uint32_t prev;
+        std::uint32_t next;
+        bool dirty;
     };
+
+    std::uint32_t idealSlot(std::uint64_t key) const
+    {
+        // Fibonacci hashing spreads sequential frame keys.
+        return static_cast<std::uint32_t>(
+                   (key * 0x9E3779B97F4A7C15ULL) >> 32) &
+               tableMask;
+    }
+
+    /** Table slot holding @p key, or the empty slot to insert into. */
+    std::uint32_t findSlot(std::uint64_t key) const;
+
+    /** Backward-shift deletion keeps probe chains intact. */
+    void eraseSlot(std::uint32_t slot);
+
+    std::uint32_t allocNode();
+    void freeNode(std::uint32_t node);
+
+    /** @name Intrusive LRU list (head = most recent). */
+    ///@{
+    void lruUnlink(std::uint32_t node);
+    void lruPushFront(std::uint32_t node);
+    ///@}
 
     DramBufferConfig cfg;
     std::size_t capacityFrames;
+    double psPerByte; //!< precomputed occupancy multiplier
     Tick busyUntil = 0;
     std::uint64_t _bytesAccessed = 0;
-    std::list<std::uint64_t> lru; //!< front = most recent
-    std::unordered_map<std::uint64_t, FrameInfo> frames;
+
+    std::vector<Node> nodes;          //!< arena, grows to capacityFrames
+    std::uint32_t freeHead = nil;     //!< free node list through next
+    std::uint32_t lruHead = nil;
+    std::uint32_t lruTail = nil;
+    std::size_t resident = 0;
+
+    /** Open-addressing table of node index + 1 (0 = empty). */
+    std::vector<std::uint32_t> table;
+    std::uint32_t tableMask = 0;
 };
 
 } // namespace hams

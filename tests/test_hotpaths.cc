@@ -1,0 +1,506 @@
+/**
+ * @file
+ * Tests for the allocation-free hot-path machinery: the inline-callback
+ * capture-size boundary, generation-tagged cancellation across slot
+ * reuse, PRP-clone staging-buffer pooling, SparseMemory span transfers,
+ * the DramBuffer intrusive LRU, and the zero-steady-state-allocation
+ * property of the HAMS hit and dirty-miss paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <list>
+#include <map>
+#include <vector>
+
+#include "core/hams_system.hh"
+#include "mem/sparse_memory.hh"
+#include "sim/alloc_hook.hh"
+#include "sim/event_queue.hh"
+#include "sim/inline_function.hh"
+#include "sim/pool.hh"
+#include "sim/rng.hh"
+#include "ssd/dram_buffer.hh"
+
+namespace hams {
+namespace {
+
+// ---------------------------------------------------------------------
+// InlineFunction: capture-size boundary.
+// ---------------------------------------------------------------------
+
+template <std::size_t N>
+struct Payload
+{
+    unsigned char bytes[N];
+};
+
+TEST(InlineFunction, CaptureSizeBoundary)
+{
+    using Fn = InlineFunction<void()>;
+    static_assert(Fn::capacity() == 48);
+
+    auto at_capacity = [p = Payload<48>{}] { (void)p; };
+    auto over_capacity = [p = Payload<49>{}] { (void)p; };
+    EXPECT_TRUE(Fn::storesInline<decltype(at_capacity)>());
+    EXPECT_FALSE(Fn::storesInline<decltype(over_capacity)>());
+
+    // In-budget captures never touch the heap...
+    alloc_hook::AllocCounter allocs;
+    Fn inline_fn(std::move(at_capacity));
+    Fn moved = std::move(inline_fn);
+    moved();
+    EXPECT_EQ(allocs.delta(), 0u);
+
+    // ...while oversized ones fall back to exactly one boxed allocation
+    // and still work.
+    allocs.rebase();
+    Fn boxed_fn(std::move(over_capacity));
+    EXPECT_EQ(allocs.delta(), 1u);
+    boxed_fn();
+}
+
+TEST(InlineFunction, InvokesAndSupportsMoveOnlyState)
+{
+    int hits = 0;
+    InlineFunction<void(int)> fn = [&hits](int v) { hits += v; };
+    fn(2);
+    fn(3);
+    EXPECT_EQ(hits, 5);
+
+    InlineFunction<void(int)> other = std::move(fn);
+    EXPECT_FALSE(fn);
+    EXPECT_TRUE(other);
+    other(1);
+    EXPECT_EQ(hits, 6);
+
+    other = nullptr;
+    EXPECT_FALSE(other);
+}
+
+TEST(InlineFunction, ReturnsValues)
+{
+    InlineFunction<int(int, int)> add = [](int a, int b) { return a + b; };
+    EXPECT_EQ(add(2, 3), 5);
+}
+
+// ---------------------------------------------------------------------
+// EventQueue: generation-tagged cancellation across slot reuse.
+// ---------------------------------------------------------------------
+
+TEST(EventQueueGeneration, StaleIdCannotCancelReusedSlot)
+{
+    EventQueue eq;
+    bool second_fired = false;
+
+    EventId first = eq.schedule(10, [] {});
+    eq.deschedule(first); // frees the slot
+    // The next schedule reuses the freed slot under a new generation.
+    eq.schedule(20, [&] { second_fired = true; });
+
+    eq.deschedule(first); // stale id: must be a no-op
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_TRUE(second_fired);
+}
+
+TEST(EventQueueGeneration, FiredIdCannotCancelReusedSlot)
+{
+    EventQueue eq;
+    EventId first = eq.schedule(1, [] {});
+    eq.run();
+
+    bool fired = false;
+    eq.schedule(5, [&] { fired = true; });
+    eq.deschedule(first); // id of an already-fired event
+    eq.run();
+    EXPECT_TRUE(fired);
+}
+
+TEST(EventQueueGeneration, CancelStormStaysConsistent)
+{
+    EventQueue eq;
+    Rng rng(11);
+    std::uint64_t fired = 0;
+    std::uint64_t expected = 0;
+    for (int round = 0; round < 100; ++round) {
+        EventId ids[16];
+        for (int i = 0; i < 16; ++i)
+            ids[i] = eq.schedule(rng.below(50), [&] { ++fired; });
+        // Cancel a pseudo-random half.
+        int cancelled = 0;
+        for (int i = 0; i < 16; ++i) {
+            if (rng.below(2) == 0) {
+                eq.deschedule(ids[i]);
+                ++cancelled;
+            }
+        }
+        expected += 16 - cancelled;
+        eq.run();
+    }
+    EXPECT_EQ(fired, expected);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueueReset, PreResetIdCannotCancelPostResetEvent)
+{
+    EventQueue eq;
+    EventId stale = eq.schedule(10, [] {});
+    eq.reset();
+
+    bool fired = false;
+    eq.schedule(10, [&] { fired = true; }); // reuses the same arena slot
+    eq.deschedule(stale);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_TRUE(fired);
+}
+
+TEST(EventQueueReset, ClearsAllBookkeeping)
+{
+    EventQueue eq;
+    EventId a = eq.schedule(10, [] {});
+    eq.schedule(20, [] {});
+    eq.deschedule(a); // leave a stale heap entry behind
+    eq.reset(/*rewind_time=*/true);
+
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.now(), 0u);
+
+    // The queue is fully usable after reset.
+    int count = 0;
+    eq.schedule(5, [&] { ++count; });
+    eq.schedule(6, [&] { ++count; });
+    eq.run();
+    EXPECT_EQ(count, 2);
+}
+
+TEST(EventQueueSteadyState, ScheduleFireCycleIsAllocationFree)
+{
+    EventQueue eq;
+    std::uint64_t sink = 0;
+    // Warm the arena and the heap to their high-water marks.
+    for (int round = 0; round < 4; ++round) {
+        for (int i = 0; i < 32; ++i)
+            eq.schedule(i, [&sink] { ++sink; });
+        eq.run();
+    }
+
+    alloc_hook::AllocCounter allocs;
+    for (int round = 0; round < 16; ++round) {
+        for (int i = 0; i < 32; ++i)
+            eq.schedule(i, [&sink] { ++sink; });
+        eq.run();
+    }
+    EXPECT_EQ(allocs.delta(), 0u);
+    EXPECT_EQ(sink, 20u * 32u);
+}
+
+// ---------------------------------------------------------------------
+// Pools.
+// ---------------------------------------------------------------------
+
+TEST(ObjectPoolTest, ReusesReleasedObjects)
+{
+    ObjectPool<int> pool;
+    int* a = pool.acquire();
+    int* b = pool.acquire();
+    EXPECT_NE(a, b);
+    EXPECT_EQ(pool.totalObjects(), 2u);
+
+    pool.release(a);
+    int* c = pool.acquire();
+    EXPECT_EQ(c, a); // recycled, not freshly allocated
+    EXPECT_EQ(pool.totalObjects(), 2u);
+    EXPECT_EQ(pool.liveObjects(), 2u);
+    pool.release(b);
+    pool.release(c);
+    EXPECT_EQ(pool.liveObjects(), 0u);
+}
+
+TEST(FrameBufferPoolTest, SteadyStateReuseIsAllocationFree)
+{
+    FrameBufferPool pool(4096);
+    std::uint8_t* first = pool.acquire();
+    pool.release(first);
+
+    alloc_hook::AllocCounter allocs;
+    for (int i = 0; i < 100; ++i) {
+        std::uint8_t* f = pool.acquire();
+        EXPECT_EQ(f, first);
+        pool.release(f);
+    }
+    EXPECT_EQ(allocs.delta(), 0u);
+    EXPECT_EQ(pool.totalFrames(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// SparseMemory: span transfers across frame boundaries and holes.
+// ---------------------------------------------------------------------
+
+TEST(SparseMemorySpan, WriteReadCrossingFrameBoundaries)
+{
+    SparseMemory m(1 << 20); // 4 KiB frames
+    std::vector<std::uint8_t> out(10000);
+    std::vector<std::uint8_t> in(10000);
+    for (std::size_t i = 0; i < in.size(); ++i)
+        in[i] = static_cast<std::uint8_t>(i * 7 + 1);
+
+    // Start mid-frame so the span covers a partial, two full, and
+    // another partial frame.
+    Addr base = 4096 - 123;
+    m.write(base, in.data(), in.size());
+    EXPECT_EQ(m.allocatedFrames(), 4u);
+
+    m.read(base, out.data(), out.size());
+    EXPECT_EQ(std::memcmp(in.data(), out.data(), in.size()), 0);
+}
+
+TEST(SparseMemorySpan, ReadAcrossHolesZeroFills)
+{
+    SparseMemory m(1 << 20);
+    // Write only the middle frame of a three-frame span.
+    std::vector<std::uint8_t> marker(4096, 0xEE);
+    m.write(4096, marker.data(), marker.size());
+    EXPECT_EQ(m.allocatedFrames(), 1u);
+
+    std::vector<std::uint8_t> out(3 * 4096, 0x55);
+    m.read(0, out.data(), out.size());
+    for (std::size_t i = 0; i < 4096; ++i)
+        ASSERT_EQ(out[i], 0) << "leading hole at " << i;
+    for (std::size_t i = 4096; i < 8192; ++i)
+        ASSERT_EQ(out[i], 0xEE) << "written frame at " << i;
+    for (std::size_t i = 8192; i < out.size(); ++i)
+        ASSERT_EQ(out[i], 0) << "trailing hole at " << i;
+    // Reading never allocates.
+    EXPECT_EQ(m.allocatedFrames(), 1u);
+}
+
+TEST(SparseMemorySpan, LastFrameCacheSurvivesInterleavedAccess)
+{
+    SparseMemory m(1 << 20);
+    m.writeValue<std::uint64_t>(0, 0x1111);
+    m.writeValue<std::uint64_t>(8192, 0x2222);
+    // Alternate frames so the single-entry cache keeps flipping.
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(m.readValue<std::uint64_t>(0), 0x1111u);
+        EXPECT_EQ(m.readValue<std::uint64_t>(8192), 0x2222u);
+    }
+    m.clear();
+    EXPECT_EQ(m.readValue<std::uint64_t>(0), 0u);
+    EXPECT_EQ(m.allocatedFrames(), 0u);
+}
+
+TEST(SparseMemorySpan, SteadyStateOverwriteIsAllocationFree)
+{
+    SparseMemory m(1 << 20);
+    std::vector<std::uint8_t> buf(3 * 4096, 0xAD);
+    m.write(100, buf.data(), buf.size());
+
+    alloc_hook::AllocCounter allocs;
+    for (int i = 0; i < 50; ++i) {
+        m.write(100, buf.data(), buf.size());
+        m.read(100, buf.data(), buf.size());
+    }
+    EXPECT_EQ(allocs.delta(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// DramBuffer: intrusive LRU + open-addressing table vs reference model.
+// ---------------------------------------------------------------------
+
+/** Straightforward list+map LRU to differentially test against. */
+class ReferenceLru
+{
+  public:
+    explicit ReferenceLru(std::size_t capacity) : cap(capacity) {}
+
+    bool
+    lookup(std::uint64_t key)
+    {
+        auto it = pos.find(key);
+        if (it == pos.end())
+            return false;
+        order.splice(order.begin(), order, it->second.first);
+        return true;
+    }
+
+    BufferEviction
+    insert(std::uint64_t key, bool dirty)
+    {
+        BufferEviction ev;
+        auto it = pos.find(key);
+        if (it != pos.end()) {
+            order.splice(order.begin(), order, it->second.first);
+            it->second.second = it->second.second || dirty;
+            return ev;
+        }
+        if (pos.size() >= cap) {
+            std::uint64_t victim = order.back();
+            ev.happened = true;
+            ev.dirty = pos[victim].second;
+            ev.frameKey = victim;
+            order.pop_back();
+            pos.erase(victim);
+        }
+        order.push_front(key);
+        pos[key] = {order.begin(), dirty};
+        return ev;
+    }
+
+    void
+    erase(std::uint64_t key)
+    {
+        auto it = pos.find(key);
+        if (it == pos.end())
+            return;
+        order.erase(it->second.first);
+        pos.erase(it);
+    }
+
+    std::size_t size() const { return pos.size(); }
+
+  private:
+    std::size_t cap;
+    std::list<std::uint64_t> order;
+    std::map<std::uint64_t, std::pair<std::list<std::uint64_t>::iterator,
+                                      bool>>
+        pos;
+};
+
+TEST(DramBufferLru, MatchesReferenceModelUnderChurn)
+{
+    DramBufferConfig cfg;
+    cfg.capacity = 16 * 4096; // 16 frames: constant eviction pressure
+    cfg.frameSize = 4096;
+    DramBuffer buf(cfg);
+    ReferenceLru ref(16);
+
+    Rng rng(42);
+    for (int i = 0; i < 20000; ++i) {
+        std::uint64_t key = rng.below(64);
+        switch (rng.below(3)) {
+          case 0: {
+            ASSERT_EQ(buf.lookup(key), ref.lookup(key)) << "op " << i;
+            break;
+          }
+          case 1: {
+            bool dirty = rng.below(2) == 0;
+            BufferEviction a = buf.insert(key, dirty);
+            BufferEviction b = ref.insert(key, dirty);
+            ASSERT_EQ(a.happened, b.happened) << "op " << i;
+            if (a.happened) {
+                ASSERT_EQ(a.frameKey, b.frameKey) << "op " << i;
+                ASSERT_EQ(a.dirty, b.dirty) << "op " << i;
+            }
+            break;
+          }
+          default: {
+            buf.erase(key);
+            ref.erase(key);
+            break;
+          }
+        }
+        ASSERT_EQ(buf.residentFrames(), ref.size()) << "op " << i;
+    }
+}
+
+TEST(DramBufferLru, SteadyStateChurnIsAllocationFree)
+{
+    DramBufferConfig cfg;
+    cfg.capacity = 8 * 4096;
+    cfg.frameSize = 4096;
+    DramBuffer buf(cfg);
+    // Warm the node arena past capacity so evictions recycle nodes.
+    for (std::uint64_t k = 0; k < 32; ++k)
+        buf.insert(k, k % 2 == 0);
+
+    alloc_hook::AllocCounter allocs;
+    for (std::uint64_t k = 0; k < 1000; ++k) {
+        buf.insert(k % 24, true);
+        buf.lookup(k % 24);
+        buf.markClean(k % 24);
+    }
+    EXPECT_EQ(allocs.delta(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// HAMS hot paths end to end: pooling + zero steady-state allocations.
+// ---------------------------------------------------------------------
+
+HamsSystemConfig
+smallSystem(bool functional)
+{
+    HamsSystemConfig cfg = HamsSystemConfig::looseExtend();
+    cfg.nvdimm.capacity = 128ull << 20;
+    cfg.ssdRawBytes = 1ull << 30;
+    cfg.pinnedBytes = 32ull << 20;
+    cfg.functionalData = functional;
+    return cfg;
+}
+
+TEST(HamsHotPath, PrpCloneStagingBufferIsPooled)
+{
+    HamsSystem sys(smallSystem(true));
+    std::uint64_t cache = sys.pinnedRegion().cacheBytes();
+
+    // Back-to-back dirty misses: two aliasing pages, every write evicts
+    // a dirty victim and clones it through the staging pool.
+    std::uint32_t v = 1;
+    for (int i = 0; i < 32; ++i)
+        sys.write((i % 2) ? cache : 0, &v, sizeof(v));
+
+    EXPECT_GE(sys.stats().prpClones, 30u);
+    // One staging frame serves every clone; the pool never grows.
+    EXPECT_EQ(sys.controller().stagingFramesAllocated(), 1u);
+}
+
+TEST(HamsHotPath, HitPathIsAllocationFreeInSteadyState)
+{
+    HamsSystem sys(smallSystem(false));
+    std::uint32_t v = 1;
+    sys.write(0, &v, sizeof(v)); // fault the page in
+    for (int i = 0; i < 64; ++i) // warm pools/arena high-water marks
+        sys.write((i % 2) ? 64 : 0, &v, sizeof(v));
+
+    alloc_hook::AllocCounter allocs;
+    for (int i = 0; i < 128; ++i)
+        sys.write((i % 2) ? 64 : 0, &v, sizeof(v));
+    EXPECT_EQ(allocs.delta(), 0u);
+    EXPECT_GE(sys.stats().hits, 128u);
+}
+
+TEST(HamsHotPath, DirtyMissPathIsAllocationFreeInSteadyState)
+{
+    HamsSystem sys(smallSystem(false));
+    std::uint64_t cache = sys.pinnedRegion().cacheBytes();
+    std::uint32_t v = 1;
+    // Long warmup: grow every pool/arena (op contexts, waiter arena,
+    // NVMe contexts, FTL block metadata, SSD buffer nodes) to steady
+    // state, including a few GC cycles.
+    for (int i = 0; i < 2048; ++i)
+        sys.write((i % 2) ? cache : 0, &v, sizeof(v));
+
+    alloc_hook::AllocCounter allocs;
+    for (int i = 0; i < 64; ++i)
+        sys.write((i % 2) ? cache : 0, &v, sizeof(v));
+    EXPECT_EQ(allocs.delta(), 0u);
+    EXPECT_GE(sys.stats().dirtyEvictions, 2000u);
+}
+
+TEST(HamsHotPath, OpContextsAreReused)
+{
+    HamsSystem sys(smallSystem(false));
+    std::uint32_t v = 1;
+    sys.write(0, &v, sizeof(v));
+    for (int i = 0; i < 256; ++i)
+        sys.write((i % 2) ? 64 : 0, &v, sizeof(v));
+    // Synchronous accesses never need more than a couple of in-flight
+    // contexts regardless of access count.
+    EXPECT_LE(sys.controller().opContextsAllocated(), 4u);
+}
+
+} // namespace
+} // namespace hams
