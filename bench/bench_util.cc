@@ -1,7 +1,11 @@
 #include "bench_util.hh"
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
+#include <thread>
 
 #include "baselines/flatflash_platform.hh"
 #include "baselines/mmap_platform.hh"
@@ -149,6 +153,69 @@ runOn(MemoryPlatform& platform, const std::string& workload,
     // stream.
     core.run(*gen, budget / 2);
     return core.run(*gen, budget);
+}
+
+std::vector<RunResult>
+runSweep(const std::vector<SweepCell>& cells)
+{
+    // Quiet the platform-construction banners (workers re-set the
+    // atomic flag harmlessly via makePlatform).
+    setQuiet(true);
+
+    std::size_t workers = std::thread::hardware_concurrency();
+    if (const char* env = std::getenv("HAMS_BENCH_THREADS")) {
+        std::uint64_t n = std::strtoull(env, nullptr, 10);
+        if (n > 0)
+            workers = static_cast<std::size_t>(n);
+    }
+    if (workers == 0)
+        workers = 1;
+    workers = std::min(workers, cells.size());
+
+    std::vector<RunResult> results(cells.size());
+    auto run_cell = [&](std::size_t i) {
+        auto platform = makePlatform(cells[i].platform, cells[i].geom);
+        if (!platform)
+            throw std::runtime_error("unknown platform '" +
+                                     cells[i].platform + "'");
+        results[i] = runOn(*platform, cells[i].workload, cells[i].geom);
+    };
+
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            run_cell(i);
+        return results;
+    }
+
+    // Self-scheduling workers: each claims the next unclaimed cell.
+    // Results land by input index, so completion order cannot change
+    // the table.
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::string error;
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+        pool.emplace_back([&] {
+            for (;;) {
+                std::size_t i = next.fetch_add(1);
+                if (i >= cells.size() || failed.load())
+                    return;
+                try {
+                    run_cell(i);
+                } catch (const std::exception& e) {
+                    if (!failed.exchange(true))
+                        error = e.what();
+                    return;
+                }
+            }
+        });
+    }
+    for (auto& t : pool)
+        t.join();
+    if (failed.load())
+        throw std::runtime_error("sweep cell failed: " + error);
+    return results;
 }
 
 std::string

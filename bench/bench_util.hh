@@ -63,6 +63,29 @@ const std::vector<std::string>& allPlatformNames();
 RunResult runOn(MemoryPlatform& platform, const std::string& workload,
                 const BenchGeometry& geom);
 
+/**
+ * One (platform × workload) cell of a figure sweep: built via
+ * makePlatform(platform, geom) and executed via runOn.
+ */
+struct SweepCell
+{
+    std::string platform;
+    std::string workload;
+    BenchGeometry geom;
+};
+
+/**
+ * Run every cell and return the results in input order.
+ *
+ * Each cell owns its platform — and therefore its EventQueue, devices
+ * and workload generator — so cells are embarrassingly parallel: they
+ * fan out across a thread pool (HAMS_BENCH_THREADS, default hardware
+ * concurrency, 1 = serial) and the returned table is byte-identical to
+ * serial execution, which is what lets the fig* harnesses print
+ * deterministic tables from parallel runs.
+ */
+std::vector<RunResult> runSweep(const std::vector<SweepCell>& cells);
+
 /** Print a harness banner with the figure reference. */
 void banner(const std::string& figure, const std::string& what);
 

@@ -7,6 +7,9 @@
  *      1 MB hurts random ones)
  *  (b) large-footprint stress (dataset >> NVDIMM; paper: 44 GB dataset,
  *      hams-TE lands within 24% of oracle and 181% above mmap)
+ *
+ * Both sweeps fan out through the parallel sweep runner; output is
+ * byte-identical to serial execution.
  */
 
 #include <cstdio>
@@ -34,15 +37,24 @@ main()
         std::printf(" %8uK", ps / 1024);
     std::printf("\n");
 
+    // Every (workload × page size) cell is independent: parallel sweep.
+    std::vector<SweepCell> page_cells;
+    for (const auto& wl : sqliteWorkloadNames()) {
+        for (std::size_t i = 0; i < page_sizes.size(); ++i) {
+            BenchGeometry g = geom;
+            g.mosPageBytes = page_sizes[i];
+            page_cells.push_back({"hams-TE", wl, g});
+        }
+    }
+    std::vector<RunResult> page_results = runSweep(page_cells);
+    std::size_t cursor = 0;
+
     std::vector<double> page_score(page_sizes.size(), 0);
     for (const auto& wl : sqliteWorkloadNames()) {
         std::printf("%-10s", wl.c_str());
         std::vector<double> row;
         for (std::size_t i = 0; i < page_sizes.size(); ++i) {
-            BenchGeometry g = geom;
-            g.mosPageBytes = page_sizes[i];
-            auto p = makePlatform("hams-TE", g);
-            RunResult r = runOn(*p, wl, g);
+            const RunResult& r = page_results[cursor++];
             row.push_back(r.opsPerSec);
             std::printf(" %9.0f", r.opsPerSec);
         }
@@ -70,15 +82,21 @@ main()
 
     std::printf("%-10s %12s %12s %12s %14s %14s\n", "workload", "mmap",
                 "hams-TE", "oracle", "TE/mmap", "TE/oracle");
+    std::vector<SweepCell> big_cells;
+    for (const auto& wl : sqliteWorkloadNames()) {
+        big_cells.push_back({"mmap", wl, big});
+        big_cells.push_back({"hams-TE", wl, big});
+        big_cells.push_back({"oracle", wl, big});
+    }
+    std::vector<RunResult> big_results = runSweep(big_cells);
+
     double te_over_mmap = 0, te_over_oracle = 0;
     int n = 0;
+    cursor = 0;
     for (const auto& wl : sqliteWorkloadNames()) {
-        auto mmap = makePlatform("mmap", big);
-        RunResult rm = runOn(*mmap, wl, big);
-        auto te = makePlatform("hams-TE", big);
-        RunResult rt = runOn(*te, wl, big);
-        auto oracle = makePlatform("oracle", big);
-        RunResult ro = runOn(*oracle, wl, big);
+        const RunResult& rm = big_results[cursor++];
+        const RunResult& rt = big_results[cursor++];
+        const RunResult& ro = big_results[cursor++];
         std::printf("%-10s %12.0f %12.0f %12.0f %13.2fx %13.2fx\n",
                     wl.c_str(), rm.opsPerSec, rt.opsPerSec, ro.opsPerSec,
                     rt.opsPerSec / rm.opsPerSec,

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Build the Release end-to-end macro benchmark and record the driver
+# trajectory in BENCH_macro.json (repo root, or $HAMS_BENCH_JSON):
+# host-ns per simulated access through the full CoreModel stack, fast
+# path off vs on, with a built-in bit-identity check of the simulated
+# outputs (the binary exits non-zero on divergence).
+#
+# Usage: scripts/bench_macro.sh
+#   HAMS_BENCH_SCALE=N enlarges the runs (default 1 = tiny smoke size).
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build-bench"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+      -DCMAKE_BUILD_TYPE=Release \
+      -DHAMS_BUILD_TESTS=OFF \
+      -DHAMS_BUILD_EXAMPLES=OFF
+cmake --build "${build_dir}" --target macro_endtoend -j"$(nproc)"
+
+export HAMS_BENCH_JSON="${HAMS_BENCH_JSON:-${repo_root}/BENCH_macro.json}"
+"${build_dir}/macro_endtoend"
+
+echo
+echo "Results written to ${HAMS_BENCH_JSON}"

@@ -33,14 +33,13 @@ FlatFlashPlatform::FlatFlashPlatform(const FlatFlashConfig& cfg)
 
 FlatFlashPlatform::~FlatFlashPlatform() = default;
 
-void
-FlatFlashPlatform::access(const MemAccess& acc, Tick at, AccessCb cb)
+Tick
+FlatFlashPlatform::serve(const MemAccess& acc, Tick at, LatencyBreakdown& bd)
 {
     if (acc.addr + acc.size > _capacity)
         fatal("flatflash access beyond capacity");
 
     std::uint64_t page = acc.addr / nvmeBlockSize;
-    LatencyBreakdown bd;
     Tick done;
 
     if (hostCacheTags && hostCacheTags->lookup(page)) {
@@ -95,10 +94,27 @@ FlatFlashPlatform::access(const MemAccess& acc, Tick at, AccessCb cb)
         }
     }
 
+    return done;
+}
+
+void
+FlatFlashPlatform::access(const MemAccess& acc, Tick at, AccessCb cb)
+{
+    LatencyBreakdown bd;
+    Tick done = serve(acc, at, bd);
     eq.scheduleAt(done, [cb = std::move(cb), done, bd]() {
         if (cb)
             cb(done, bd);
     });
+}
+
+bool
+FlatFlashPlatform::tryAccess(const MemAccess& acc, Tick at,
+                             InlineCompletion& out)
+{
+    out.bd = LatencyBreakdown{};
+    out.done = serve(acc, at, out.bd);
+    return true;
 }
 
 EnergyBreakdownJ

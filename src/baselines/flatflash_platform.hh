@@ -54,6 +54,8 @@ class FlatFlashPlatform : public MemoryPlatform
     std::uint64_t capacity() const override { return _capacity; }
     EventQueue& eventQueue() override { return eq; }
     void access(const MemAccess& acc, Tick at, AccessCb cb) override;
+    bool tryAccess(const MemAccess& acc, Tick at,
+                   InlineCompletion& out) override;
     /** Host-cached pages make -M non-persistent (paper SSVII). */
     bool persistent() const override { return !cfg.hostCaching; }
     EnergyBreakdownJ memoryEnergy(Tick elapsed) const override;
@@ -62,6 +64,9 @@ class FlatFlashPlatform : public MemoryPlatform
     std::uint64_t hostHits() const { return _hostHits; }
 
   private:
+    /** The latency arithmetic shared by access() and tryAccess(). */
+    Tick serve(const MemAccess& acc, Tick at, LatencyBreakdown& bd);
+
     FlatFlashConfig cfg;
     std::string _name;
     std::uint64_t _capacity;

@@ -100,14 +100,13 @@ MmapPlatform::maybeStartWriteback(Tick at)
         writebackPage(dirty[i], at);
 }
 
-void
-MmapPlatform::access(const MemAccess& acc, Tick at, AccessCb cb)
+Tick
+MmapPlatform::serve(const MemAccess& acc, Tick at, LatencyBreakdown& bd)
 {
     if (acc.addr + acc.size > _capacity)
         fatal("mmap access beyond file size");
 
     std::uint64_t page = acc.addr / nvmeBlockSize;
-    LatencyBreakdown bd;
     Tick done;
 
     if (cacheTags->lookup(page)) {
@@ -175,10 +174,28 @@ MmapPlatform::access(const MemAccess& acc, Tick at, AccessCb cb)
         bd.nvdimm += done - resumed;
     }
 
+    return done;
+}
+
+void
+MmapPlatform::access(const MemAccess& acc, Tick at, AccessCb cb)
+{
+    LatencyBreakdown bd;
+    Tick done = serve(acc, at, bd);
     eq.scheduleAt(done, [cb = std::move(cb), done, bd]() {
         if (cb)
             cb(done, bd);
     });
+}
+
+bool
+MmapPlatform::tryAccess(const MemAccess& acc, Tick at, InlineCompletion& out)
+{
+    // Hit or fault alike, the whole software stack is latency
+    // arithmetic computed at issue time: always inline-completable.
+    out.bd = LatencyBreakdown{};
+    out.done = serve(acc, at, out.bd);
+    return true;
 }
 
 void

@@ -68,6 +68,8 @@ class MmapPlatform : public MemoryPlatform
     std::uint64_t capacity() const override { return _capacity; }
     EventQueue& eventQueue() override { return eq; }
     void access(const MemAccess& acc, Tick at, AccessCb cb) override;
+    bool tryAccess(const MemAccess& acc, Tick at,
+                   InlineCompletion& out) override;
     bool persistent() const override { return true; } //!< via msync
     void flush(Tick at, AccessCb cb) override;
     EnergyBreakdownJ memoryEnergy(Tick elapsed) const override;
@@ -81,6 +83,9 @@ class MmapPlatform : public MemoryPlatform
     ///@}
 
   private:
+    /** The hit/fault arithmetic shared by access() and tryAccess(). */
+    Tick serve(const MemAccess& acc, Tick at, LatencyBreakdown& bd);
+
     /** Write one dirty page back (timing on SSD + link resources). */
     Tick writebackPage(std::uint64_t page, Tick at);
 

@@ -38,14 +38,13 @@ NvdimmCPlatform::claimWindow(Tick t)
     return done;
 }
 
-void
-NvdimmCPlatform::access(const MemAccess& acc, Tick at, AccessCb cb)
+Tick
+NvdimmCPlatform::serve(const MemAccess& acc, Tick at, LatencyBreakdown& bd)
 {
     if (acc.addr + acc.size > _capacity)
         fatal("nvdimm-C access beyond capacity");
 
     std::uint64_t page = acc.addr / nvmeBlockSize;
-    LatencyBreakdown bd;
     Tick done;
 
     if (cacheTags->lookup(page)) {
@@ -82,10 +81,27 @@ NvdimmCPlatform::access(const MemAccess& acc, Tick at, AccessCb cb)
         bd.nvdimm += done - moved;
     }
 
+    return done;
+}
+
+void
+NvdimmCPlatform::access(const MemAccess& acc, Tick at, AccessCb cb)
+{
+    LatencyBreakdown bd;
+    Tick done = serve(acc, at, bd);
     eq.scheduleAt(done, [cb = std::move(cb), done, bd]() {
         if (cb)
             cb(done, bd);
     });
+}
+
+bool
+NvdimmCPlatform::tryAccess(const MemAccess& acc, Tick at,
+                           InlineCompletion& out)
+{
+    out.bd = LatencyBreakdown{};
+    out.done = serve(acc, at, out.bd);
+    return true;
 }
 
 EnergyBreakdownJ

@@ -50,12 +50,17 @@ class NvdimmCPlatform : public MemoryPlatform
     std::uint64_t capacity() const override { return _capacity; }
     EventQueue& eventQueue() override { return eq; }
     void access(const MemAccess& acc, Tick at, AccessCb cb) override;
+    bool tryAccess(const MemAccess& acc, Tick at,
+                   InlineCompletion& out) override;
     bool persistent() const override { return true; }
     EnergyBreakdownJ memoryEnergy(Tick elapsed) const override;
 
     std::uint64_t migrations() const { return _migrations; }
 
   private:
+    /** The latency arithmetic shared by access() and tryAccess(). */
+    Tick serve(const MemAccess& acc, Tick at, LatencyBreakdown& bd);
+
     /** Earliest refresh window at or after @p t; consumes the slot. */
     Tick claimWindow(Tick t);
 

@@ -68,13 +68,12 @@ OptanePlatform::mediaAccess(std::uint32_t size, MemOp op, Tick at,
     return done;
 }
 
-void
-OptanePlatform::access(const MemAccess& acc, Tick at, AccessCb cb)
+Tick
+OptanePlatform::serve(const MemAccess& acc, Tick at, LatencyBreakdown& bd)
 {
     if (acc.addr + acc.size > cfg.pmmBytes)
         fatal("optane access beyond capacity");
 
-    LatencyBreakdown bd;
     Tick done;
 
     if (cacheTags) {
@@ -105,10 +104,27 @@ OptanePlatform::access(const MemAccess& acc, Tick at, AccessCb cb)
         done = mediaAccess(acc.size, acc.op, at, bd);
     }
 
+    return done;
+}
+
+void
+OptanePlatform::access(const MemAccess& acc, Tick at, AccessCb cb)
+{
+    LatencyBreakdown bd;
+    Tick done = serve(acc, at, bd);
     eq.scheduleAt(done, [cb = std::move(cb), done, bd]() {
         if (cb)
             cb(done, bd);
     });
+}
+
+bool
+OptanePlatform::tryAccess(const MemAccess& acc, Tick at,
+                          InlineCompletion& out)
+{
+    out.bd = LatencyBreakdown{};
+    out.done = serve(acc, at, out.bd);
+    return true;
 }
 
 EnergyBreakdownJ

@@ -50,10 +50,15 @@ class OptanePlatform : public MemoryPlatform
     std::uint64_t capacity() const override { return cfg.pmmBytes; }
     EventQueue& eventQueue() override { return eq; }
     void access(const MemAccess& acc, Tick at, AccessCb cb) override;
+    bool tryAccess(const MemAccess& acc, Tick at,
+                   InlineCompletion& out) override;
     bool persistent() const override { return !cfg.memoryMode; }
     EnergyBreakdownJ memoryEnergy(Tick elapsed) const override;
 
   private:
+    /** The latency arithmetic shared by access() and tryAccess(). */
+    Tick serve(const MemAccess& acc, Tick at, LatencyBreakdown& bd);
+
     /** Media access with 256 B amplification and bandwidth occupancy. */
     Tick mediaAccess(std::uint32_t size, MemOp op, Tick at,
                      LatencyBreakdown& bd);

@@ -12,18 +12,34 @@ OraclePlatform::OraclePlatform(const OracleConfig& cfg) : cfg(cfg)
 
 OraclePlatform::~OraclePlatform() = default;
 
-void
-OraclePlatform::access(const MemAccess& acc, Tick at, AccessCb cb)
+Tick
+OraclePlatform::serve(const MemAccess& acc, Tick at, LatencyBreakdown& bd)
 {
     if (acc.addr + acc.size > cfg.capacityBytes)
         fatal("oracle access beyond capacity");
     Tick done = dram->access(acc.addr, acc.size, acc.op, at);
-    LatencyBreakdown bd;
     bd.nvdimm = done - at;
+    return done;
+}
+
+void
+OraclePlatform::access(const MemAccess& acc, Tick at, AccessCb cb)
+{
+    LatencyBreakdown bd;
+    Tick done = serve(acc, at, bd);
     eq.scheduleAt(done, [cb = std::move(cb), done, bd]() {
         if (cb)
             cb(done, bd);
     });
+}
+
+bool
+OraclePlatform::tryAccess(const MemAccess& acc, Tick at,
+                          InlineCompletion& out)
+{
+    out.bd = LatencyBreakdown{};
+    out.done = serve(acc, at, out.bd);
+    return true;
 }
 
 EnergyBreakdownJ

@@ -33,10 +33,15 @@ class OraclePlatform : public MemoryPlatform
     std::uint64_t capacity() const override { return cfg.capacityBytes; }
     EventQueue& eventQueue() override { return eq; }
     void access(const MemAccess& acc, Tick at, AccessCb cb) override;
+    bool tryAccess(const MemAccess& acc, Tick at,
+                   InlineCompletion& out) override;
     bool persistent() const override { return true; }
     EnergyBreakdownJ memoryEnergy(Tick elapsed) const override;
 
   private:
+    /** The latency arithmetic shared by access() and tryAccess(). */
+    Tick serve(const MemAccess& acc, Tick at, LatencyBreakdown& bd);
+
     OracleConfig cfg;
     std::string _name = "oracle";
     EventQueue eq;

@@ -4,6 +4,37 @@
  * the HAMS variants (hams-LP/LE/TP/TE), the MMF/mmap software baseline,
  * FlatFlash-P/M, NVDIMM-C, Optane-P/M and the oracle — the eleven
  * platforms of the paper's Fig. 16.
+ *
+ * Immediate-completion contract
+ * -----------------------------
+ * The evaluation is hit-dominated (the paper measures a 94% NVDIMM hit
+ * rate), and a hit's completion tick is pure latency arithmetic, so
+ * paying a full EventQueue schedule+fire round trip per access makes
+ * the event heap — not the model — the throughput bound. tryAccess()
+ * lets a platform complete such an access inline: it returns the
+ * completion tick and breakdown directly, scheduling nothing.
+ *
+ * A platform may complete an access inline only when doing so is
+ * indistinguishable from access(): the same completion tick, the same
+ * breakdown, and the same side effects on device state, all applied at
+ * issue time. Concretely that means the access must not depend on any
+ * pending event landing first — the HAMS controller, for example, only
+ * completes extend-mode hits whose frame is idle (not busy, so no
+ * waiters can be parked and no fill can be racing the tag probe).
+ *
+ * Re-entrancy rules:
+ *  - tryAccess() must not touch the event queue: no schedule, no
+ *    step, no run — a false return must leave the queue untouched so
+ *    the caller can fall back to access() with identical behaviour.
+ *  - A false return must also leave *platform* state untouched
+ *    (no stats, no tag/cache updates); only a true return commits.
+ *  - The caller owns the event loop. Completing inline reorders the
+ *    completion ahead of every pending event, so callers must only use
+ *    the fast path when no live event is pending at or before the
+ *    returned tick — the simplest sufficient gate is
+ *    eventQueue().empty() at issue (what CoreModel uses) — and should
+ *    then advanceTo() the returned tick to keep now() where the fired
+ *    completion event would have left it.
  */
 
 #ifndef HAMS_BASELINES_PLATFORM_HH_
@@ -30,6 +61,12 @@ dramFoldAddr(Addr addr, std::uint64_t dram_bytes,
              std::uint32_t page_bytes = 4096)
 {
     std::uint64_t frames = dram_bytes / page_bytes;
+    // With power-of-two module and page sizes (all stock configs) the
+    // fold is a single mask; the generic path costs a runtime division
+    // per access.
+    std::uint64_t span = frames * page_bytes;
+    if (isPow2(span) && isPow2(page_bytes))
+        return addr & (span - 1);
     return (addr / page_bytes % frames) * page_bytes + addr % page_bytes;
 }
 
@@ -61,6 +98,22 @@ class MemoryPlatform
      * tick @p at.
      */
     virtual void access(const MemAccess& acc, Tick at, AccessCb cb) = 0;
+
+    /**
+     * Fast path: try to complete the access inline, without touching
+     * the event queue (see the immediate-completion contract in the
+     * file header). On true, @p out carries the completion tick and
+     * latency attribution and the access is fully applied; on false,
+     * nothing happened and the caller must issue it via access().
+     */
+    virtual bool
+    tryAccess(const MemAccess& acc, Tick at, InlineCompletion& out)
+    {
+        (void)acc;
+        (void)at;
+        (void)out;
+        return false;
+    }
 
     /** True if acked writes survive power failure. */
     virtual bool persistent() const = 0;

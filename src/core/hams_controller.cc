@@ -80,6 +80,42 @@ HamsController::access(const MemAccess& acc, const std::uint8_t* wdata,
         handleMiss(op, at);
 }
 
+bool
+HamsController::tryAccess(const MemAccess& acc, Tick at,
+                          InlineCompletion& out)
+{
+    // Persist mode serialises I/O through the gate; keep its accesses
+    // on the one battle-tested path.
+    if (cfg.mode != HamsMode::Extend)
+        return false;
+    if (acc.addr + acc.size > _mosCapacity)
+        fatal("MoS access [", acc.addr, ", ", acc.addr + acc.size,
+              ") beyond capacity ", _mosCapacity);
+    if (acc.addr / cfg.pageBytes != (acc.addr + acc.size - 1) /
+        cfg.pageBytes)
+        fatal("MoS access crosses a page boundary; split it upstream");
+
+    std::uint64_t idx = tags.indexOf(acc.addr);
+    MosTagEntry& e = tags.entry(idx);
+    if (e.busy || !e.valid || e.tag != tags.tagOf(acc.addr))
+        return false;
+
+    // A hit on an idle frame: the same arithmetic as handleHit +
+    // serveFromFrame, minus the Op context and the completion event.
+    ++_stats.accesses;
+    ++_stats.hits;
+    Tick t = at + cfg.logicLatency;
+    Addr line = frameAddr(idx) + acc.addr % cfg.pageBytes;
+    Tick done = nvdimm.access(line, acc.size, acc.op, t);
+    out.bd = LatencyBreakdown{};
+    out.bd.nvdimm = done - t;
+    _stats.memoryDelay += out.bd;
+    if (acc.op == MemOp::Write)
+        e.dirty = true;
+    out.done = done;
+    return true;
+}
+
 void
 HamsController::serveFromFrame(Op* op, Tick at)
 {

@@ -126,6 +126,16 @@ class HamsController
         access(acc, nullptr, nullptr, at, std::move(cb));
     }
 
+    /**
+     * Immediate-completion fast path (contract in baselines/
+     * platform.hh): completes timing-only extend-mode hits on an idle
+     * frame — valid, tag match, no busy bit, hence no parked waiters —
+     * inline, with side effects and stats identical to access().
+     * Persist-mode accesses and anything that needs I/O return false
+     * untouched.
+     */
+    bool tryAccess(const MemAccess& acc, Tick at, InlineCompletion& out);
+
     /** Drop volatile state (wait queue, persist gate) on power failure. */
     void onPowerFail();
 

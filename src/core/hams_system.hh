@@ -78,6 +78,11 @@ class HamsSystem : public MemoryPlatform
     std::uint64_t capacity() const override { return ctrl->mosCapacity(); }
     EventQueue& eventQueue() override { return eq; }
     void access(const MemAccess& acc, Tick at, AccessCb cb) override;
+    bool
+    tryAccess(const MemAccess& acc, Tick at, InlineCompletion& out) override
+    {
+        return ctrl->tryAccess(acc, at, out);
+    }
     bool persistent() const override { return true; }
     EnergyBreakdownJ memoryEnergy(Tick elapsed) const override;
     ///@}
@@ -113,6 +118,7 @@ class HamsSystem : public MemoryPlatform
     const HamsSystemConfig& config() const { return cfg; }
     HamsController& controller() { return *ctrl; }
     HamsNvmeEngine& nvmeEngine() { return *engine; }
+    NvmeController& nvmeController() { return *nvmeCtrl; }
     Ssd& ullFlash() { return *ssd; }
     Nvdimm& nvdimmModule() { return *nvdimm; }
     PinnedRegion& pinnedRegion() { return *pinned; }

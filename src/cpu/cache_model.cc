@@ -1,5 +1,7 @@
 #include "cpu/cache_model.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace hams {
@@ -12,24 +14,43 @@ CacheModel::CacheModel(const CacheConfig& cfg) : cfg(cfg)
     if (lines % cfg.ways != 0)
         fatal("cache lines not divisible by associativity");
     sets = static_cast<std::uint32_t>(lines / cfg.ways);
-    ways.resize(std::size_t(sets) * cfg.ways);
+    tags.assign(std::size_t(sets) * cfg.ways, emptyTag);
+    meta.assign(std::size_t(sets) * cfg.ways, Meta{});
+
+    pow2 = isPow2(cfg.lineBytes) && isPow2(sets);
+    if (pow2) {
+        lineShift = log2u64(cfg.lineBytes);
+        setShift = log2u64(sets);
+        setMask = sets - 1;
+    }
 }
 
 CacheResult
 CacheModel::access(Addr addr, bool is_write)
 {
-    Addr line = addr / cfg.lineBytes;
-    std::uint32_t set = static_cast<std::uint32_t>(line % sets);
-    std::uint64_t tag = line / sets;
-    Way* base = &ways[std::size_t(set) * cfg.ways];
+    Addr line;
+    std::uint32_t set;
+    std::uint64_t tag;
+    if (pow2) {
+        line = addr >> lineShift;
+        set = static_cast<std::uint32_t>(line & setMask);
+        tag = line >> setShift;
+    } else {
+        line = addr / cfg.lineBytes;
+        set = static_cast<std::uint32_t>(line % sets);
+        tag = line / sets;
+    }
+    std::size_t base = std::size_t(set) * cfg.ways;
+    std::uint64_t* set_tags = &tags[base];
 
     CacheResult res;
     ++lruClock;
 
     for (std::uint32_t w = 0; w < cfg.ways; ++w) {
-        if (base[w].valid && base[w].tag == tag) {
-            base[w].lru = lruClock;
-            base[w].dirty |= is_write;
+        if (set_tags[w] == tag) {
+            Meta& m = meta[base + w];
+            m.lru = lruClock;
+            m.dirty |= is_write;
             ++_hits;
             res.hit = true;
             return res;
@@ -40,31 +61,31 @@ CacheModel::access(Addr addr, bool is_write)
     ++_misses;
     std::uint32_t victim = 0;
     for (std::uint32_t w = 0; w < cfg.ways; ++w) {
-        if (!base[w].valid) {
+        if (set_tags[w] == emptyTag) {
             victim = w;
             break;
         }
-        if (base[w].lru < base[victim].lru)
+        if (meta[base + w].lru < meta[base + victim].lru)
             victim = w;
     }
 
-    if (base[victim].valid && base[victim].dirty) {
+    Meta& vm = meta[base + victim];
+    if (set_tags[victim] != emptyTag && vm.dirty) {
         res.evictedDirty = true;
         res.evictedLine =
-            (base[victim].tag * sets + set) * cfg.lineBytes;
+            (set_tags[victim] * sets + set) * cfg.lineBytes;
     }
-    base[victim].tag = tag;
-    base[victim].valid = true;
-    base[victim].dirty = is_write;
-    base[victim].lru = lruClock;
+    set_tags[victim] = tag;
+    vm.dirty = is_write;
+    vm.lru = lruClock;
     return res;
 }
 
 void
 CacheModel::flush()
 {
-    for (auto& w : ways)
-        w = Way{};
+    std::fill(tags.begin(), tags.end(), emptyTag);
+    std::fill(meta.begin(), meta.end(), Meta{});
 }
 
 } // namespace hams

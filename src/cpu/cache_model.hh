@@ -5,6 +5,13 @@
  *
  * Only hit/miss and dirty-victim behaviour matter to the platform
  * studies, so the model tracks tags and LRU state but no data.
+ *
+ * The probe is the single hottest operation of an end-to-end run (once
+ * per memory instruction), so the layout is structure-of-arrays: the
+ * tag array alone answers the hit check — an 8-way set's tags fit one
+ * host cache line — and the LRU/dirty metadata is only touched on the
+ * way that hit or on a miss. Power-of-two geometries (every stock
+ * config) resolve line/set/tag with shifts instead of divisions.
  */
 
 #ifndef HAMS_CPU_CACHE_MODEL_HH_
@@ -57,17 +64,26 @@ class CacheModel
     std::uint64_t misses() const { return _misses; }
 
   private:
-    struct Way
+    /** Invalid-way sentinel: real tags are addr shifted right, so they
+     *  can never reach the all-ones pattern. */
+    static constexpr std::uint64_t emptyTag = ~std::uint64_t(0);
+
+    /** Per-way replacement metadata, split from the probed tag array. */
+    struct Meta
     {
-        std::uint64_t tag = 0;
         std::uint32_t lru = 0;
-        bool valid = false;
         bool dirty = false;
     };
 
     CacheConfig cfg;
     std::uint32_t sets;
-    std::vector<Way> ways; //!< sets x ways, row-major
+    /** Shift/mask decode for power-of-two geometry (0 = use div/mod). */
+    bool pow2 = false;
+    std::uint32_t lineShift = 0;
+    std::uint32_t setShift = 0;
+    std::uint64_t setMask = 0;
+    std::vector<std::uint64_t> tags; //!< sets x ways, emptyTag = invalid
+    std::vector<Meta> meta;          //!< parallel to tags
     std::uint32_t lruClock = 0;
     std::uint64_t _hits = 0;
     std::uint64_t _misses = 0;

@@ -32,6 +32,13 @@ struct CoreConfig
     CacheConfig l2{2 * 1024 * 1024, 64, 8, nanoseconds(5)};
     /** Propagate dirty L2 victims to the platform (write-back). */
     bool writebackEvictions = true;
+    /**
+     * Use MemoryPlatform::tryAccess to complete accesses inline when
+     * the event queue is empty. Simulated-time outputs are bit-identical
+     * either way (tests/test_fastpath.cc asserts it); off exists for
+     * that differential test and for before/after benchmarking.
+     */
+    bool inlineFastPath = true;
 };
 
 /** Everything a run produces. */
@@ -71,8 +78,12 @@ class CoreModel
 
     /**
      * Execute @p instruction_budget instructions (compute + memory).
-     * Runs the platform's event queue inline; returns aggregate
-     * metrics.
+     *
+     * The run loop is an iterative trampoline: ops retire in a flat
+     * loop, platform accesses complete inline via tryAccess when the
+     * event queue is empty, and only true misses/flushes fall back to
+     * scheduling a completion event and pumping the queue. Returns
+     * aggregate metrics.
      */
     RunResult run(WorkloadGenerator& gen, std::uint64_t instruction_budget);
 

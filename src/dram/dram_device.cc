@@ -12,6 +12,12 @@ DramDevice::DramDevice(const Ddr4Timing& timing, std::uint64_t capacity)
     if (capacity == 0)
         fatal("DRAM capacity must be non-zero");
     banks.resize(_timing.ranks * _timing.banks);
+
+    if (isPow2(_timing.rowBufferBytes) && isPow2(banks.size())) {
+        rowShift = log2u64(_timing.rowBufferBytes);
+        bankShift = log2u64(banks.size());
+        bankMask = banks.size() - 1;
+    }
 }
 
 void
@@ -20,6 +26,12 @@ DramDevice::decode(Addr addr, std::uint32_t& bank, std::uint64_t& row) const
     // Row-interleaved mapping: [row | bank | column]. Consecutive rows of
     // one bank are rowBufferBytes apart; banks interleave at row-buffer
     // granularity so bulk transfers rotate across banks.
+    if (rowShift) {
+        std::uint64_t frame = addr >> rowShift;
+        bank = static_cast<std::uint32_t>(frame & bankMask);
+        row = frame >> bankShift;
+        return;
+    }
     std::uint64_t frame = addr / _timing.rowBufferBytes;
     bank = static_cast<std::uint32_t>(frame % banks.size());
     row = frame / banks.size();

@@ -84,6 +84,15 @@ class DramDevice
     /** Map an address to (bank index, row number). */
     void decode(Addr addr, std::uint32_t& bank, std::uint64_t& row) const;
 
+    /**
+     * Shift/mask decode for power-of-two row buffers and bank counts
+     * (every stock speed grade): decode() runs per 64 B burst, so its
+     * three divisions are hot. Zero rowShift means "fall back to div".
+     */
+    std::uint32_t rowShift = 0;
+    std::uint32_t bankShift = 0;
+    std::uint64_t bankMask = 0;
+
     /** Time one 64 B burst, updating bank and bus state. */
     Tick burst(Addr addr, MemOp op, Tick at);
 

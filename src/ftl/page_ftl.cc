@@ -28,7 +28,12 @@ PageFtl::PageFtl(const FlashGeometry& geom, Fil& fil, const FtlConfig& cfg)
     blocks.resize(pu_count * geom.blocksPerPlane);
     for (std::uint64_t pu = 0; pu < pu_count; ++pu) {
         Unit& u = units[pu];
+        // Every block of the unit can sit on either list, so reserving
+        // both to unit capacity up front makes the steady-state write
+        // path literally allocation-free: closing a block or recycling
+        // a GC victim never grows a vector.
         u.freeBlocks.reserve(geom.blocksPerPlane);
+        u.closedBlocks.reserve(geom.blocksPerPlane);
         // LIFO pop order: push high indices first so block 0 pops first.
         for (std::uint32_t b = geom.blocksPerPlane; b-- > 0;)
             u.freeBlocks.push_back(b);

@@ -72,6 +72,17 @@ struct LatencyBreakdown
  */
 using AccessCb = InlineFunction<void(Tick, const LatencyBreakdown&)>;
 
+/**
+ * What an access that completed inline reports: {done, breakdown} —
+ * the immediate-completion fast path's stand-in for an AccessCb
+ * invocation (contract in baselines/platform.hh).
+ */
+struct InlineCompletion
+{
+    Tick done = 0;
+    LatencyBreakdown bd;
+};
+
 /** Human-readable op name. */
 inline const char*
 memOpName(MemOp op)

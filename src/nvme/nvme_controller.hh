@@ -110,6 +110,15 @@ class NvmeController
 
     Ssd& ssd() { return _ssd; }
 
+    /** @name Pool introspection (tests/bench). */
+    ///@{
+    std::size_t cplContextsAllocated() const { return cplPool.totalObjects(); }
+    std::size_t dataContextsAllocated() const
+    {
+        return dataPool.totalObjects();
+    }
+    ///@}
+
   private:
     void execute(std::uint16_t qid, const NvmeCommand& cmd, Tick fetched);
 

@@ -81,6 +81,24 @@ EventQueue::step()
 }
 
 Tick
+EventQueue::nextTick()
+{
+    skipStale();
+    return heap.empty() ? maxTick : heap.front().when;
+}
+
+void
+EventQueue::advanceToSlow(Tick when)
+{
+    if (when < _now)
+        panic("advanceTo(", when, ") is in the past (now=", _now, ")");
+    if (nextTick() <= when)
+        panic("advanceTo(", when, ") would skip a live event at ",
+              heap.front().when);
+    _now = when;
+}
+
+Tick
 EventQueue::run()
 {
     while (step()) {

@@ -86,6 +86,28 @@ class EventQueue
     /** Fire at most one live event. @return false if none remained. */
     bool step();
 
+    /** Tick of the earliest live event, or maxTick when none remain. */
+    Tick nextTick();
+
+    /**
+     * Advance simulated time without firing anything — the inline
+     * fast-path twin of scheduling a completion event at @p when and
+     * immediately firing it. Only legal when nothing would have fired
+     * on the way: @p when must be >= now() and no live event may be
+     * pending at or before @p when (callers typically check empty()).
+     * The empty-queue case is inline: it runs once per fast-path
+     * access.
+     */
+    void
+    advanceTo(Tick when)
+    {
+        if (heap.empty() && when >= _now) {
+            _now = when;
+            return;
+        }
+        advanceToSlow(when);
+    }
+
     /**
      * Drop every pending event and optionally rewind time to zero.
      * Used by power-failure injection: the machine's in-flight work
@@ -154,6 +176,9 @@ class EventQueue
 
     /** Pop cancelled entries off the heap top. */
     void skipStale();
+
+    /** advanceTo with a non-empty heap: validate against live events. */
+    void advanceToSlow(Tick when);
 
     Tick _now = 0;
     std::uint64_t nextSeq = 0;

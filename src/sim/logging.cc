@@ -1,18 +1,21 @@
 #include "sim/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
 namespace hams {
 
 namespace {
-bool quietMode = false;
+// Atomic: parallel sweep workers construct platforms (which call
+// setQuiet) concurrently with other workers logging.
+std::atomic<bool> quietMode{false};
 } // namespace
 
 void
 setQuiet(bool quiet)
 {
-    quietMode = quiet;
+    quietMode.store(quiet, std::memory_order_relaxed);
 }
 
 namespace detail {
@@ -20,7 +23,7 @@ namespace detail {
 void
 informImpl(const std::string& msg)
 {
-    if (!quietMode)
+    if (!quietMode.load(std::memory_order_relaxed))
         std::fprintf(stdout, "info: %s\n", msg.c_str());
 }
 

@@ -94,6 +94,25 @@ constexpr std::uint64_t operator""_GiB(unsigned long long v)
 /** Byte address within a device or the MoS address pool. */
 using Addr = std::uint64_t;
 
+/** @name Power-of-two helpers (hot-path shift/mask decodes). */
+///@{
+constexpr bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Floor log2; log2u64(0) == 0. */
+constexpr std::uint32_t
+log2u64(std::uint64_t v)
+{
+    std::uint32_t s = 0;
+    while (v >>= 1)
+        ++s;
+    return s;
+}
+///@}
+
 } // namespace hams
 
 #endif // HAMS_SIM_TYPES_HH_

@@ -67,8 +67,12 @@ SyntheticWorkload::pickDataAddr()
         return a;
     }
     // Random: rows cluster within the per-op row base so one op touches
-    // one neighbourhood, like a random row fetch.
-    Addr a = opRowBase + (phaseLeft % _spec.accessesPerOp) * 64;
+    // one neighbourhood, like a random row fetch. phaseLeft stays in
+    // [1, accessesPerOp] here, so the modulo reduces to one compare
+    // (this runs once per access — keep it division-free).
+    std::uint64_t slot =
+        phaseLeft == _spec.accessesPerOp ? 0 : phaseLeft;
+    Addr a = opRowBase + slot * 64;
     if (a + 64 > dataBytes)
         a = a % (dataBytes - 64);
     return a & ~Addr(63);

@@ -215,6 +215,46 @@ TEST(Recovery, RandomisedCrashConsistency)
     }
 }
 
+TEST(Recovery, PooledContextsReclaimedAcrossPowerCycles)
+{
+    // A power failure drops every in-flight event; the pooled contexts
+    // those events referenced (controller Ops, NVMe completion/data
+    // contexts) must be reclaimed, not stranded: the pools' high-water
+    // marks have to stabilise no matter how many crash cycles hit
+    // mid-I/O.
+    HamsSystem sys(crashConfig(HamsMode::Extend));
+    std::uint64_t cache = sys.pinnedRegion().cacheBytes();
+
+    auto cycle = [&](int i) {
+        // Dirty-miss traffic (aliasing pages) plus an access left
+        // in flight at the moment of the crash.
+        std::uint32_t v = static_cast<std::uint32_t>(i);
+        sys.write((i % 2) ? cache : 0, &v, sizeof(v));
+        sys.write((i % 2) ? 0 : cache, &v, sizeof(v));
+        sys.access(MemAccess{(i % 2) ? Addr(0) : cache, 64, MemOp::Read},
+                   sys.eventQueue().now(), nullptr);
+        sys.powerFail();
+        sys.recover();
+    };
+
+    for (int i = 0; i < 4; ++i)
+        cycle(i);
+    std::size_t ops = sys.controller().opContextsAllocated();
+    std::size_t staging = sys.controller().stagingFramesAllocated();
+    std::size_t cpl = sys.nvmeController().cplContextsAllocated();
+    std::size_t data = sys.nvmeController().dataContextsAllocated();
+    std::uint32_t prp_free = sys.pinnedRegion().prpFramesFree();
+
+    for (int i = 4; i < 16; ++i)
+        cycle(i);
+    EXPECT_EQ(sys.controller().opContextsAllocated(), ops);
+    EXPECT_EQ(sys.controller().stagingFramesAllocated(), staging);
+    EXPECT_EQ(sys.nvmeController().cplContextsAllocated(), cpl);
+    EXPECT_EQ(sys.nvmeController().dataContextsAllocated(), data);
+    // Replay returns every stranded PRP clone frame to the pool.
+    EXPECT_EQ(sys.pinnedRegion().prpFramesFree(), prp_free);
+}
+
 TEST(Recovery, RecoveryTimeDominatedByNvdimmRestore)
 {
     HamsSystem sys(crashConfig(HamsMode::Extend));
