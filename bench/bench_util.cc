@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <stdexcept>
 #include <thread>
 
@@ -134,19 +135,33 @@ makePlatform(const std::string& name, const BenchGeometry& geom)
     return std::make_unique<HamsSystem>(c);
 }
 
+namespace {
+
+/**
+ * Measurement budget of one cell. Compute-heavy workloads need a
+ * larger budget to issue a comparable number of memory operations (the
+ * paper runs 213 G instructions of SQLite vs 67 G of microbenchmark).
+ * Shared by runOn and runSmpOn so the single-core tables and the
+ * multicore sweep can never drift apart.
+ */
+std::uint64_t
+measuredBudget(const WorkloadGenerator& gen, const BenchGeometry& geom)
+{
+    std::uint64_t budget = geom.instructionBudget;
+    if (gen.spec().family == "sqlite")
+        budget *= 16;
+    return budget;
+}
+
+} // namespace
+
 RunResult
 runOn(MemoryPlatform& platform, const std::string& workload,
       const BenchGeometry& geom)
 {
     auto gen = makeWorkload(workload, geom.datasetBytesFor(workload));
     CoreModel core(platform);
-
-    // Compute-heavy workloads need a larger budget to issue a
-    // comparable number of memory operations (the paper runs 213 G
-    // instructions of SQLite vs 67 G of microbenchmark).
-    std::uint64_t budget = geom.instructionBudget;
-    if (gen->spec().family == "sqlite")
-        budget *= 16;
+    std::uint64_t budget = measuredBudget(*gen, geom);
 
     // Warm up caches/FTL state (the paper preconditions the devices and
     // warm-up phases before measuring), then measure on the continuing
@@ -155,13 +170,23 @@ runOn(MemoryPlatform& platform, const std::string& workload,
     return core.run(*gen, budget);
 }
 
-std::vector<RunResult>
-runSweep(const std::vector<SweepCell>& cells)
-{
-    // Quiet the platform-construction banners (workers re-set the
-    // atomic flag harmlessly via makePlatform).
-    setQuiet(true);
+namespace {
 
+/**
+ * Run @p count independent cells through @p body (serial or across the
+ * HAMS_BENCH_THREADS pool), annotating any failure with @p label(i) so
+ * the thrown error names the exact cell that died — a bare what()
+ * rethrown from a worker is useless in a 100-cell sweep. With several
+ * concurrent failures the lowest-index cell is reported, keeping the
+ * error deterministic at any thread count. Throwing (instead of
+ * returning partial data) is what guarantees callers can never print a
+ * table with default-constructed holes.
+ */
+void
+runCells(std::size_t count,
+         const std::function<std::string(std::size_t)>& label,
+         const std::function<void(std::size_t)>& body)
+{
     std::size_t workers = std::thread::hardware_concurrency();
     if (const char* env = std::getenv("HAMS_BENCH_THREADS")) {
         std::uint64_t n = std::strtoull(env, nullptr, 10);
@@ -170,51 +195,137 @@ runSweep(const std::vector<SweepCell>& cells)
     }
     if (workers == 0)
         workers = 1;
-    workers = std::min(workers, cells.size());
+    workers = std::min(workers, count);
 
-    std::vector<RunResult> results(cells.size());
-    auto run_cell = [&](std::size_t i) {
-        auto platform = makePlatform(cells[i].platform, cells[i].geom);
-        if (!platform)
-            throw std::runtime_error("unknown platform '" +
-                                     cells[i].platform + "'");
-        results[i] = runOn(*platform, cells[i].workload, cells[i].geom);
+    auto annotate = [&](std::size_t i, const char* what) {
+        return "sweep cell [" + label(i) + "]: " + what;
     };
 
     if (workers <= 1) {
-        for (std::size_t i = 0; i < cells.size(); ++i)
-            run_cell(i);
-        return results;
+        for (std::size_t i = 0; i < count; ++i) {
+            try {
+                body(i);
+            } catch (const std::exception& e) {
+                throw std::runtime_error(annotate(i, e.what()));
+            }
+        }
+        return;
     }
 
     // Self-scheduling workers: each claims the next unclaimed cell.
     // Results land by input index, so completion order cannot change
-    // the table.
+    // the table. Errors land by index too, and after a failure only
+    // cells BELOW the lowest failing index so far keep running — any
+    // of them could fail with a lower index — so the reported failure
+    // is always the lowest-index one regardless of which worker
+    // tripped first, without paying for the cells behind it.
     std::atomic<std::size_t> next{0};
-    std::atomic<bool> failed{false};
-    std::string error;
+    std::atomic<std::size_t> minFailed{count};
+    std::vector<std::string> errors(count);
     std::vector<std::thread> pool;
     pool.reserve(workers);
     for (std::size_t w = 0; w < workers; ++w) {
         pool.emplace_back([&] {
             for (;;) {
                 std::size_t i = next.fetch_add(1);
-                if (i >= cells.size() || failed.load())
+                if (i >= count)
                     return;
+                if (i > minFailed.load())
+                    continue;
                 try {
-                    run_cell(i);
+                    body(i);
                 } catch (const std::exception& e) {
-                    if (!failed.exchange(true))
-                        error = e.what();
-                    return;
+                    errors[i] = annotate(i, e.what());
+                    std::size_t cur = minFailed.load();
+                    while (i < cur &&
+                           !minFailed.compare_exchange_weak(cur, i)) {
+                    }
                 }
             }
         });
     }
     for (auto& t : pool)
         t.join();
-    if (failed.load())
-        throw std::runtime_error("sweep cell failed: " + error);
+    if (minFailed.load() < count)
+        throw std::runtime_error(errors[minFailed.load()]);
+}
+
+std::unique_ptr<MemoryPlatform>
+makePlatformOrThrow(const std::string& name, const BenchGeometry& geom)
+{
+    auto platform = makePlatform(name, geom);
+    if (!platform)
+        throw std::runtime_error("unknown platform '" + name + "'");
+    return platform;
+}
+
+} // namespace
+
+std::vector<RunResult>
+runSweep(const std::vector<SweepCell>& cells)
+{
+    // Quiet the platform-construction banners (workers re-set the
+    // atomic flag harmlessly via makePlatform).
+    setQuiet(true);
+
+    std::vector<RunResult> results(cells.size());
+    runCells(
+        cells.size(),
+        [&](std::size_t i) {
+            return cells[i].platform + " x " + cells[i].workload;
+        },
+        [&](std::size_t i) {
+            auto platform =
+                makePlatformOrThrow(cells[i].platform, cells[i].geom);
+            results[i] =
+                runOn(*platform, cells[i].workload, cells[i].geom);
+        });
+    return results;
+}
+
+SmpResult
+runSmpOn(MemoryPlatform& platform, const std::string& workload,
+         std::uint32_t cores, const BenchGeometry& geom)
+{
+    if (cores == 0)
+        throw std::runtime_error("SMP cell with 0 cores");
+
+    std::vector<std::unique_ptr<WorkloadGenerator>> gens;
+    std::vector<WorkloadGenerator*> raw;
+    for (std::uint32_t c = 0; c < cores; ++c) {
+        gens.push_back(makeCoreWorkload(
+            workload, geom.datasetBytesFor(workload), c, cores));
+        raw.push_back(gens.back().get());
+    }
+
+    SmpModel smp(platform);
+    std::uint64_t budget = measuredBudget(*gens[0], geom);
+    smp.run(raw, budget / 2); // warm devices, as runOn does
+    return smp.run(raw, budget);
+}
+
+std::vector<SmpCellResult>
+runSmpSweep(const std::vector<SmpSweepCell>& cells)
+{
+    setQuiet(true);
+
+    std::vector<SmpCellResult> results(cells.size());
+    runCells(
+        cells.size(),
+        [&](std::size_t i) {
+            return cells[i].platform + " x " + cells[i].workload + " x " +
+                   std::to_string(cells[i].cores) + "-core";
+        },
+        [&](std::size_t i) {
+            auto platform =
+                makePlatformOrThrow(cells[i].platform, cells[i].geom);
+            results[i].smp = runSmpOn(*platform, cells[i].workload,
+                                      cells[i].cores, cells[i].geom);
+            if (auto* hams = dynamic_cast<HamsSystem*>(platform.get())) {
+                results[i].hasHamsStats = true;
+                results[i].hams = hams->stats();
+            }
+        });
     return results;
 }
 
@@ -229,6 +340,12 @@ std::uint64_t
 allocCallsNow()
 {
     return alloc_hook::newCalls();
+}
+
+std::uint64_t
+threadAllocCallsNow()
+{
+    return alloc_hook::threadNewCalls();
 }
 
 void

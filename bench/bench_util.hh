@@ -20,7 +20,9 @@
 #include <vector>
 
 #include "baselines/platform.hh"
+#include "core/hams_controller.hh"
 #include "cpu/core_model.hh"
+#include "cpu/smp_model.hh"
 #include "workload/workload.hh"
 
 namespace hams::bench {
@@ -83,8 +85,47 @@ struct SweepCell
  * concurrency, 1 = serial) and the returned table is byte-identical to
  * serial execution, which is what lets the fig* harnesses print
  * deterministic tables from parallel runs.
+ *
+ * All-or-nothing: if any cell fails, the whole sweep throws
+ * std::runtime_error naming the failing (platform × workload) cell —
+ * never a table with default-constructed holes. With several failures
+ * the lowest-index cell is reported, so the error is deterministic at
+ * any thread count.
  */
 std::vector<RunResult> runSweep(const std::vector<SweepCell>& cells);
+
+/**
+ * One N-core cell of an SMP sweep (cpu/smp_model.hh): @p cores cores
+ * with per-core workload shards against one shared platform.
+ */
+struct SmpSweepCell
+{
+    std::string platform;
+    std::string workload;
+    std::uint32_t cores = 1;
+    BenchGeometry geom;
+};
+
+/** SmpResult plus the shared platform's contention stats (HAMS only). */
+struct SmpCellResult
+{
+    SmpResult smp;
+    bool hasHamsStats = false;
+    HamsStats hams; //!< valid when hasHamsStats
+};
+
+/**
+ * Run @p workload sharded over @p cores cores on @p platform
+ * (warmup-then-measure, same budgets as runOn).
+ */
+SmpResult runSmpOn(MemoryPlatform& platform, const std::string& workload,
+                   std::uint32_t cores, const BenchGeometry& geom);
+
+/**
+ * Run every SMP cell — parallel across cells, deterministic results in
+ * input order, with runSweep's all-or-nothing error contract.
+ */
+std::vector<SmpCellResult> runSmpSweep(const std::vector<SmpSweepCell>& cells);
 
 /** Print a harness banner with the figure reference. */
 void banner(const std::string& figure, const std::string& what);
@@ -103,6 +144,14 @@ std::string jsonOutPath(const std::string& fallback);
  * allocations-per-operation alongside their timings.
  */
 std::uint64_t allocCallsNow();
+
+/**
+ * Heap allocations made by the calling thread. Use this — not
+ * allocCallsNow() — for per-cell allocs/access measurements: the
+ * process-global counter picks up every concurrent worker's
+ * allocations whenever HAMS_BENCH_THREADS > 1.
+ */
+std::uint64_t threadAllocCallsNow();
 
 } // namespace hams::bench
 

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Multi-core scaling sweep: N in-order cores sharing one platform
+ * (cpu/smp_model.hh), the shape of the paper's Table II host (8-core
+ * ARM v8) that the single-core figure harnesses cannot reach.
+ *
+ * N ∈ {1, 2, 4, 8} cores × {hams-TE, hams-TP, mmap, optane-P} ×
+ * {rndRd, update}: aggregate throughput, scaling efficiency vs the
+ * 1-core run, and — for the HAMS variants — the contention counters
+ * that only exist under overlapping outstanding accesses: accesses
+ * parked on busy frames (waitQueued), the deepest per-frame wait list
+ * (waiterPeakDepth) and the persist-gate queue (persistGateWaits /
+ * gateQueuePeakDepth).
+ *
+ * Deterministic: every cell is a fixed-seed sharded workload on a
+ * fresh platform, so reruns — at any HAMS_BENCH_THREADS setting —
+ * produce byte-identical tables. Results land in BENCH_multicore.json
+ * (HAMS_BENCH_JSON overrides; HAMS_BENCH_SCALE enlarges the runs).
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace hams;
+    using namespace hams::bench;
+
+    banner("multicore",
+           "N-core shared-platform scaling (SmpModel, Table II host)");
+    BenchGeometry geom = BenchGeometry::scaled();
+
+    const std::vector<std::uint32_t> core_counts = {1, 2, 4, 8};
+    const std::vector<std::string> platforms = {"hams-TE", "hams-TP",
+                                                "mmap", "optane-P"};
+    const std::vector<std::string> workloads = {"rndRd", "update"};
+
+    std::vector<SmpSweepCell> cells;
+    for (const auto& p : platforms)
+        for (const auto& w : workloads)
+            for (std::uint32_t n : core_counts)
+                cells.push_back({p, w, n, geom});
+    std::vector<SmpCellResult> results = runSmpSweep(cells);
+
+    std::printf("\n%-10s %-8s %5s %14s %8s %10s %9s %10s %9s\n",
+                "platform", "workload", "cores", "ops/s(agg)", "scale",
+                "waitQd", "waitPeak", "gateWaits", "gatePeak");
+
+    std::string out = jsonOutPath("BENCH_multicore.json");
+    std::FILE* f = std::fopen(out.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "could not write %s\n", out.c_str());
+        return 1;
+    }
+    std::fprintf(f, "{\n  \"benchmarks\": [\n");
+
+    std::size_t cursor = 0;
+    for (const auto& p : platforms) {
+        for (const auto& w : workloads) {
+            double base_ops = 0;
+            for (std::size_t k = 0; k < core_counts.size(); ++k) {
+                const SmpCellResult& cell = results[cursor];
+                const RunResult& comb = cell.smp.combined;
+                std::uint32_t n = core_counts[k];
+                if (n == 1)
+                    base_ops = comb.opsPerSec;
+                // Scaling efficiency: aggregate throughput relative to
+                // a perfectly scaled 1-core run.
+                double scale_eff =
+                    base_ops > 0 ? comb.opsPerSec / (base_ops * n) : 0;
+
+                std::uint64_t wait_q = 0, wait_peak = 0;
+                std::uint64_t gate_w = 0, gate_peak = 0;
+                if (cell.hasHamsStats) {
+                    wait_q = cell.hams.waitQueued;
+                    wait_peak = cell.hams.waiterPeakDepth;
+                    gate_w = cell.hams.persistGateWaits;
+                    gate_peak = cell.hams.gateQueuePeakDepth;
+                }
+
+                std::printf("%-10s %-8s %5u %14.0f %7.2f %10llu %9llu "
+                            "%10llu %9llu\n",
+                            p.c_str(), w.c_str(), n, comb.opsPerSec,
+                            scale_eff,
+                            static_cast<unsigned long long>(wait_q),
+                            static_cast<unsigned long long>(wait_peak),
+                            static_cast<unsigned long long>(gate_w),
+                            static_cast<unsigned long long>(gate_peak));
+
+                std::fprintf(
+                    f,
+                    "    {\"name\": \"multicore/%s/%s/n%u\", "
+                    "\"cores\": %u, \"ops_per_sec\": %.1f, "
+                    "\"bytes_per_sec\": %.1f, \"agg_ipc\": %.4f, "
+                    "\"sim_time_ticks\": %llu, "
+                    "\"scaling_efficiency\": %.4f, "
+                    "\"wait_queued\": %llu, \"waiter_peak_depth\": %llu, "
+                    "\"persist_gate_waits\": %llu, "
+                    "\"gate_queue_peak_depth\": %llu}%s\n",
+                    p.c_str(), w.c_str(), n, n, comb.opsPerSec,
+                    comb.bytesPerSec, comb.ipc,
+                    static_cast<unsigned long long>(comb.simTime),
+                    scale_eff, static_cast<unsigned long long>(wait_q),
+                    static_cast<unsigned long long>(wait_peak),
+                    static_cast<unsigned long long>(gate_w),
+                    static_cast<unsigned long long>(gate_peak),
+                    cursor + 1 < results.size() ? "," : "");
+                ++cursor;
+            }
+        }
+    }
+
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nResults written to %s\n", out.c_str());
+    return 0;
+}

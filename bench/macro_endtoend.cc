@@ -85,11 +85,14 @@ struct Half
     measure(std::uint64_t budget, double& ns_per_access,
             double& allocs_per_access)
     {
-        std::uint64_t allocs0 = allocCallsNow();
+        // Thread-local counting: a process-global counter would charge
+        // this cell with whatever any concurrently running thread
+        // allocates, quietly corrupting allocs_per_access.
+        std::uint64_t allocs0 = threadAllocCallsNow();
         auto t0 = std::chrono::steady_clock::now();
         RunResult r = core->run(*gen, budget);
         auto t1 = std::chrono::steady_clock::now();
-        std::uint64_t allocs1 = allocCallsNow();
+        std::uint64_t allocs1 = threadAllocCallsNow();
 
         double ns = static_cast<double>(
             std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)

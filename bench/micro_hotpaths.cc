@@ -36,7 +36,7 @@ void
 reportAllocRate(benchmark::State& state, std::uint64_t alloc_start)
 {
     state.counters["allocs_per_op"] = benchmark::Counter(
-        static_cast<double>(bench::allocCallsNow() - alloc_start) /
+        static_cast<double>(bench::threadAllocCallsNow() - alloc_start) /
         static_cast<double>(state.iterations()));
 }
 
@@ -45,7 +45,7 @@ BM_EventQueueScheduleRun(benchmark::State& state)
 {
     EventQueue eq;
     std::uint64_t sink = 0;
-    std::uint64_t allocs = bench::allocCallsNow();
+    std::uint64_t allocs = bench::threadAllocCallsNow();
     for (auto _ : state) {
         for (int i = 0; i < 64; ++i)
             eq.schedule(i, [&sink] { ++sink; });
@@ -63,7 +63,7 @@ BM_EventQueueScheduleCancel(benchmark::State& state)
     // replaces the old hash-set lazy-cancel scheme.
     EventQueue eq;
     EventId ids[64];
-    std::uint64_t allocs = bench::allocCallsNow();
+    std::uint64_t allocs = bench::threadAllocCallsNow();
     for (auto _ : state) {
         for (int i = 0; i < 64; ++i)
             ids[i] = eq.schedule(i + 1, [] {});
@@ -156,7 +156,7 @@ BM_SparseMemoryWrite4K(benchmark::State& state)
     std::vector<std::uint8_t> buf(4096, 0xAB);
     mem.fill(0, 0, working_set);
     Rng rng(5);
-    std::uint64_t allocs = bench::allocCallsNow();
+    std::uint64_t allocs = bench::threadAllocCallsNow();
     for (auto _ : state)
         mem.write(rng.below(working_set / 4096) * 4096, buf.data(),
                   buf.size());
@@ -187,7 +187,7 @@ BM_SparseMemorySpanRead128K(benchmark::State& state)
     std::vector<std::uint8_t> buf(128 * 1024);
     mem.fill(0, 0x5A, 16ull << 20);
     Rng rng(6);
-    std::uint64_t allocs = bench::allocCallsNow();
+    std::uint64_t allocs = bench::threadAllocCallsNow();
     for (auto _ : state)
         mem.read(rng.below((16ull << 20) / buf.size()) * buf.size(),
                  buf.data(), buf.size());
@@ -208,7 +208,7 @@ BM_HamsHit_Extend(benchmark::State& state)
 
     std::uint32_t v = 1;
     sys.write(0, &v, sizeof(v)); // fault the page in once
-    std::uint64_t allocs = bench::allocCallsNow();
+    std::uint64_t allocs = bench::threadAllocCallsNow();
     int flip = 0;
     for (auto _ : state) {
         // Bounce within the resident page: every access hits.
@@ -236,7 +236,7 @@ hamsMissLatency(benchmark::State& state, HazardPolicy policy)
 
     std::uint32_t v = 1;
     int flip = 0;
-    std::uint64_t allocs = bench::allocCallsNow();
+    std::uint64_t allocs = bench::threadAllocCallsNow();
     for (auto _ : state) {
         // Alternate aliasing dirty pages: every write is a miss with a
         // dirty eviction — the worst case each policy must handle.

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Build the Release multi-core scaling sweep and record the trajectory
+# in BENCH_multicore.json (repo root, or $HAMS_BENCH_JSON): N-core
+# aggregate throughput, scaling efficiency vs 1 core, and the HAMS
+# contention counters (wait-list and persist-gate depth) that only move
+# under overlapping outstanding accesses.
+#
+# Usage: scripts/bench_multicore.sh
+#   HAMS_BENCH_SCALE=N enlarges the runs (default 1 = smoke size).
+#   HAMS_BENCH_THREADS=N caps the cross-cell worker pool.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build-bench"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+      -DCMAKE_BUILD_TYPE=Release \
+      -DHAMS_BUILD_TESTS=OFF \
+      -DHAMS_BUILD_EXAMPLES=OFF
+cmake --build "${build_dir}" --target fig_multicore -j"$(nproc)"
+
+export HAMS_BENCH_JSON="${HAMS_BENCH_JSON:-${repo_root}/BENCH_multicore.json}"
+"${build_dir}/fig_multicore"
+
+echo
+echo "Results written to ${HAMS_BENCH_JSON}"

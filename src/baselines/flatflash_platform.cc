@@ -102,10 +102,7 @@ FlatFlashPlatform::access(const MemAccess& acc, Tick at, AccessCb cb)
 {
     LatencyBreakdown bd;
     Tick done = serve(acc, at, bd);
-    eq.scheduleAt(done, [cb = std::move(cb), done, bd]() {
-        if (cb)
-            cb(done, bd);
-    });
+    scheduleCompletion(eq, done, bd, std::move(cb));
 }
 
 bool

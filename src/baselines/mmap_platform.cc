@@ -93,11 +93,13 @@ MmapPlatform::maybeStartWriteback(Tick at)
     if (static_cast<double>(dirtyCount) < watermark)
         return;
     // kswapd-style background round: flush a batch of dirty pages.
-    auto dirty = cacheTags->dirtyFrames();
+    // The scratch buffer keeps this (per newly dirtied page above the
+    // watermark) check allocation-free in steady state.
+    cacheTags->dirtyFrames(dirtyScratch);
     std::uint32_t n = std::min<std::uint32_t>(
-        cfg.writebackBatch, static_cast<std::uint32_t>(dirty.size()));
+        cfg.writebackBatch, static_cast<std::uint32_t>(dirtyScratch.size()));
     for (std::uint32_t i = 0; i < n; ++i)
-        writebackPage(dirty[i], at);
+        writebackPage(dirtyScratch[i], at);
 }
 
 Tick
@@ -182,10 +184,7 @@ MmapPlatform::access(const MemAccess& acc, Tick at, AccessCb cb)
 {
     LatencyBreakdown bd;
     Tick done = serve(acc, at, bd);
-    eq.scheduleAt(done, [cb = std::move(cb), done, bd]() {
-        if (cb)
-            cb(done, bd);
-    });
+    scheduleCompletion(eq, done, bd, std::move(cb));
 }
 
 bool
@@ -205,15 +204,12 @@ MmapPlatform::flush(Tick at, AccessCb cb)
     LatencyBreakdown bd;
     Tick done = at + cfg.ioStackLatency;
     bd.os += cfg.ioStackLatency;
-    auto dirty = cacheTags->dirtyFrames();
+    cacheTags->dirtyFrames(dirtyScratch);
     Tick last = done;
-    for (std::uint64_t page : dirty)
+    for (std::uint64_t page : dirtyScratch)
         last = std::max(last, writebackPage(page, done));
     bd.ssd += last - done;
-    eq.scheduleAt(last, [cb = std::move(cb), last, bd]() {
-        if (cb)
-            cb(last, bd);
-    });
+    scheduleCompletion(eq, last, bd, std::move(cb));
 }
 
 EnergyBreakdownJ

@@ -17,6 +17,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "baselines/platform.hh"
 #include "dram/memory_controller.hh"
@@ -100,6 +101,9 @@ class MmapPlatform : public MemoryPlatform
     std::unique_ptr<PcieLink> link;
     /** Page-cache bookkeeping (LRU + dirty bits); timing goes to dram. */
     std::unique_ptr<DramBuffer> cacheTags;
+    /** Reused dirty-page list (writeback rounds + msync), no per-round
+     *  allocation once grown to the dirty high-water mark. */
+    std::vector<std::uint64_t> dirtyScratch;
 
     std::uint64_t _pageFaults = 0;
     std::uint64_t _hits = 0;

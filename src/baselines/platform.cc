@@ -4,6 +4,26 @@
 
 namespace hams {
 
+void
+MemoryPlatform::scheduleCompletion(EventQueue& eq, Tick done,
+                                   const LatencyBreakdown& bd, AccessCb cb)
+{
+    CompletionCtx* ctx = completionPool.acquire();
+    ctx->cb = std::move(cb);
+    ctx->done = done;
+    ctx->bd = bd;
+    eq.scheduleAt(done, [this, ctx]() {
+        AccessCb cb = std::move(ctx->cb);
+        Tick when = ctx->done;
+        LatencyBreakdown b = ctx->bd;
+        // Release before invoking: the callback may re-enter access()
+        // and reuse this very context.
+        completionPool.release(ctx);
+        if (cb)
+            cb(when, b);
+    });
+}
+
 Tick
 MemoryPlatform::accessSync(const MemAccess& acc, Tick at,
                            LatencyBreakdown* bd)

@@ -32,9 +32,39 @@
  *    completion ahead of every pending event, so callers must only use
  *    the fast path when no live event is pending at or before the
  *    returned tick — the simplest sufficient gate is
- *    eventQueue().empty() at issue (what CoreModel uses) — and should
- *    then advanceTo() the returned tick to keep now() where the fired
- *    completion event would have left it.
+ *    eventQueue().empty() at issue (what CoreModel and SmpModel use) —
+ *    and should then advanceTo() the returned tick to keep now() where
+ *    the fired completion event would have left it.
+ *
+ * Multiple outstanding accesses (SMP drivers)
+ * -------------------------------------------
+ * A platform may be shared by several cores with overlapping accesses
+ * in flight (cpu/smp_model.hh): while one core's completion event is
+ * pending, other cores keep issuing. Two obligations follow:
+ *
+ *  - Callers must issue access()/flush() calls in non-decreasing order
+ *    of the issue tick across all cores (a platform applies its side
+ *    effects at call time, so call order *is* simulated-time order).
+ *    SmpModel's conductor drains every pending event strictly earlier
+ *    than the next issue tick before issuing, which guarantees this.
+ *  - The eventQueue().empty() fast-path gate automatically accounts
+ *    for other cores' pending completions: any outstanding access has
+ *    a live completion event, so the queue is non-empty and the caller
+ *    must take the event path. A platform whose tryAccess() could
+ *    observe partially-applied state from a pending event must decline
+ *    (return false) rather than approximate — the arithmetic baselines
+ *    never depend on pending events, so they always qualify.
+ *  - A multi-issue caller may skip advanceTo() after an inline
+ *    completion: with other cores' issue ticks possibly below the
+ *    returned tick, advancing the queue would forbid their (legal)
+ *    in-order schedules. Leaving now() behind is safe because
+ *    platforms compute from the passed-in issue tick, never now().
+ *
+ * Event-path completions ride pooled contexts (scheduleCompletion):
+ * {AccessCb, tick, breakdown} exceeds the 48-byte inline capture
+ * budget, so capturing it by value in the completion lambda would box
+ * on the heap for every event-path access — load-bearing again under
+ * SMP, where pending completions make the queue-empty gate rare.
  */
 
 #ifndef HAMS_BASELINES_PLATFORM_HH_
@@ -47,6 +77,7 @@
 #include "energy/energy_meter.hh"
 #include "mem/request.hh"
 #include "sim/event_queue.hh"
+#include "sim/pool.hh"
 #include "sim/types.hh"
 
 namespace hams {
@@ -142,6 +173,33 @@ class MemoryPlatform
      */
     Tick accessSync(const MemAccess& acc, Tick at,
                     LatencyBreakdown* bd = nullptr);
+
+    /** Completion contexts allocated so far (tests pin pool reuse). */
+    std::size_t completionContextsAllocated() const
+    {
+        return completionPool.totalObjects();
+    }
+
+  protected:
+    /**
+     * Schedule @p cb to fire at @p done carrying @p bd, through a
+     * pooled context so the event captures only {this, ctx} — the
+     * callback + tick + breakdown together blow the 48-byte inline
+     * budget and would box on the heap per event-path access.
+     */
+    void scheduleCompletion(EventQueue& eq, Tick done,
+                            const LatencyBreakdown& bd, AccessCb cb);
+
+  private:
+    /** Pooled {callback, tick, breakdown} of one event-path access. */
+    struct CompletionCtx
+    {
+        AccessCb cb;
+        Tick done;
+        LatencyBreakdown bd;
+    };
+
+    ObjectPool<CompletionCtx> completionPool;
 };
 
 } // namespace hams

@@ -26,6 +26,7 @@ HamsController::HamsController(EventQueue& eq, Nvdimm& nvdimm,
 
     waitHead.assign(tags.sets(), nil);
     waitTail.assign(tags.sets(), nil);
+    waitDepth.assign(tags.sets(), 0);
 }
 
 HamsController::Op*
@@ -164,6 +165,9 @@ HamsController::gateSubmit(Tick at, GateThunk thunk)
     if (gateBusy) {
         ++_stats.persistGateWaits;
         gateQueue.push_back(std::move(thunk));
+        _stats.gateQueuePeakDepth =
+            std::max<std::uint64_t>(_stats.gateQueuePeakDepth,
+                                    gateQueue.size());
         return;
     }
     gateBusy = true;
@@ -362,6 +366,9 @@ HamsController::parkWaiter(const MemAccess& acc, const std::uint8_t* wdata,
     else
         waiterPool[waitTail[idx]].next = node;
     waitTail[idx] = node;
+    ++waitDepth[idx];
+    _stats.waiterPeakDepth =
+        std::max<std::uint64_t>(_stats.waiterPeakDepth, waitDepth[idx]);
 }
 
 void
@@ -374,6 +381,7 @@ HamsController::drainWaiters(std::uint64_t idx, Tick at)
         return;
     waitHead[idx] = nil;
     waitTail[idx] = nil;
+    waitDepth[idx] = 0;
 
     while (node != nil) {
         Waiter& w = waiterPool[node];
@@ -400,6 +408,7 @@ HamsController::onPowerFail()
     // (with stale busy bits recovery must clear).
     std::fill(waitHead.begin(), waitHead.end(), nil);
     std::fill(waitTail.begin(), waitTail.end(), nil);
+    std::fill(waitDepth.begin(), waitDepth.end(), 0);
     waiterPool.clear();
     waiterFreeHead = nil;
     gateQueue.clear();

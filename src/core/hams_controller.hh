@@ -86,6 +86,17 @@ struct HamsStats
     std::uint64_t waitQueued = 0;        //!< accesses parked on busy bit
     std::uint64_t redundantEvictionsAvoided = 0;
     std::uint64_t persistGateWaits = 0;  //!< misses serialised by persist
+    /**
+     * @name Contention depth (SMP runs). How hard cores pile on shared
+     * structures: the deepest wait list any single frame ever grew
+     * (concurrent accesses parked on one busy frame) and the deepest
+     * the persist-mode gate queue ever got. Both stay 0/1-ish for a
+     * single in-order core and grow with core count under contention.
+     */
+    ///@{
+    std::uint64_t waiterPeakDepth = 0;
+    std::uint64_t gateQueuePeakDepth = 0;
+    ///@}
     std::uint64_t replayedCommands = 0;
     LatencyBreakdown memoryDelay;        //!< summed across accesses
 };
@@ -253,6 +264,7 @@ class HamsController
     std::uint32_t waiterFreeHead = nil;
     std::vector<std::uint32_t> waitHead;
     std::vector<std::uint32_t> waitTail;
+    std::vector<std::uint32_t> waitDepth; //!< current waiters per frame
 
     /** Persist-mode serialisation. */
     bool gateBusy = false;

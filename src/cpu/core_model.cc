@@ -20,6 +20,24 @@ struct Mailbox
 
 } // namespace
 
+void
+finalizeRunResult(RunResult& res, double freq_ghz,
+                  const CpuPowerModel& cpu_power)
+{
+    if (res.simTime == 0)
+        res.simTime = 1;
+
+    double secs = ticksToSeconds(res.simTime);
+    double cycles_total =
+        static_cast<double>(res.simTime) * freq_ghz / 1000.0;
+    res.ipc = static_cast<double>(res.instructions) / cycles_total;
+    res.opsPerSec = static_cast<double>(res.opsCompleted) / secs;
+    res.pagesPerSec = static_cast<double>(res.pagesTouched) / secs;
+    res.bytesPerSec =
+        static_cast<double>(res.memInstructions) * 64.0 / secs;
+    res.cpuEnergyJ = cpu_power.energyJ(res.activeTime, res.stallTime, 1);
+}
+
 CoreModel::CoreModel(MemoryPlatform& platform, const CoreConfig& cfg)
     : platform(platform), cfg(cfg)
 {
@@ -150,18 +168,7 @@ CoreModel::run(WorkloadGenerator& gen, std::uint64_t instruction_budget)
     }
 
     res.simTime = now - start;
-    if (res.simTime == 0)
-        res.simTime = 1;
-
-    double secs = ticksToSeconds(res.simTime);
-    double cycles_total =
-        static_cast<double>(res.simTime) * cfg.freqGhz / 1000.0;
-    res.ipc = static_cast<double>(res.instructions) / cycles_total;
-    res.opsPerSec = static_cast<double>(res.opsCompleted) / secs;
-    res.pagesPerSec = static_cast<double>(res.pagesTouched) / secs;
-    res.bytesPerSec =
-        static_cast<double>(res.memInstructions) * 64.0 / secs;
-    res.cpuEnergyJ = cpuPower.energyJ(res.activeTime, res.stallTime, 1);
+    finalizeRunResult(res, cfg.freqGhz, cpuPower);
     return res;
 }
 

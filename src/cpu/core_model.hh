@@ -69,6 +69,16 @@ struct RunResult
 };
 
 /**
+ * Fill @p res's derived rate/energy fields from its raw counters.
+ * Shared by CoreModel and SmpModel (cpu/smp_model.hh) so a per-core
+ * result is finalized bit-identically by either driver; for an SMP
+ * combined view the counters are sums and simTime the max core time,
+ * making ipc/opsPerSec aggregate (cross-core) rates.
+ */
+void finalizeRunResult(RunResult& res, double freq_ghz,
+                       const CpuPowerModel& cpu_power);
+
+/**
  * Drives a WorkloadGenerator against a MemoryPlatform.
  */
 class CoreModel

@@ -1,0 +1,320 @@
+#include "cpu/smp_model.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace hams {
+
+/**
+ * Everything one core carries through a run. The vector of contexts is
+ * sized once before the conductor starts, so completion callbacks may
+ * capture {this, &ctx} (16 bytes, inside the inline budget).
+ */
+struct SmpModel::CoreCtx
+{
+    CoreCtx(const CoreConfig& cc, WorkloadGenerator* g,
+            std::uint64_t budget)
+        : l1(cc.l1), l2(cc.l2), gen(g), budget(budget)
+    {
+    }
+
+    CacheModel l1;
+    CacheModel l2;
+    WorkloadGenerator* gen;
+    std::uint64_t budget;
+
+    RunResult res;
+    Tick now = 0;
+    Tick issueAt = 0; //!< issue tick of the in-flight access/flush
+
+    /** What the core needs from the platform next. */
+    enum class Pending : std::uint8_t { None, Wb, Access, Flush };
+    Pending pending = Pending::None;
+    bool blocked = false;  //!< waiting on a completion event
+    bool finished = false;
+
+    /** Current op, parked while its platform interaction is pending. */
+    WorkloadOp op;
+    /** A dirty-L2-victim writeback was yielded mid-instruction. */
+    bool resumeAfterWb = false;
+    bool r2Hit = false; //!< saved hit/miss decision across the Wb yield
+    MemAccess wb;
+};
+
+SmpModel::SmpModel(MemoryPlatform& platform, const SmpConfig& cfg)
+    : platform(platform), cfg(cfg)
+{
+}
+
+void
+SmpModel::advance(CoreCtx& c)
+{
+    // Resume mid-instruction: the dirty-L2-victim writeback has been
+    // issued, the saved L2 lookup decides how the instruction ends.
+    if (c.resumeAfterWb) {
+        c.resumeAfterWb = false;
+        if (!c.r2Hit) {
+            c.pending = CoreCtx::Pending::Access;
+            return;
+        }
+        ++c.res.l2Hits;
+        c.now += cfg.core.l2.hitLatency;
+        c.res.activeTime += cfg.core.l2.hitLatency;
+    }
+
+    for (;;) {
+        if (c.res.instructions >= c.budget || !c.gen->next(c.op)) {
+            c.finished = true;
+            return;
+        }
+
+        if (c.op.computeInstructions > 0) {
+            c.res.instructions += c.op.computeInstructions;
+            Tick t = cycles(c.op.computeInstructions * cfg.core.baseCpi);
+            c.now += t;
+            c.res.activeTime += t;
+        }
+        if (c.op.opBoundary)
+            ++c.res.opsCompleted;
+        if (c.op.newPage)
+            ++c.res.pagesTouched;
+
+        if (c.op.flushBarrier) {
+            c.pending = CoreCtx::Pending::Flush;
+            return;
+        }
+        if (!c.op.hasAccess)
+            continue;
+
+        ++c.res.instructions;
+        ++c.res.memInstructions;
+        bool is_write = c.op.access.op == MemOp::Write;
+
+        CacheResult r1 = c.l1.access(c.op.access.addr, is_write);
+        if (r1.hit) {
+            ++c.res.l1Hits;
+            c.now += cfg.core.l1.hitLatency;
+            c.res.activeTime += cfg.core.l1.hitLatency;
+            continue;
+        }
+
+        if (r1.evictedDirty)
+            c.l2.access(r1.evictedLine, /*is_write=*/true);
+
+        CacheResult r2 = c.l2.access(c.op.access.addr, is_write);
+        if (r2.evictedDirty && cfg.core.writebackEvictions) {
+            // Yield the background writeback to the conductor so it
+            // lands on the platform in global tick order, then resume
+            // this instruction where CoreModel would.
+            c.wb = MemAccess{r2.evictedLine % platform.capacity(), 64,
+                             MemOp::Write};
+            c.r2Hit = r2.hit;
+            c.resumeAfterWb = true;
+            c.pending = CoreCtx::Pending::Wb;
+            return;
+        }
+        if (r2.hit) {
+            ++c.res.l2Hits;
+            c.now += cfg.core.l2.hitLatency;
+            c.res.activeTime += cfg.core.l2.hitLatency;
+            continue;
+        }
+
+        c.pending = CoreCtx::Pending::Access;
+        return;
+    }
+}
+
+void
+SmpModel::onAccessDone(CoreCtx& c, Tick done, const LatencyBreakdown& bd)
+{
+    c.blocked = false;
+    c.res.stallTime += done - c.issueAt;
+    c.res.stallBreakdown += bd;
+    c.now = done;
+    advance(c);
+}
+
+void
+SmpModel::onFlushDone(CoreCtx& c, Tick done, const LatencyBreakdown&)
+{
+    // Flush time is charged to flushTime/stallTime but, as in
+    // CoreModel, not to the per-category stall breakdown.
+    c.blocked = false;
+    c.res.flushTime += done - c.issueAt;
+    c.res.stallTime += done - c.issueAt;
+    c.now = done;
+    advance(c);
+}
+
+void
+SmpModel::issue(CoreCtx& c)
+{
+    EventQueue& eq = platform.eventQueue();
+    switch (c.pending) {
+      case CoreCtx::Pending::Wb: {
+        // Background drain of a dirty L2 victim: occupies platform
+        // resources but never stalls the core.
+        c.pending = CoreCtx::Pending::None;
+        InlineCompletion ic;
+        if (!(cfg.core.inlineFastPath && eq.empty() &&
+              platform.tryAccess(c.wb, c.now, ic)))
+            platform.access(c.wb, c.now, nullptr);
+        ++c.res.platformAccesses;
+        advance(c);
+        break;
+      }
+      case CoreCtx::Pending::Access: {
+        c.pending = CoreCtx::Pending::None;
+        ++c.res.platformAccesses;
+        c.issueAt = c.now;
+        InlineCompletion ic;
+        if (cfg.core.inlineFastPath && eq.empty() &&
+            platform.tryAccess(c.op.access, c.issueAt, ic)) {
+            // With several cores, no advanceTo(): others may still
+            // issue at ticks below ic.done (multi-outstanding
+            // contract, platform.hh). A solo conductor is the sole
+            // issuer and keeps CoreModel's semantics — without the
+            // advance, the next run() would start from a lagging
+            // eq.now() and shift every issue tick relative to the
+            // devices' absolute-tick state.
+            if (solo)
+                eq.advanceTo(ic.done);
+            c.res.stallTime += ic.done - c.issueAt;
+            c.res.stallBreakdown += ic.bd;
+            c.now = ic.done;
+            advance(c);
+            break;
+        }
+        c.blocked = true;
+        platform.access(c.op.access, c.issueAt,
+                        [this, &c](Tick done, const LatencyBreakdown& bd) {
+                            onAccessDone(c, done, bd);
+                        });
+        break;
+      }
+      case CoreCtx::Pending::Flush: {
+        c.pending = CoreCtx::Pending::None;
+        c.issueAt = c.now;
+        c.blocked = true;
+        platform.flush(c.issueAt,
+                       [this, &c](Tick done, const LatencyBreakdown& bd) {
+                           onFlushDone(c, done, bd);
+                       });
+        break;
+      }
+      case CoreCtx::Pending::None:
+        panic("smp issue: core has nothing pending");
+    }
+}
+
+SmpResult
+SmpModel::run(const std::vector<WorkloadGenerator*>& gens,
+              std::uint64_t per_core_budget)
+{
+    if (gens.empty())
+        fatal("smp run: no cores (empty generator list)");
+
+    SmpResult result;
+
+    // One core has no cross-core ordering to enforce; CoreModel's
+    // trampoline (inline fast path + advanceTo) is the specified
+    // behaviour, so delegate and stay bit-identical to it.
+    if (gens.size() == 1 && !cfg.forceConductor) {
+        CoreModel core(platform, cfg.core);
+        result.perCore.push_back(core.run(*gens[0], per_core_budget));
+    } else {
+        EventQueue& eq = platform.eventQueue();
+        Tick start = eq.now();
+        solo = gens.size() == 1;
+
+        std::vector<CoreCtx> ctxs;
+        ctxs.reserve(gens.size());
+        for (WorkloadGenerator* gen : gens) {
+            ctxs.emplace_back(cfg.core, gen, per_core_budget);
+            CoreCtx& c = ctxs.back();
+            c.now = start;
+            c.res.workload = gen->spec().name;
+            c.res.platform = platform.name();
+            advance(c);
+        }
+
+        // The conductor: always serve the ready core with the lowest
+        // issue tick (core index breaks ties), but first let every
+        // event strictly earlier than that tick fire — a landing
+        // completion may unblock a core that belongs in front.
+        for (;;) {
+            CoreCtx* best = nullptr;
+            bool alive = false;
+            for (CoreCtx& c : ctxs) {
+                if (c.finished)
+                    continue;
+                alive = true;
+                if (c.blocked)
+                    continue;
+                if (!best || c.now < best->now)
+                    best = &c;
+            }
+            if (!alive)
+                break;
+            if (!best) {
+                // Every live core is parked on a completion event.
+                if (!eq.step())
+                    panic("smp run: event queue drained with ",
+                          "blocked cores");
+                continue;
+            }
+            if (eq.nextTick() < best->now) {
+                eq.step(); // may unblock a core: re-pick
+                continue;
+            }
+            issue(*best);
+        }
+
+        // Resync simulated time to the cores before returning: inline
+        // completions never advanced the queue, and the next run() on
+        // this platform starts at eq.now() — left lagging, the
+        // devices' absolute-tick busy state (DRAM bank freeAt, link
+        // busyUntil) would charge this run's tail to the next run as
+        // phantom queueing, leaking warmup into measurement. Leftover
+        // background-writeback completions at or before the end tick
+        // fire on the way (they carry no callbacks a finished core
+        // cares about); later ones stay pending, as with CoreModel.
+        Tick end = start;
+        for (const CoreCtx& c : ctxs)
+            end = std::max(end, c.now);
+        while (eq.nextTick() <= end)
+            eq.step();
+        eq.advanceTo(end);
+
+        for (CoreCtx& c : ctxs) {
+            c.res.simTime = c.now - start;
+            finalizeRunResult(c.res, cfg.core.freqGhz, cpuPower);
+            result.perCore.push_back(std::move(c.res));
+        }
+    }
+
+    // Aggregate view: summed counters over the longest core's time.
+    RunResult& comb = result.combined;
+    comb.workload = result.perCore[0].workload;
+    comb.platform = result.perCore[0].platform;
+    for (const RunResult& r : result.perCore) {
+        comb.simTime = std::max(comb.simTime, r.simTime);
+        comb.instructions += r.instructions;
+        comb.memInstructions += r.memInstructions;
+        comb.platformAccesses += r.platformAccesses;
+        comb.l1Hits += r.l1Hits;
+        comb.l2Hits += r.l2Hits;
+        comb.opsCompleted += r.opsCompleted;
+        comb.pagesTouched += r.pagesTouched;
+        comb.activeTime += r.activeTime;
+        comb.stallTime += r.stallTime;
+        comb.stallBreakdown += r.stallBreakdown;
+        comb.flushTime += r.flushTime;
+    }
+    finalizeRunResult(comb, cfg.core.freqGhz, cpuPower);
+    return result;
+}
+
+} // namespace hams

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * SMP driver: N in-order cores (paper Table II: an 8-core ARM v8 class
+ * host) sharing one MemoryPlatform on one EventQueue.
+ *
+ * Each core owns its private L1/L2 CacheModel and its own deterministic
+ * WorkloadGenerator (see makeCoreWorkload in workload/workload.hh for
+ * per-core seed streams / staggered sequential shards over the shared
+ * dataset). The platform — MoS tag array, persist gate, NVMe path — is
+ * shared, so accesses from different cores genuinely overlap: a core
+ * blocked on a miss parks on its completion event while the other
+ * cores keep retiring, which is what finally drives the HAMS
+ * controller's per-frame wait lists and persist-gate queue under real
+ * cross-core contention (HamsStats::waiterPeakDepth /
+ * gateQueuePeakDepth).
+ *
+ * Ordering contract
+ * -----------------
+ * Platforms apply their side effects at access()/flush() call time, so
+ * call order across cores IS simulated-time order. The conductor
+ * therefore always issues the ready core with the smallest issue tick
+ * (ties broken by core index) and, with more than one core, first
+ * drains every pending event strictly earlier than that tick — a
+ * completion that lands may unblock a core whose next access belongs
+ * before the one about to be issued. Same-tick ties keep CoreModel's
+ * issue-then-fire order: the access is applied, then pending events at
+ * that tick fire.
+ *
+ * The immediate-completion fast path stays gated on an empty event
+ * queue (contract in baselines/platform.hh): any other core's
+ * outstanding access holds a live completion event, so the gate
+ * naturally declines and the access takes the event path. Unlike the
+ * single-core trampoline the conductor does not advanceTo() after an
+ * inline completion — other cores may still legally issue below the
+ * completed tick.
+ *
+ * Single-core invariant
+ * ---------------------
+ * With one core there is no cross-core ordering to enforce, and
+ * CoreModel's trampoline is the specified behaviour — run() delegates
+ * to CoreModel::run for N == 1, so a 1-core SmpModel run is
+ * bit-identical (RunResult, platform stats, event interleaving) to
+ * today's single-core driver. tests/test_smp.cc pins this.
+ */
+
+#ifndef HAMS_CPU_SMP_MODEL_HH_
+#define HAMS_CPU_SMP_MODEL_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/platform.hh"
+#include "cpu/cache_model.hh"
+#include "cpu/core_model.hh"
+#include "energy/cpu_power.hh"
+#include "workload/workload.hh"
+
+namespace hams {
+
+/** SMP configuration: every core gets the same private-core config. */
+struct SmpConfig
+{
+    CoreConfig core;
+
+    /**
+     * Test hook: run the conductor even for a single core instead of
+     * delegating to CoreModel. On platforms whose events carry no
+     * state changes (every arithmetic baseline applies side effects at
+     * access() call time), simulated outputs are bit-identical either
+     * way — which is exactly what tests/test_smp.cc uses to
+     * differentially validate the conductor's retire loop against
+     * CoreModel's.
+     */
+    bool forceConductor = false;
+};
+
+/** What an N-core run produces. */
+struct SmpResult
+{
+    /** One RunResult per core, in core-index order. */
+    std::vector<RunResult> perCore;
+
+    /**
+     * Aggregate view: counters summed across cores, simTime the
+     * longest core's time, rates (ipc, opsPerSec, bytesPerSec)
+     * therefore aggregate cross-core rates over the run's wall
+     * simulated time.
+     */
+    RunResult combined;
+
+    std::uint32_t cores() const
+    {
+        return static_cast<std::uint32_t>(perCore.size());
+    }
+};
+
+/**
+ * Drives N WorkloadGenerators against one shared MemoryPlatform with
+ * overlapping outstanding accesses.
+ */
+class SmpModel
+{
+  public:
+    explicit SmpModel(MemoryPlatform& platform, const SmpConfig& cfg = {});
+
+    /**
+     * Run every generator for @p per_core_budget instructions on its
+     * own core (gens.size() cores). Generators keep their stream
+     * position across calls, so warmup-then-measure works exactly like
+     * CoreModel; caches are rebuilt cold per call, also like CoreModel.
+     */
+    SmpResult run(const std::vector<WorkloadGenerator*>& gens,
+                  std::uint64_t per_core_budget);
+
+  private:
+    struct CoreCtx;
+
+    Tick cycles(double n) const
+    {
+        return static_cast<Tick>(n * 1000.0 / cfg.core.freqGhz);
+    }
+
+    /**
+     * Retire ops on @p c — compute, L1/L2 hits — until the core needs
+     * the platform (c.pending set) or exhausts its budget/stream
+     * (c.finished).
+     */
+    void advance(CoreCtx& c);
+
+    /** Issue @p c's pending interaction at tick c.now. */
+    void issue(CoreCtx& c);
+
+    void onAccessDone(CoreCtx& c, Tick done, const LatencyBreakdown& bd);
+    void onFlushDone(CoreCtx& c, Tick done, const LatencyBreakdown& bd);
+
+    MemoryPlatform& platform;
+    SmpConfig cfg;
+    CpuPowerModel cpuPower;
+    /** Exactly one core in the current run (forceConductor): the sole
+     *  issuer may advanceTo() after inline completions, as CoreModel
+     *  does. */
+    bool solo = false;
+};
+
+} // namespace hams
+
+#endif // HAMS_CPU_SMP_MODEL_HH_

@@ -10,11 +10,18 @@ namespace {
 std::atomic<std::uint64_t> calls{0};
 std::atomic<std::uint64_t> bytes{0};
 
+// Zero-initialized (no dynamic initializer), so touching them from
+// inside operator new can never recurse into an allocation.
+thread_local std::uint64_t tlCalls = 0;
+thread_local std::uint64_t tlBytes = 0;
+
 void*
 countedAlloc(std::size_t size)
 {
     calls.fetch_add(1, std::memory_order_relaxed);
     bytes.fetch_add(size, std::memory_order_relaxed);
+    ++tlCalls;
+    tlBytes += size;
     return std::malloc(size ? size : 1);
 }
 
@@ -23,6 +30,8 @@ countedAlignedAlloc(std::size_t size, std::size_t align)
 {
     calls.fetch_add(1, std::memory_order_relaxed);
     bytes.fetch_add(size, std::memory_order_relaxed);
+    ++tlCalls;
+    tlBytes += size;
     void* p = nullptr;
     if (posix_memalign(&p, align < sizeof(void*) ? sizeof(void*) : align,
                        size ? size : align))
@@ -42,6 +51,18 @@ std::uint64_t
 newBytes()
 {
     return bytes.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+threadNewCalls()
+{
+    return tlCalls;
+}
+
+std::uint64_t
+threadNewBytes()
+{
+    return tlBytes;
 }
 
 } // namespace hams::alloc_hook

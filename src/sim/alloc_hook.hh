@@ -8,8 +8,13 @@
  * operator new/delete with counting wrappers, so a test can snapshot
  * newCalls() around a workload and assert the delta is zero.
  *
- * The counters are relaxed atomics: negligible overhead, and exact in
- * the single-threaded simulator.
+ * The process-wide counters are relaxed atomics: negligible overhead,
+ * and exact in a single-threaded run. They are NOT a per-measurement
+ * tool once anything else allocates concurrently (a parallel sweep's
+ * workers, for instance, all bump the same atomics), so each thread
+ * additionally keeps plain thread-local counters: threadNewCalls()
+ * only ever counts allocations made by the calling thread, making
+ * allocs-per-op measurements honest at any HAMS_BENCH_THREADS setting.
  */
 
 #ifndef HAMS_SIM_ALLOC_HOOK_HH_
@@ -25,18 +30,29 @@ std::uint64_t newCalls();
 /** Total bytes requested through global operator new. */
 std::uint64_t newBytes();
 
+/** Operator new invocations made by the calling thread. */
+std::uint64_t threadNewCalls();
+
+/** Bytes requested through operator new by the calling thread. */
+std::uint64_t threadNewBytes();
+
 /**
  * Convenience delta-counter:
  *   AllocCounter c;
  *   ... workload ...
  *   EXPECT_EQ(c.delta(), 0u);
+ *
+ * Counts only the calling thread's allocations, so a zero-alloc
+ * assertion cannot be corrupted — or spuriously satisfied — by other
+ * threads allocating concurrently. (Construct, delta() and rebase()
+ * must all happen on the same thread.)
  */
 class AllocCounter
 {
   public:
-    AllocCounter() : start(newCalls()) {}
-    std::uint64_t delta() const { return newCalls() - start; }
-    void rebase() { start = newCalls(); }
+    AllocCounter() : start(threadNewCalls()) {}
+    std::uint64_t delta() const { return threadNewCalls() - start; }
+    void rebase() { start = threadNewCalls(); }
 
   private:
     std::uint64_t start;

@@ -199,11 +199,18 @@ std::vector<std::uint64_t>
 DramBuffer::dirtyFrames() const
 {
     std::vector<std::uint64_t> out;
+    dirtyFrames(out);
+    return out;
+}
+
+void
+DramBuffer::dirtyFrames(std::vector<std::uint64_t>& out) const
+{
+    out.clear();
     for (std::uint32_t n = lruHead; n != nil; n = nodes[n].next)
         if (nodes[n].dirty)
             out.push_back(nodes[n].key);
     std::sort(out.begin(), out.end());
-    return out;
 }
 
 void

@@ -78,6 +78,13 @@ class DramBuffer
     /** All dirty frame keys (flush / supercap drain). */
     std::vector<std::uint64_t> dirtyFrames() const;
 
+    /**
+     * Allocation-free variant for per-access paths (the mmap
+     * writeback watermark check runs on every newly dirtied page):
+     * fills @p out — cleared, sorted — reusing its capacity.
+     */
+    void dirtyFrames(std::vector<std::uint64_t>& out) const;
+
     /** Drop all contents (power loss without supercap). */
     void dropAll();
 

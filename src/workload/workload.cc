@@ -27,14 +27,25 @@ SyntheticWorkload::SyntheticWorkload(const WorkloadSpec& spec,
     reset();
 }
 
+Addr
+SyntheticWorkload::shardStart(std::uint64_t span) const
+{
+    if (_spec.shardOffsetFrac <= 0 || span < 128)
+        return 0;
+    Addr a = static_cast<Addr>(static_cast<double>(span) *
+                               _spec.shardOffsetFrac) &
+             ~Addr(63);
+    return a + 64 > span ? 0 : a;
+}
+
 void
 SyntheticWorkload::reset()
 {
     rng = Rng(seed);
     phase = Phase::Btree;
     phaseLeft = _spec.btreeTouches;
-    seqCursor = 0;
-    walCursor = 0;
+    seqCursor = shardStart(dataBytes);
+    walCursor = shardStart(walBytes);
     lastPage = ~Addr(0);
     opsEmitted = 0;
     opRowBase = 0;
@@ -164,23 +175,48 @@ SyntheticWorkload::next(WorkloadOp& op)
     return true; // endless stream; the core enforces the budget
 }
 
+namespace {
+
+WorkloadSpec
+specForName(const std::string& name, std::uint64_t dataset_bytes)
+{
+    for (const auto& n : microWorkloadNames())
+        if (n == name)
+            return microSpec(name, dataset_bytes);
+    for (const auto& n : sqliteWorkloadNames())
+        if (n == name)
+            return sqliteSpec(name, dataset_bytes);
+    for (const auto& n : rodiniaWorkloadNames())
+        if (n == name)
+            return rodiniaSpec(name, dataset_bytes);
+    fatal("unknown workload '", name, "'");
+}
+
+} // namespace
+
 std::unique_ptr<WorkloadGenerator>
 makeWorkload(const std::string& name, std::uint64_t dataset_bytes,
              std::uint64_t seed)
 {
-    for (const auto& n : microWorkloadNames())
-        if (n == name)
-            return std::make_unique<SyntheticWorkload>(
-                microSpec(name, dataset_bytes), seed);
-    for (const auto& n : sqliteWorkloadNames())
-        if (n == name)
-            return std::make_unique<SyntheticWorkload>(
-                sqliteSpec(name, dataset_bytes), seed);
-    for (const auto& n : rodiniaWorkloadNames())
-        if (n == name)
-            return std::make_unique<SyntheticWorkload>(
-                rodiniaSpec(name, dataset_bytes), seed);
-    fatal("unknown workload '", name, "'");
+    return std::make_unique<SyntheticWorkload>(
+        specForName(name, dataset_bytes), seed);
+}
+
+std::unique_ptr<WorkloadGenerator>
+makeCoreWorkload(const std::string& name, std::uint64_t dataset_bytes,
+                 std::uint32_t core, std::uint32_t ncores,
+                 std::uint64_t base_seed)
+{
+    if (ncores == 0 || core >= ncores)
+        fatal("bad workload shard: core ", core, " of ", ncores);
+    WorkloadSpec spec = specForName(name, dataset_bytes);
+    spec.shardOffsetFrac =
+        static_cast<double>(core) / static_cast<double>(ncores);
+    // Distinct, well-spread seed per core (odd multiplier, so streams
+    // never collide); core 0 keeps base_seed and is identical to the
+    // single-core generator.
+    std::uint64_t seed = base_seed + core * 0x9E3779B97F4A7C15ull;
+    return std::make_unique<SyntheticWorkload>(spec, seed);
 }
 
 std::vector<std::string>

@@ -75,6 +75,15 @@ struct WorkloadSpec
     double loadRatio = 0.28;
     double storeRatio = 0.43;
     ///@}
+
+    /**
+     * SMP sharding: start the sequential data cursor (and the WAL
+     * cursor) this fraction of the way into its region, so N cores
+     * running the same sequential workload stream through disjoint
+     * offsets of the shared dataset instead of marching in lockstep.
+     * 0 (the default) reproduces the single-core stream exactly.
+     */
+    double shardOffsetFrac = 0.0;
 };
 
 /** One step of a workload: compute, then at most one memory access. */
@@ -126,6 +135,9 @@ class SyntheticWorkload : public WorkloadGenerator
 
     Addr pickDataAddr();
 
+    /** Cursor start for a @p span-byte region under shardOffsetFrac. */
+    Addr shardStart(std::uint64_t span) const;
+
     /** Random page honoring the hot/cold working-set split. */
     Addr randomDataPage();
 
@@ -151,6 +163,19 @@ class SyntheticWorkload : public WorkloadGenerator
 std::unique_ptr<WorkloadGenerator> makeWorkload(const std::string& name,
                                                 std::uint64_t dataset_bytes,
                                                 std::uint64_t seed = 42);
+
+/**
+ * Deterministic per-core shard of a workload for SMP runs (cpu/
+ * smp_model.hh): core @p core of @p ncores draws from its own seed
+ * stream (random patterns) and starts its sequential/WAL cursors
+ * core/ncores of the way into the region — all over the SAME shared
+ * dataset, so cores contend for the same platform pages. Core 0 of 1
+ * is bit-identical to makeWorkload(name, dataset_bytes, base_seed).
+ */
+std::unique_ptr<WorkloadGenerator>
+makeCoreWorkload(const std::string& name, std::uint64_t dataset_bytes,
+                 std::uint32_t core, std::uint32_t ncores,
+                 std::uint64_t base_seed = 42);
 
 /** The twelve workload names in the paper's figure order. */
 const std::vector<std::string>& microWorkloadNames();   //!< 4 entries

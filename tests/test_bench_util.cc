@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Sweep-runner tests: a failing cell's error names the exact
+ * (platform × workload) cell at any thread count and never yields a
+ * partial table, and sweep tables are bit-identical across
+ * HAMS_BENCH_THREADS settings — the property that lets the figure
+ * harnesses print deterministic tables from parallel runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+
+namespace hams {
+namespace {
+
+using bench::BenchGeometry;
+using bench::SmpCellResult;
+using bench::SmpSweepCell;
+using bench::SweepCell;
+
+/** Tiny geometry so a sweep cell runs in milliseconds. */
+BenchGeometry
+tinyGeom()
+{
+    BenchGeometry g;
+    g.datasetBytes = 16ull << 20;
+    g.hostMemBytes = 16ull << 20;
+    g.ssdRawBytes = 1ull << 30;
+    g.instructionBudget = 20000;
+    return g;
+}
+
+/** Scoped HAMS_BENCH_THREADS override. */
+class ThreadsEnv
+{
+  public:
+    explicit ThreadsEnv(const char* value)
+    {
+        if (const char* old = std::getenv("HAMS_BENCH_THREADS"))
+            saved = old;
+        setenv("HAMS_BENCH_THREADS", value, 1);
+    }
+
+    ~ThreadsEnv()
+    {
+        if (saved.empty())
+            unsetenv("HAMS_BENCH_THREADS");
+        else
+            setenv("HAMS_BENCH_THREADS", saved.c_str(), 1);
+    }
+
+  private:
+    std::string saved;
+};
+
+std::string
+sweepErrorMessage(const std::vector<SweepCell>& cells)
+{
+    try {
+        bench::runSweep(cells);
+    } catch (const std::runtime_error& e) {
+        return e.what();
+    }
+    return {};
+}
+
+void
+expectIdentical(const RunResult& a, const RunResult& b, const char* what)
+{
+    EXPECT_EQ(a.simTime, b.simTime) << what;
+    EXPECT_EQ(a.instructions, b.instructions) << what;
+    EXPECT_EQ(a.memInstructions, b.memInstructions) << what;
+    EXPECT_EQ(a.platformAccesses, b.platformAccesses) << what;
+    EXPECT_EQ(a.l1Hits, b.l1Hits) << what;
+    EXPECT_EQ(a.l2Hits, b.l2Hits) << what;
+    EXPECT_EQ(a.opsCompleted, b.opsCompleted) << what;
+    EXPECT_EQ(a.pagesTouched, b.pagesTouched) << what;
+    EXPECT_EQ(a.activeTime, b.activeTime) << what;
+    EXPECT_EQ(a.stallTime, b.stallTime) << what;
+    EXPECT_EQ(a.flushTime, b.flushTime) << what;
+    EXPECT_EQ(a.ipc, b.ipc) << what;
+    EXPECT_EQ(a.opsPerSec, b.opsPerSec) << what;
+    EXPECT_EQ(a.bytesPerSec, b.bytesPerSec) << what;
+}
+
+// ---------------------------------------------------------------------
+// Error identity and the no-partial-table guarantee.
+// ---------------------------------------------------------------------
+
+TEST(RunSweepErrors, UnknownPlatformNamesTheCellSerial)
+{
+    ThreadsEnv env("1");
+    std::vector<SweepCell> cells = {
+        {"oracle", "rndRd", tinyGeom()},
+        {"no-such-platform", "rndWr", tinyGeom()},
+    };
+    std::string msg = sweepErrorMessage(cells);
+    ASSERT_FALSE(msg.empty()) << "sweep with a bogus cell must throw";
+    EXPECT_NE(msg.find("no-such-platform"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("rndWr"), std::string::npos) << msg;
+}
+
+TEST(RunSweepErrors, UnknownPlatformNamesTheCellParallel)
+{
+    ThreadsEnv env("4");
+    std::vector<SweepCell> cells = {
+        {"oracle", "rndRd", tinyGeom()},
+        {"no-such-platform", "rndWr", tinyGeom()},
+        {"oracle", "seqRd", tinyGeom()},
+        {"mmap", "rndRd", tinyGeom()},
+    };
+    std::string msg = sweepErrorMessage(cells);
+    ASSERT_FALSE(msg.empty()) << "sweep with a bogus cell must throw";
+    EXPECT_NE(msg.find("no-such-platform"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("rndWr"), std::string::npos) << msg;
+}
+
+TEST(RunSweepErrors, LowestIndexFailureWinsDeterministically)
+{
+    // Two failing cells: the reported one must be the lower index no
+    // matter which worker trips first.
+    ThreadsEnv env("4");
+    std::vector<SweepCell> cells = {
+        {"oracle", "rndRd", tinyGeom()},
+        {"bogus-a", "seqWr", tinyGeom()},
+        {"bogus-b", "rndWr", tinyGeom()},
+    };
+    for (int i = 0; i < 3; ++i) {
+        std::string msg = sweepErrorMessage(cells);
+        ASSERT_FALSE(msg.empty());
+        EXPECT_NE(msg.find("bogus-a"), std::string::npos) << msg;
+        EXPECT_EQ(msg.find("bogus-b"), std::string::npos) << msg;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Determinism across thread counts.
+// ---------------------------------------------------------------------
+
+TEST(RunSweepDeterminism, TableIdenticalAcrossThreadCounts)
+{
+    std::vector<SweepCell> cells = {
+        {"oracle", "rndRd", tinyGeom()},
+        {"mmap", "rndWr", tinyGeom()},
+        {"nvdimm-C", "seqRd", tinyGeom()},
+        {"optane-P", "rndRd", tinyGeom()},
+    };
+
+    std::vector<RunResult> serial, parallel;
+    {
+        ThreadsEnv env("1");
+        serial = bench::runSweep(cells);
+    }
+    {
+        ThreadsEnv env("4");
+        parallel = bench::runSweep(cells);
+    }
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        expectIdentical(serial[i], parallel[i],
+                        (cells[i].platform + " x " + cells[i].workload)
+                            .c_str());
+}
+
+TEST(RunSweepDeterminism, SmpSweepIdenticalAcrossThreadCounts)
+{
+    std::vector<SmpSweepCell> cells = {
+        {"hams-TE", "rndRd", 2, tinyGeom()},
+        {"hams-TE", "rndRd", 4, tinyGeom()},
+        {"mmap", "rndRd", 2, tinyGeom()},
+    };
+
+    std::vector<SmpCellResult> serial, parallel;
+    {
+        ThreadsEnv env("1");
+        serial = bench::runSmpSweep(cells);
+    }
+    {
+        ThreadsEnv env("3");
+        parallel = bench::runSmpSweep(cells);
+    }
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        ASSERT_EQ(serial[i].smp.cores(), parallel[i].smp.cores());
+        for (std::uint32_t c = 0; c < serial[i].smp.cores(); ++c)
+            expectIdentical(serial[i].smp.perCore[c],
+                            parallel[i].smp.perCore[c], "per-core");
+        expectIdentical(serial[i].smp.combined, parallel[i].smp.combined,
+                        "combined");
+        ASSERT_EQ(serial[i].hasHamsStats, parallel[i].hasHamsStats);
+        if (serial[i].hasHamsStats) {
+            EXPECT_EQ(serial[i].hams.waitQueued,
+                      parallel[i].hams.waitQueued);
+            EXPECT_EQ(serial[i].hams.waiterPeakDepth,
+                      parallel[i].hams.waiterPeakDepth);
+        }
+    }
+}
+
+} // namespace
+} // namespace hams

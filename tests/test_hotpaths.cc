@@ -9,12 +9,17 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <list>
 #include <map>
+#include <thread>
 #include <vector>
 
+#include "baselines/mmap_platform.hh"
+#include "baselines/oracle_platform.hh"
 #include "core/hams_system.hh"
+#include "cpu/core_model.hh"
 #include "mem/sparse_memory.hh"
 #include "sim/alloc_hook.hh"
 #include "sim/event_queue.hh"
@@ -22,6 +27,7 @@
 #include "sim/pool.hh"
 #include "sim/rng.hh"
 #include "ssd/dram_buffer.hh"
+#include "workload/workload.hh"
 
 namespace hams {
 namespace {
@@ -407,6 +413,35 @@ TEST(DramBufferLru, MatchesReferenceModelUnderChurn)
     }
 }
 
+TEST(DramBufferLru, DirtyFramesScratchVariantIsAllocationFree)
+{
+    DramBufferConfig cfg;
+    cfg.capacity = 32 * 4096;
+    cfg.frameSize = 4096;
+    DramBuffer buf(cfg);
+    for (std::uint64_t k = 0; k < 24; ++k)
+        buf.insert(k, /*dirty=*/true);
+
+    // First call grows the scratch to the dirty high-water mark...
+    std::vector<std::uint64_t> scratch;
+    buf.dirtyFrames(scratch);
+    ASSERT_EQ(scratch.size(), 24u);
+    EXPECT_TRUE(std::is_sorted(scratch.begin(), scratch.end()));
+
+    // ...after which repeated rounds (the mmap watermark check runs
+    // per newly dirtied page) never allocate.
+    alloc_hook::AllocCounter allocs;
+    for (int round = 0; round < 100; ++round) {
+        buf.markClean(5);
+        buf.insert(5, /*dirty=*/true);
+        buf.dirtyFrames(scratch);
+        ASSERT_EQ(scratch.size(), 24u);
+    }
+    EXPECT_EQ(allocs.delta(), 0u);
+    // Both variants agree.
+    EXPECT_EQ(buf.dirtyFrames(), scratch);
+}
+
 TEST(DramBufferLru, SteadyStateChurnIsAllocationFree)
 {
     DramBufferConfig cfg;
@@ -488,6 +523,122 @@ TEST(HamsHotPath, DirtyMissPathIsAllocationFreeInSteadyState)
         sys.write((i % 2) ? cache : 0, &v, sizeof(v));
     EXPECT_EQ(allocs.delta(), 0u);
     EXPECT_GE(sys.stats().dirtyEvictions, 2000u);
+}
+
+// ---------------------------------------------------------------------
+// Event-path completions: the baseline platforms' access() used to
+// capture {cb, tick, breakdown} (> 48 B) in the completion lambda and
+// silently box it on the heap per access. With pooled contexts the
+// event path — load-bearing again once SMP traffic makes the
+// queue-empty fast-path gate rare — is allocation-free too.
+// ---------------------------------------------------------------------
+
+template <typename MakePlatform>
+void
+eventPathAllocFree(MakePlatform make, const std::string& workload,
+                   std::uint64_t dataset_bytes = 16ull << 20)
+{
+    auto platform = make();
+    auto gen = makeWorkload(workload, dataset_bytes);
+    CoreConfig cc;
+    cc.inlineFastPath = false; // every access pays the event round trip
+    CoreModel core(*platform, cc);
+    core.run(*gen, 300000); // warm page cache, pools, event arena
+
+    // Equal deltas between a short and a long measured run pin
+    // allocs_per_op at literally zero on the event path (each run pays
+    // the same fixed CacheModel construction cost).
+    alloc_hook::AllocCounter allocs;
+    core.run(*gen, 50000);
+    std::uint64_t small = allocs.delta();
+    allocs.rebase();
+    core.run(*gen, 200000);
+    std::uint64_t large = allocs.delta();
+    EXPECT_EQ(small, large)
+        << "per-access allocations on the event path of "
+        << platform->name();
+    // One synchronous core never has more than one completion (plus a
+    // background writeback or two) in flight.
+    EXPECT_LE(platform->completionContextsAllocated(), 4u);
+}
+
+TEST(EventPathZeroAlloc, MmapCompletionsArePooled)
+{
+    // A 2 MiB sequential write stream: the whole dataset is resident
+    // (and every buffer-cache structure at its high-water mark) after
+    // the warmup sweeps, so the measured runs are pure steady state.
+    eventPathAllocFree(
+        [] {
+            MmapConfig c;
+            c.dramBytes = 64ull << 20;
+            c.pageCacheBytes = 48ull << 20;
+            c.ssdRawBytes = 1ull << 30;
+            return std::make_unique<MmapPlatform>(c);
+        },
+        "seqWr", 2ull << 20);
+}
+
+TEST(EventPathZeroAlloc, OracleCompletionsArePooled)
+{
+    eventPathAllocFree(
+        [] {
+            OracleConfig c;
+            c.capacityBytes = 64ull << 20;
+            return std::make_unique<OraclePlatform>(c);
+        },
+        "rndRd");
+}
+
+TEST(EventPathZeroAlloc, HamsExtendEventPath)
+{
+    eventPathAllocFree(
+        [] {
+            HamsSystemConfig c = smallSystem(false);
+            return std::make_unique<HamsSystem>(c);
+        },
+        "rndRd");
+}
+
+// ---------------------------------------------------------------------
+// Thread-local allocation counting: a zero-alloc measurement on one
+// thread must not be corrupted by other threads allocating (the bug
+// that made per-cell allocs/access wrong under HAMS_BENCH_THREADS > 1).
+// ---------------------------------------------------------------------
+
+TEST(AllocHookThreadLocal, OtherThreadsDoNotPerturbThisThreadsCount)
+{
+    std::uint64_t global_before = alloc_hook::newCalls();
+
+    // The std::thread constructor allocates on this thread, so start
+    // the counter after the worker is already running.
+    std::thread noisy([] {
+        std::vector<int*> ptrs;
+        ptrs.reserve(10000);
+        for (int i = 0; i < 10000; ++i)
+            ptrs.push_back(new int(i));
+        for (int* p : ptrs)
+            delete p;
+    });
+
+    alloc_hook::AllocCounter mine;
+    noisy.join();
+
+    EXPECT_EQ(mine.delta(), 0u)
+        << "another thread's allocations leaked into this thread's count";
+    // The process-global counter did see the noise.
+    EXPECT_GE(alloc_hook::newCalls() - global_before, 10000u);
+}
+
+TEST(AllocHookThreadLocal, CountsOwnAllocations)
+{
+    alloc_hook::AllocCounter mine;
+    std::vector<int*> ptrs;
+    ptrs.reserve(32);
+    for (int i = 0; i < 32; ++i)
+        ptrs.push_back(new int(i));
+    for (int* p : ptrs)
+        delete p;
+    EXPECT_GE(mine.delta(), 32u);
 }
 
 TEST(HamsHotPath, OpContextsAreReused)

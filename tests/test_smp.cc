@@ -1,0 +1,398 @@
+/**
+ * @file
+ * SmpModel tests: a 1-core SmpModel run is bit-identical (full
+ * RunResult, HamsStats, engine stats, event-queue time) to
+ * CoreModel::run on the same seed; N-core runs are bit-identical
+ * across reruns; contention counters (wait lists, persist gate) grow
+ * with core count on a shared HAMS platform; and the per-core hit path
+ * through the SMP conductor stays allocation-free.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/mmap_platform.hh"
+#include "core/hams_system.hh"
+#include "cpu/core_model.hh"
+#include "cpu/smp_model.hh"
+#include "sim/alloc_hook.hh"
+#include "workload/workload.hh"
+
+namespace hams {
+namespace {
+
+std::unique_ptr<HamsSystem>
+smallHams(HamsMode mode)
+{
+    HamsSystemConfig c = mode == HamsMode::Persist
+                             ? HamsSystemConfig::tightPersist()
+                             : HamsSystemConfig::tightExtend();
+    c.nvdimm.capacity = 96ull << 20;
+    c.ssdRawBytes = 1ull << 30;
+    c.pinnedBytes = 32ull << 20;
+    c.functionalData = false;
+    return std::make_unique<HamsSystem>(c);
+}
+
+std::unique_ptr<MmapPlatform>
+smallMmap()
+{
+    MmapConfig c;
+    c.dramBytes = 64ull << 20;
+    c.pageCacheBytes = 48ull << 20;
+    c.ssdRawBytes = 1ull << 30;
+    return std::make_unique<MmapPlatform>(c);
+}
+
+void
+expectIdentical(const RunResult& a, const RunResult& b, const char* what)
+{
+    EXPECT_EQ(a.simTime, b.simTime) << what;
+    EXPECT_EQ(a.instructions, b.instructions) << what;
+    EXPECT_EQ(a.memInstructions, b.memInstructions) << what;
+    EXPECT_EQ(a.platformAccesses, b.platformAccesses) << what;
+    EXPECT_EQ(a.l1Hits, b.l1Hits) << what;
+    EXPECT_EQ(a.l2Hits, b.l2Hits) << what;
+    EXPECT_EQ(a.opsCompleted, b.opsCompleted) << what;
+    EXPECT_EQ(a.pagesTouched, b.pagesTouched) << what;
+    EXPECT_EQ(a.activeTime, b.activeTime) << what;
+    EXPECT_EQ(a.stallTime, b.stallTime) << what;
+    EXPECT_EQ(a.flushTime, b.flushTime) << what;
+    EXPECT_EQ(a.stallBreakdown.os, b.stallBreakdown.os) << what;
+    EXPECT_EQ(a.stallBreakdown.nvdimm, b.stallBreakdown.nvdimm) << what;
+    EXPECT_EQ(a.stallBreakdown.dma, b.stallBreakdown.dma) << what;
+    EXPECT_EQ(a.stallBreakdown.ssd, b.stallBreakdown.ssd) << what;
+    EXPECT_EQ(a.stallBreakdown.cpu, b.stallBreakdown.cpu) << what;
+    EXPECT_EQ(a.ipc, b.ipc) << what;
+    EXPECT_EQ(a.opsPerSec, b.opsPerSec) << what;
+    EXPECT_EQ(a.bytesPerSec, b.bytesPerSec) << what;
+    EXPECT_EQ(a.cpuEnergyJ, b.cpuEnergyJ) << what;
+}
+
+void
+expectIdentical(const HamsStats& a, const HamsStats& b, const char* what)
+{
+    EXPECT_EQ(a.accesses, b.accesses) << what;
+    EXPECT_EQ(a.hits, b.hits) << what;
+    EXPECT_EQ(a.misses, b.misses) << what;
+    EXPECT_EQ(a.fills, b.fills) << what;
+    EXPECT_EQ(a.cleanVictims, b.cleanVictims) << what;
+    EXPECT_EQ(a.dirtyEvictions, b.dirtyEvictions) << what;
+    EXPECT_EQ(a.prpClones, b.prpClones) << what;
+    EXPECT_EQ(a.waitQueued, b.waitQueued) << what;
+    EXPECT_EQ(a.redundantEvictionsAvoided, b.redundantEvictionsAvoided)
+        << what;
+    EXPECT_EQ(a.persistGateWaits, b.persistGateWaits) << what;
+    EXPECT_EQ(a.waiterPeakDepth, b.waiterPeakDepth) << what;
+    EXPECT_EQ(a.gateQueuePeakDepth, b.gateQueuePeakDepth) << what;
+    EXPECT_EQ(a.replayedCommands, b.replayedCommands) << what;
+    EXPECT_EQ(a.memoryDelay.os, b.memoryDelay.os) << what;
+    EXPECT_EQ(a.memoryDelay.nvdimm, b.memoryDelay.nvdimm) << what;
+    EXPECT_EQ(a.memoryDelay.dma, b.memoryDelay.dma) << what;
+    EXPECT_EQ(a.memoryDelay.ssd, b.memoryDelay.ssd) << what;
+    EXPECT_EQ(a.memoryDelay.cpu, b.memoryDelay.cpu) << what;
+}
+
+void
+expectIdentical(const NvmeEngineStats& a, const NvmeEngineStats& b,
+                const char* what)
+{
+    EXPECT_EQ(a.submitted, b.submitted) << what;
+    EXPECT_EQ(a.completed, b.completed) << what;
+    EXPECT_EQ(a.journalSets, b.journalSets) << what;
+    EXPECT_EQ(a.journalClears, b.journalClears) << what;
+    EXPECT_EQ(a.replayed, b.replayed) << what;
+}
+
+/** Warmup-then-measure an N-core SMP run on a fresh platform. */
+SmpResult
+runSmp(MemoryPlatform& platform, const std::string& workload,
+       std::uint32_t cores, std::uint64_t budget)
+{
+    std::vector<std::unique_ptr<WorkloadGenerator>> gens;
+    std::vector<WorkloadGenerator*> raw;
+    for (std::uint32_t c = 0; c < cores; ++c) {
+        gens.push_back(makeCoreWorkload(workload, 32ull << 20, c, cores));
+        raw.push_back(gens.back().get());
+    }
+    SmpModel smp(platform);
+    smp.run(raw, budget / 2);
+    return smp.run(raw, budget);
+}
+
+// ---------------------------------------------------------------------
+// 1-core SmpModel == CoreModel, bit for bit.
+// ---------------------------------------------------------------------
+
+template <typename MakePlatform>
+void
+oneCoreDifferential(MakePlatform make, const std::string& workload,
+                    std::uint64_t budget)
+{
+    auto p_core = make();
+    auto p_smp = make();
+
+    auto gen_core = makeWorkload(workload, 32ull << 20);
+    CoreModel core(*p_core);
+    RunResult warm_core = core.run(*gen_core, budget / 2);
+    RunResult meas_core = core.run(*gen_core, budget);
+
+    // Core 0 of 1 must reproduce the single-core stream exactly.
+    auto gen_smp = makeCoreWorkload(workload, 32ull << 20, 0, 1);
+    std::vector<WorkloadGenerator*> gens{gen_smp.get()};
+    SmpModel smp(*p_smp);
+    SmpResult warm_smp = smp.run(gens, budget / 2);
+    SmpResult meas_smp = smp.run(gens, budget);
+
+    ASSERT_EQ(warm_smp.cores(), 1u);
+    std::string tag = workload + " on " + p_core->name();
+    expectIdentical(warm_core, warm_smp.perCore[0],
+                    (tag + " (warmup)").c_str());
+    expectIdentical(meas_core, meas_smp.perCore[0],
+                    (tag + " (measure)").c_str());
+    // The combined view of one core is that core.
+    expectIdentical(meas_smp.perCore[0], meas_smp.combined,
+                    (tag + " (combined)").c_str());
+    EXPECT_EQ(p_core->eventQueue().now(), p_smp->eventQueue().now()) << tag;
+    EXPECT_EQ(p_core->eventQueue().fired(), p_smp->eventQueue().fired())
+        << tag;
+}
+
+TEST(SmpOneCore, BitIdenticalToCoreModelOnMmap)
+{
+    oneCoreDifferential(smallMmap, "rndWr", 200000);
+}
+
+TEST(SmpOneCore, BitIdenticalToCoreModelOnHamsExtend)
+{
+    auto p_core = smallHams(HamsMode::Extend);
+    auto p_smp = smallHams(HamsMode::Extend);
+
+    auto gen_core = makeWorkload("update", 32ull << 20);
+    CoreModel core(*p_core);
+    RunResult warm_core = core.run(*gen_core, 200000);
+    RunResult meas_core = core.run(*gen_core, 400000);
+
+    auto gen_smp = makeCoreWorkload("update", 32ull << 20, 0, 1);
+    std::vector<WorkloadGenerator*> gens{gen_smp.get()};
+    SmpModel smp(*p_smp);
+    SmpResult warm_smp = smp.run(gens, 200000);
+    SmpResult meas_smp = smp.run(gens, 400000);
+
+    expectIdentical(warm_core, warm_smp.perCore[0], "update TE (warmup)");
+    expectIdentical(meas_core, meas_smp.perCore[0], "update TE (measure)");
+    expectIdentical(p_core->stats(), p_smp->stats(), "update HamsStats");
+    expectIdentical(p_core->engineStats(), p_smp->engineStats(),
+                    "update NvmeEngineStats");
+    EXPECT_EQ(p_core->eventQueue().now(), p_smp->eventQueue().now());
+}
+
+TEST(SmpOneCore, BitIdenticalToCoreModelOnHamsPersist)
+{
+    auto p_core = smallHams(HamsMode::Persist);
+    auto p_smp = smallHams(HamsMode::Persist);
+
+    auto gen_core = makeWorkload("rndRd", 32ull << 20);
+    CoreModel core(*p_core);
+    RunResult meas_core = core.run(*gen_core, 150000);
+
+    auto gen_smp = makeCoreWorkload("rndRd", 32ull << 20, 0, 1);
+    std::vector<WorkloadGenerator*> gens{gen_smp.get()};
+    SmpModel smp(*p_smp);
+    SmpResult meas_smp = smp.run(gens, 150000);
+
+    expectIdentical(meas_core, meas_smp.perCore[0], "rndRd TP");
+    expectIdentical(p_core->stats(), p_smp->stats(), "rndRd HamsStats");
+}
+
+// ---------------------------------------------------------------------
+// Forced-conductor differential: run the SMP conductor (not the N==1
+// delegation) against CoreModel on a platform whose events carry no
+// state changes — mmap applies every side effect at access()/flush()
+// call time, so issue order (which both drivers share for one core)
+// fully determines the results and the retire loops must agree bit for
+// bit. This is what catches a CoreModel accounting change that is not
+// mirrored in SmpModel::advance.
+// ---------------------------------------------------------------------
+
+void
+conductorDifferential(const std::string& workload, std::uint64_t budget,
+                      bool inline_on)
+{
+    auto p_core = smallMmap();
+    auto p_smp = smallMmap();
+
+    auto gen_core = makeWorkload(workload, 32ull << 20);
+    CoreConfig cc;
+    cc.inlineFastPath = inline_on;
+    CoreModel core(*p_core, cc);
+    RunResult warm_core = core.run(*gen_core, budget / 2);
+    RunResult meas_core = core.run(*gen_core, budget);
+
+    auto gen_smp = makeCoreWorkload(workload, 32ull << 20, 0, 1);
+    std::vector<WorkloadGenerator*> gens{gen_smp.get()};
+    SmpConfig cfg;
+    cfg.core.inlineFastPath = inline_on;
+    cfg.forceConductor = true;
+    SmpModel smp(*p_smp, cfg);
+    SmpResult warm_smp = smp.run(gens, budget / 2);
+    SmpResult meas_smp = smp.run(gens, budget);
+
+    std::string tag = workload + " conductor vs CoreModel";
+    expectIdentical(warm_core, warm_smp.perCore[0],
+                    (tag + " (warmup)").c_str());
+    expectIdentical(meas_core, meas_smp.perCore[0],
+                    (tag + " (measure)").c_str());
+    EXPECT_EQ(p_core->pageFaults(), p_smp->pageFaults()) << tag;
+    EXPECT_EQ(p_core->pageCacheHits(), p_smp->pageCacheHits()) << tag;
+    EXPECT_EQ(p_core->writebacks(), p_smp->writebacks()) << tag;
+}
+
+TEST(SmpConductorDifferential, RndWrOnMmapMatchesCoreModel)
+{
+    conductorDifferential("rndWr", 200000, true);
+}
+
+TEST(SmpConductorDifferential, UpdateWithFlushesMatchesCoreModel)
+{
+    conductorDifferential("update", 600000, true);
+}
+
+TEST(SmpConductorDifferential, EventPathMatchesCoreModel)
+{
+    conductorDifferential("rndWr", 200000, false);
+}
+
+// ---------------------------------------------------------------------
+// N-core determinism: rerun-identical, fast path on and off.
+// ---------------------------------------------------------------------
+
+void
+rerunIdentical(const std::string& workload, HamsMode mode,
+               std::uint32_t cores, bool inline_on)
+{
+    auto run_once = [&](HamsSystem& sys, SmpResult& out) {
+        std::vector<std::unique_ptr<WorkloadGenerator>> gens;
+        std::vector<WorkloadGenerator*> raw;
+        for (std::uint32_t c = 0; c < cores; ++c) {
+            gens.push_back(
+                makeCoreWorkload(workload, 32ull << 20, c, cores));
+            raw.push_back(gens.back().get());
+        }
+        SmpConfig cfg;
+        cfg.core.inlineFastPath = inline_on;
+        SmpModel smp(sys, cfg);
+        smp.run(raw, 100000);
+        out = smp.run(raw, 200000);
+    };
+
+    auto p1 = smallHams(mode);
+    auto p2 = smallHams(mode);
+    SmpResult r1, r2;
+    run_once(*p1, r1);
+    run_once(*p2, r2);
+
+    ASSERT_EQ(r1.cores(), cores);
+    ASSERT_EQ(r2.cores(), cores);
+    for (std::uint32_t c = 0; c < cores; ++c) {
+        std::string tag = workload + " core " + std::to_string(c);
+        expectIdentical(r1.perCore[c], r2.perCore[c], tag.c_str());
+    }
+    expectIdentical(r1.combined, r2.combined, "combined");
+    expectIdentical(p1->stats(), p2->stats(), "HamsStats");
+    expectIdentical(p1->engineStats(), p2->engineStats(),
+                    "NvmeEngineStats");
+    EXPECT_EQ(p1->eventQueue().now(), p2->eventQueue().now());
+    EXPECT_EQ(p1->eventQueue().fired(), p2->eventQueue().fired());
+}
+
+TEST(SmpDeterminism, FourCoreExtendRerunIdentical)
+{
+    rerunIdentical("update", HamsMode::Extend, 4, true);
+}
+
+TEST(SmpDeterminism, FourCorePersistRerunIdentical)
+{
+    rerunIdentical("rndWr", HamsMode::Persist, 4, true);
+}
+
+TEST(SmpDeterminism, EightCoreEventPathRerunIdentical)
+{
+    rerunIdentical("rndRd", HamsMode::Extend, 8, false);
+}
+
+// ---------------------------------------------------------------------
+// Contention: shared-frame wait lists and the persist gate engage and
+// deepen as cores are added.
+// ---------------------------------------------------------------------
+
+TEST(SmpContention, WaitListsDeepenWithCores)
+{
+    std::uint64_t prev_wait = 0;
+    std::uint64_t prev_peak = 0;
+    for (std::uint32_t n : {1u, 2u, 4u, 8u}) {
+        auto sys = smallHams(HamsMode::Extend);
+        runSmp(*sys, "update", n, 200000);
+        const HamsStats& s = sys->stats();
+        EXPECT_GE(s.waitQueued, prev_wait) << n << " cores";
+        EXPECT_GE(s.waiterPeakDepth, prev_peak) << n << " cores";
+        prev_wait = s.waitQueued;
+        prev_peak = s.waiterPeakDepth;
+    }
+    // With 8 cores on one tag array, contention must actually exist.
+    EXPECT_GT(prev_wait, 0u);
+    EXPECT_GT(prev_peak, 1u);
+}
+
+TEST(SmpContention, PersistGateSerialisesAcrossCores)
+{
+    auto solo = smallHams(HamsMode::Persist);
+    runSmp(*solo, "rndRd", 1, 150000);
+    // One in-order core has at most one miss in flight: the gate never
+    // queues.
+    EXPECT_EQ(solo->stats().persistGateWaits, 0u);
+    EXPECT_EQ(solo->stats().gateQueuePeakDepth, 0u);
+
+    auto quad = smallHams(HamsMode::Persist);
+    runSmp(*quad, "rndRd", 4, 150000);
+    EXPECT_GT(quad->stats().persistGateWaits, 0u);
+    EXPECT_GT(quad->stats().gateQueuePeakDepth, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Hot-path discipline: the per-core hit path through the SMP conductor
+// allocates nothing in steady state.
+// ---------------------------------------------------------------------
+
+TEST(SmpZeroAlloc, HitPathThroughConductor)
+{
+    // Working set fits the NVDIMM cache: after warmup every platform
+    // access is an extend-mode hit. Equal allocation deltas between a
+    // short and a long measured run mean the per-access (and per-op)
+    // cost is literally zero.
+    auto sys = smallHams(HamsMode::Extend);
+    std::vector<std::unique_ptr<WorkloadGenerator>> gens;
+    std::vector<WorkloadGenerator*> raw;
+    for (std::uint32_t c = 0; c < 4; ++c) {
+        gens.push_back(makeCoreWorkload("rndRd", 16ull << 20, c, 4));
+        raw.push_back(gens.back().get());
+    }
+    SmpModel smp(*sys);
+    smp.run(raw, 150000); // warm caches, pools, arenas
+
+    alloc_hook::AllocCounter allocs;
+    smp.run(raw, 50000);
+    std::uint64_t small = allocs.delta();
+    allocs.rebase();
+    smp.run(raw, 200000);
+    std::uint64_t large = allocs.delta();
+    EXPECT_EQ(small, large)
+        << "per-access allocations in the SMP conductor hit path";
+    EXPECT_GT(sys->stats().hits, 0u);
+}
+
+} // namespace
+} // namespace hams
