@@ -170,8 +170,6 @@ runOn(MemoryPlatform& platform, const std::string& workload,
     return core.run(*gen, budget);
 }
 
-namespace {
-
 /**
  * Run @p count independent cells through @p body (serial or across the
  * HAMS_BENCH_THREADS pool), annotating any failure with @p label(i) so
@@ -180,7 +178,8 @@ namespace {
  * concurrent failures the lowest-index cell is reported, keeping the
  * error deterministic at any thread count. Throwing (instead of
  * returning partial data) is what guarantees callers can never print a
- * table with default-constructed holes.
+ * table with default-constructed holes. Exported (bench_util.hh) for
+ * harnesses with custom cell types (fig_gc).
  */
 void
 runCells(std::size_t count,
@@ -249,6 +248,8 @@ runCells(std::size_t count,
     if (minFailed.load() < count)
         throw std::runtime_error(errors[minFailed.load()]);
 }
+
+namespace {
 
 std::unique_ptr<MemoryPlatform>
 makePlatformOrThrow(const std::string& name, const BenchGeometry& geom)

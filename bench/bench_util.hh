@@ -15,6 +15,7 @@
 #define HAMS_BENCH_BENCH_UTIL_HH_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -126,6 +127,20 @@ SmpResult runSmpOn(MemoryPlatform& platform, const std::string& workload,
  * input order, with runSweep's all-or-nothing error contract.
  */
 std::vector<SmpCellResult> runSmpSweep(const std::vector<SmpSweepCell>& cells);
+
+/**
+ * Generic cell-parallel runner behind runSweep/runSmpSweep, for
+ * harnesses with custom cell types (fig_gc): invokes @p body(i) for
+ * i in [0, count) across a worker pool (HAMS_BENCH_THREADS, default
+ * hardware concurrency, 1 = serial). @p body writes its result by
+ * index, so tables are byte-identical to serial execution. A throwing
+ * cell aborts the sweep with an error naming label(i); with several
+ * concurrent failures the lowest-index cell is reported, keeping the
+ * error deterministic at any thread count.
+ */
+void runCells(std::size_t count,
+              const std::function<std::string(std::size_t)>& label,
+              const std::function<void(std::size_t)>& body);
 
 /** Print a harness banner with the figure reference. */
 void banner(const std::string& figure, const std::string& what);

@@ -1,0 +1,364 @@
+/**
+ * @file
+ * Sustained-random-write GC sweep: the classic SSD "GC cliff" that
+ * synchronous collection makes invisible (ISSUE 4 / paper SSII-C).
+ *
+ * {hams-TE, hams-TP, mmap} × fill levels {25%, 50%, 70%} × GC mode
+ * {sync, bg}: the device is pre-filled to the given fraction of its
+ * logical space (then the flash busy-state is reset, so the data is
+ * *laid out* but the device starts idle), and a closed loop of random
+ * 64 B writes over a window 3x the host cache then drives misses,
+ * dirty evictions and — as free blocks drain — garbage collection.
+ *
+ * Per cell: steady-state throughput, foreground p50/p99 latency, GC
+ * overlap counters (host ops issued while a GC machine was active,
+ * background flash ops, suspensions) and the end-of-run free-block
+ * level, which must match between the sync and bg rows for the p99
+ * comparison to be apples-to-apples.
+ *
+ * Deterministic: fixed seeds, one fresh platform per cell; reruns —
+ * at any HAMS_BENCH_THREADS setting — produce byte-identical tables.
+ * Results land in BENCH_gc.json (HAMS_BENCH_JSON overrides,
+ * HAMS_BENCH_SCALE enlarges the runs).
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "baselines/mmap_platform.hh"
+#include "bench_util.hh"
+#include "core/hams_system.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "ssd/ssd.hh"
+
+namespace {
+
+using namespace hams;
+using namespace hams::bench;
+
+struct GcCell
+{
+    std::string platform; //!< hams-TE | hams-TP | mmap
+    double fill;          //!< prefilled fraction of logical capacity
+    bool backgroundGc;
+};
+
+struct GcResult
+{
+    double opsPerSec = 0;
+    double p50us = 0;
+    double p99us = 0;
+    double p999us = 0; //!< the GC cliff lives out here
+    double maxus = 0;
+    FtlStats ftl;
+    FlashActivity flash;
+    std::uint32_t minFree = 0;
+    double avgFree = 0;
+};
+
+std::unique_ptr<MemoryPlatform>
+buildPlatform(const GcCell& cell, const BenchGeometry& geom)
+{
+    setQuiet(true);
+    FtlConfig ftl;
+    ftl.backgroundGc = cell.backgroundGc;
+
+    if (cell.platform == "mmap") {
+        MmapConfig c;
+        c.backend = MmapBackend::UllFlash;
+        c.dramBytes = geom.hostMemBytes;
+        c.pageCacheBytes = geom.hostMemBytes * 3 / 4;
+        c.ssdRawBytes = geom.ssdRawBytes;
+        // A stock-sized internal buffer would absorb the whole write
+        // stream; shrink it so traffic reaches the FTL.
+        c.ssdBufferBytes = 4ull << 20;
+        c.ftl = ftl;
+        return std::make_unique<MmapPlatform>(c);
+    }
+
+    HamsSystemConfig c = cell.platform == "hams-TP"
+                             ? HamsSystemConfig::tightPersist()
+                             : HamsSystemConfig::tightExtend();
+    c.pinnedBytes = 32ull << 20;
+    c.nvdimm.capacity = geom.hostMemBytes + c.pinnedBytes;
+    c.ssdRawBytes = geom.ssdRawBytes;
+    c.mosPageBytes = geom.mosPageBytes;
+    c.functionalData = false; // timing-only
+    c.ftl = ftl;
+    return std::make_unique<HamsSystem>(c);
+}
+
+Ssd&
+backingSsdOf(MemoryPlatform& p)
+{
+    if (auto* h = dynamic_cast<HamsSystem*>(&p))
+        return h->ullFlash();
+    if (auto* m = dynamic_cast<MmapPlatform*>(&p))
+        return m->backingSsd();
+    panic("fig_gc: platform without a backing SSD");
+}
+
+/**
+ * Lay data out on @p frac of the logical space, then clear the flash
+ * busy-state: the device starts the measured phase idle but full.
+ */
+void
+prefill(Ssd& ssd, double frac)
+{
+    PageFtl& ftl = ssd.pageFtl();
+    auto pages = static_cast<std::uint64_t>(
+        static_cast<double>(ftl.logicalPages()) * frac);
+    Tick t = 0;
+    std::uint32_t page_size = ssd.config().geom.pageSize;
+    for (std::uint64_t lpn = 0; lpn < pages; ++lpn)
+        t = ftl.writePage(lpn, page_size, t);
+    ssd.flashLayer().reset();
+}
+
+/** Outstanding accesses: sustained write pressure, not lock-step — a
+ *  GC burst then delays every in-flight and arriving access, exactly
+ *  the tail a QD-1 loop hides (the single triggering access would
+ *  absorb the whole burst). */
+constexpr std::uint32_t queueDepth = 8;
+
+GcResult
+runCell(const GcCell& cell, const BenchGeometry& geom,
+        std::uint64_t warmup, std::uint64_t measured)
+{
+    GcResult res;
+    auto platform = buildPlatform(cell, geom);
+    Ssd& ssd = backingSsdOf(*platform);
+    prefill(ssd, cell.fill);
+
+    // Sustained random 64 B writes over a window 3x the host cache:
+    // ~2/3 of accesses miss and evict a dirty page to the device.
+    std::uint64_t window =
+        std::min<std::uint64_t>(3 * geom.hostMemBytes,
+                                platform->capacity());
+    EventQueue& eq = platform->eventQueue();
+    Rng rng(99);
+
+    // queueDepth independent closed loops over one shared platform,
+    // conducted like SmpModel: always issue the slot with the lowest
+    // issue tick, after draining strictly-earlier events.
+    struct Slot
+    {
+        Tick nextIssue = 0;
+        Tick issued = 0;
+        Tick done = 0;
+        bool inflight = false;
+        bool arrived = false;
+    };
+    std::vector<Slot> slots(queueDepth);
+
+    std::vector<Tick> lat;
+    lat.reserve(measured);
+    std::uint64_t completions = 0;
+    Tick measure_start = 0;
+    Tick last_done = 0;
+
+    // Record completed slots; returns whether any were pending.
+    auto harvest = [&]() -> bool {
+        bool any = false;
+        for (auto& s : slots) {
+            if (!s.arrived)
+                continue;
+            if (completions == warmup)
+                measure_start = s.issued;
+            if (completions >= warmup && lat.size() < measured) {
+                lat.push_back(s.done - s.issued);
+                last_done = std::max(last_done, s.done);
+            }
+            ++completions;
+            s.nextIssue = s.done;
+            s.inflight = false;
+            s.arrived = false;
+            any = true;
+        }
+        return any;
+    };
+
+    while (completions < warmup + measured) {
+        // Conductor (platform.hh "Multiple outstanding accesses"):
+        // issue the idle slot with the lowest issue tick, after firing
+        // every strictly-earlier event. A completion landing first may
+        // create an even earlier-issuing slot, so re-select after any
+        // harvest.
+        Slot* next = nullptr;
+        for (auto& s : slots)
+            if (!s.inflight && (!next || s.nextIssue < next->nextIssue))
+                next = &s;
+        if (!next) {
+            // Everything in flight: wait for one completion.
+            bool stepped = true;
+            while (!harvest() && (stepped = eq.step())) {
+            }
+            if (!stepped)
+                throw std::runtime_error("access never completed");
+            continue;
+        }
+        while (eq.nextTick() < next->nextIssue && eq.step()) {
+        }
+        if (harvest())
+            continue;
+        next->inflight = true;
+        next->arrived = false;
+        next->issued = next->nextIssue;
+        Addr addr = rng.below(window) & ~Addr(63);
+        MemAccess acc{addr, 64, MemOp::Write};
+        Slot* slot = next;
+        platform->access(acc, next->nextIssue,
+                         [slot](Tick w, const LatencyBreakdown&) {
+                             slot->arrived = true;
+                             slot->done = w;
+                         });
+    }
+
+    std::sort(lat.begin(), lat.end());
+    res.p50us = static_cast<double>(lat[lat.size() / 2]) * 1e-6;
+    res.p99us =
+        static_cast<double>(lat[(lat.size() - 1) * 99 / 100]) * 1e-6;
+    res.p999us =
+        static_cast<double>(lat[(lat.size() - 1) * 999 / 1000]) * 1e-6;
+    res.maxus = static_cast<double>(lat.back()) * 1e-6;
+    res.opsPerSec = static_cast<double>(lat.size()) /
+                    ticksToSeconds(last_done - measure_start);
+    res.ftl = ssd.ftlStats();
+    res.flash = ssd.flashActivity();
+    PageFtl& ftl = ssd.pageFtl();
+    res.minFree = ftl.minFreeBlocks();
+    double sum = 0;
+    for (std::uint64_t pu = 0; pu < ftl.parallelUnits(); ++pu)
+        sum += ftl.freeBlocksOf(pu);
+    res.avgFree = sum / static_cast<double>(ftl.parallelUnits());
+    return res;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("gc", "sustained-random-write GC interference sweep "
+                 "(background vs synchronous collection)");
+    BenchGeometry geom = BenchGeometry::scaled();
+    std::uint64_t warmup = 3000 * scale();
+    std::uint64_t measured = 6000 * scale();
+
+    const std::vector<std::string> platforms = {"hams-TE", "hams-TP",
+                                                "mmap"};
+    const std::vector<double> fills = {0.25, 0.50, 0.70};
+
+    std::vector<GcCell> cells;
+    for (const auto& p : platforms)
+        for (double f : fills)
+            for (bool bg : {false, true})
+                cells.push_back({p, f, bg});
+
+    // Cells own their platform, queue and seed: embarrassingly
+    // parallel through the shared sweep runner, results reported in
+    // input order (byte-identical at any HAMS_BENCH_THREADS).
+    std::vector<GcResult> results(cells.size());
+    try {
+        runCells(
+            cells.size(),
+            [&](std::size_t i) {
+                return cells[i].platform + " fill " +
+                       std::to_string(cells[i].fill) +
+                       (cells[i].backgroundGc ? " bg" : " sync");
+            },
+            [&](std::size_t i) {
+                // mmap's per-access device volume is far smaller (4 KiB
+                // writeback pages vs 128 KiB MoS evictions): give it
+                // proportionally more accesses so the sweep reaches the
+                // same free-block pressure.
+                std::uint64_t mult = cells[i].platform == "mmap" ? 12 : 1;
+                results[i] = runCell(cells[i], geom, warmup * mult,
+                                     measured * mult);
+            });
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+
+    std::printf("\n%-8s %5s %5s %10s %9s %9s %10s %10s %7s %8s %8s %7s "
+                "%8s\n",
+                "platform", "fill", "mode", "ops/s", "p50(us)",
+                "p99(us)", "p99.9(us)", "max(us)", "erases", "reloc",
+                "overlap", "susp", "minFree");
+
+    std::string out = jsonOutPath("BENCH_gc.json");
+    std::FILE* f = std::fopen(out.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "could not write %s\n", out.c_str());
+        return 1;
+    }
+    std::fprintf(f, "{\n  \"benchmarks\": [\n");
+
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const GcCell& c = cells[i];
+        const GcResult& r = results[i];
+        const char* mode = c.backgroundGc ? "bg" : "sync";
+        std::printf("%-8s %5.2f %5s %10.0f %9.1f %9.1f %10.1f %10.1f "
+                    "%7llu %8llu %8llu %7llu %8u\n",
+                    c.platform.c_str(), c.fill, mode, r.opsPerSec,
+                    r.p50us, r.p99us, r.p999us, r.maxus,
+                    static_cast<unsigned long long>(r.ftl.erases),
+                    static_cast<unsigned long long>(r.ftl.gcRelocations),
+                    static_cast<unsigned long long>(
+                        r.ftl.gcForegroundOverlap),
+                    static_cast<unsigned long long>(r.flash.suspensions),
+                    r.minFree);
+        std::fprintf(
+            f,
+            "    {\"name\": \"gc/%s/fill%02d/%s\", "
+            "\"ops_per_sec\": %.1f, \"p50_us\": %.3f, \"p99_us\": %.3f, "
+            "\"p999_us\": %.3f, \"max_us\": %.3f, "
+            "\"gc_runs\": %llu, \"erases\": %llu, "
+            "\"gc_relocations\": %llu, "
+            "\"gc_batches\": %llu, \"gc_write_stalls\": %llu, "
+            "\"gc_stall_ticks\": %llu, \"gc_foreground_overlap\": %llu, "
+            "\"gc_reads\": %llu, \"gc_programs\": %llu, "
+            "\"gc_erases\": %llu, \"suspensions\": %llu, "
+            "\"min_free_blocks\": %u, \"avg_free_blocks\": %.2f}%s\n",
+            c.platform.c_str(), static_cast<int>(c.fill * 100), mode,
+            r.opsPerSec, r.p50us, r.p99us, r.p999us, r.maxus,
+            static_cast<unsigned long long>(r.ftl.gcRuns),
+            static_cast<unsigned long long>(r.ftl.erases),
+            static_cast<unsigned long long>(r.ftl.gcRelocations),
+            static_cast<unsigned long long>(r.ftl.gcBatches),
+            static_cast<unsigned long long>(r.ftl.gcWriteStalls),
+            static_cast<unsigned long long>(r.ftl.gcStallTicks),
+            static_cast<unsigned long long>(r.ftl.gcForegroundOverlap),
+            static_cast<unsigned long long>(r.flash.gcReads),
+            static_cast<unsigned long long>(r.flash.gcPrograms),
+            static_cast<unsigned long long>(r.flash.gcErases),
+            static_cast<unsigned long long>(r.flash.suspensions),
+            r.minFree, r.avgFree, i + 1 < cells.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+
+    // Side-by-side tails: the background engine's whole point.
+    std::printf("\nforeground tail, synchronous vs background GC:\n");
+    std::printf("%-8s %5s %12s %12s %12s %12s %8s %10s\n", "platform",
+                "fill", "sync p99", "bg p99", "sync max", "bg max",
+                "ops x", "avgFree s/b");
+    for (std::size_t i = 0; i + 1 < cells.size(); i += 2) {
+        const GcResult& s = results[i];
+        const GcResult& b = results[i + 1];
+        double speedup =
+            s.opsPerSec > 0 ? b.opsPerSec / s.opsPerSec : 0;
+        std::printf("%-8s %5.2f %10.1fus %10.1fus %10.1fus %10.1fus "
+                    "%7.2fx %5.1f/%.1f\n",
+                    cells[i].platform.c_str(), cells[i].fill, s.p99us,
+                    b.p99us, s.maxus, b.maxus, speedup, s.avgFree,
+                    b.avgFree);
+    }
+    std::printf("\nResults written to %s\n", out.c_str());
+    return 0;
+}

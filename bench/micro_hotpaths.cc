@@ -121,6 +121,39 @@ BM_FtlWritePage(benchmark::State& state)
 BENCHMARK(BM_FtlWritePage);
 
 void
+BM_FtlAllocate(benchmark::State& state)
+{
+    // Stress the free-block allocator: tiny blocks so nearly every
+    // write opens a fresh one, thousands of free blocks in the unit so
+    // the old O(free-list) wear scan would dominate. The min-wear heap
+    // keeps this O(log n) — and allocation-free.
+    FlashGeometry g;
+    g.channels = 1;
+    g.packagesPerChannel = 1;
+    g.diesPerPackage = 1;
+    g.planesPerDie = 1;
+    g.blocksPerPlane = 4096;
+    g.pagesPerBlock = 4;
+    g.pageSize = 2048;
+    Fil fil(g, NandTiming::zNand());
+    PageFtl ftl(g, fil);
+    Rng rng(5);
+    std::uint64_t hot = ftl.logicalPages() / 2;
+    Tick t = 0;
+    // Warm every block's lazy reverse-map arrays (first-touch is
+    // amortized, like sparse memory's) so the timed loop measures the
+    // steady-state allocator.
+    for (std::uint64_t i = 0; i < hot * 4; ++i)
+        t = ftl.writePage(rng.below(hot), 2048, t);
+    std::uint64_t allocs = bench::threadAllocCallsNow();
+    for (auto _ : state)
+        t = ftl.writePage(rng.below(hot), 2048, t);
+    benchmark::DoNotOptimize(t);
+    reportAllocRate(state, allocs);
+}
+BENCHMARK(BM_FtlAllocate);
+
+void
 BM_QueuePairPushFetch(benchmark::State& state)
 {
     SparseMemory mem(1 << 20);

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Build the Release GC interference sweep and record the trajectory in
+# BENCH_gc.json (repo root, or $HAMS_BENCH_JSON): sustained random
+# writes over pre-filled devices, foreground p50/p99 and throughput
+# with synchronous vs background garbage collection, plus the GC
+# overlap counters (host ops during active GC, background flash ops,
+# suspensions) and end-of-run free-block levels.
+#
+# Usage: scripts/bench_gc.sh
+#   HAMS_BENCH_SCALE=N enlarges the runs (default 1 = smoke size).
+#   HAMS_BENCH_THREADS=N caps the cross-cell worker pool.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build-bench"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+      -DCMAKE_BUILD_TYPE=Release \
+      -DHAMS_BUILD_TESTS=OFF \
+      -DHAMS_BUILD_EXAMPLES=OFF
+cmake --build "${build_dir}" --target fig_gc -j"$(nproc)"
+
+export HAMS_BENCH_JSON="${HAMS_BENCH_JSON:-${repo_root}/BENCH_gc.json}"
+"${build_dir}/fig_gc"
+
+echo
+echo "Results written to ${HAMS_BENCH_JSON}"

@@ -12,15 +12,27 @@ namespace {
 SsdConfig
 backendConfig(const MmapConfig& cfg)
 {
+    SsdConfig c;
     switch (cfg.backend) {
       case MmapBackend::UllFlash:
-        return ullFlashConfig(cfg.ssdRawBytes, /*functional_data=*/false);
+        c = ullFlashConfig(cfg.ssdRawBytes, /*functional_data=*/false);
+        break;
       case MmapBackend::NvmeSsd:
-        return nvmeSsdConfig(cfg.ssdRawBytes, /*functional_data=*/false);
+        c = nvmeSsdConfig(cfg.ssdRawBytes, /*functional_data=*/false);
+        break;
       case MmapBackend::SataSsd:
-        return sataSsdConfig(cfg.ssdRawBytes, /*functional_data=*/false);
+        c = sataSsdConfig(cfg.ssdRawBytes, /*functional_data=*/false);
+        break;
+      default:
+        panic("unreachable mmap backend");
     }
-    panic("unreachable mmap backend");
+    c.ftl = cfg.ftl;
+    if (cfg.ssdBufferBytes != ~std::uint64_t(0)) {
+        c.hasBuffer = cfg.ssdBufferBytes > 0;
+        if (c.hasBuffer)
+            c.buffer.capacity = cfg.ssdBufferBytes;
+    }
+    return c;
 }
 
 LinkConfig
@@ -58,7 +70,7 @@ MmapPlatform::MmapPlatform(const MmapConfig& cfg)
 {
     dram = std::make_unique<MemoryController>(
         Ddr4Timing::speedGrade(cfg.dramSpeedGrade), cfg.dramBytes);
-    ssd = std::make_unique<Ssd>(backendConfig(cfg));
+    ssd = std::make_unique<Ssd>(backendConfig(cfg), &eq);
     link = std::make_unique<PcieLink>(backendLink(cfg));
 
     DramBufferConfig tag_cfg;
@@ -190,6 +202,13 @@ MmapPlatform::access(const MemAccess& acc, Tick at, AccessCb cb)
 bool
 MmapPlatform::tryAccess(const MemAccess& acc, Tick at, InlineCompletion& out)
 {
+    // With background GC on the SSD, a fault or writeback may schedule
+    // device events *behind* the returned completion tick, which the
+    // inline contract forbids (the caller advances the queue to
+    // out.done). Per the contract, stop opting in rather than
+    // approximate: every access takes the event path.
+    if (ssd->pageFtl().backgroundGcEnabled())
+        return false;
     // Hit or fault alike, the whole software stack is latency
     // arithmetic computed at issue time: always inline-completable.
     out.bd = LatencyBreakdown{};

@@ -40,6 +40,11 @@ struct MmapConfig
     /** Page-cache budget (the rest is kernel/app memory). */
     std::uint64_t pageCacheBytes = 7ull << 30;
     std::uint64_t ssdRawBytes = 16ull << 30;
+    /** Backing-SSD internal DRAM buffer override: ~0 (default) keeps
+     *  the backend's stock size, 0 removes the buffer, anything else
+     *  resizes it. GC studies shrink it so write traffic actually
+     *  reaches the flash. */
+    std::uint64_t ssdBufferBytes = ~std::uint64_t(0);
 
     /** Fault entry, context switch out/in, PTE fixup. */
     Tick pageFaultLatency = microseconds(4);
@@ -54,6 +59,14 @@ struct MmapConfig
     std::uint32_t writebackBatch = 64;
     /** Readahead window for sequential faults (Linux default 128 KiB). */
     std::uint32_t readaheadPages = 32;
+
+    /**
+     * Backing-SSD FTL knobs. With backgroundGc the device collects
+     * garbage on its own timeline (events on the platform queue) and
+     * the platform stops opting into inline completion — see
+     * tryAccess().
+     */
+    FtlConfig ftl;
 };
 
 /**

@@ -60,6 +60,23 @@
  *    in-order schedules. Leaving now() behind is safe because
  *    platforms compute from the passed-in issue tick, never now().
  *
+ * Background device activity (FTL garbage collection)
+ * ---------------------------------------------------
+ * A platform whose device runs background work as events (an SSD with
+ * FtlConfig::backgroundGc, ftl/page_ftl.hh) interacts with the fast
+ * path in two ways:
+ *
+ *  - A pending GC event makes eventQueue().empty() false, so the
+ *    inline gate declines and accesses take the event path, which
+ *    pumps the queue and fires GC steps in deterministic tick order.
+ *  - A platform whose *inline* completion could itself schedule
+ *    background events behind the returned tick (e.g. mmap's
+ *    fault/writeback path kicking GC) must stop opting into
+ *    tryAccess() while background GC is enabled — scheduling an event
+ *    at or before the returned tick would break the caller's
+ *    advanceTo(). HamsSystem's inline path (extend-mode hits) never
+ *    touches the SSD, so it keeps qualifying.
+ *
  * Event-path completions ride pooled contexts (scheduleCompletion):
  * {AccessCb, tick, breakdown} exceeds the 48-byte inline capture
  * budget, so capturing it by value in the completion lambda would box

@@ -144,6 +144,13 @@ class HamsController
      * inline, with side effects and stats identical to access().
      * Persist-mode accesses and anything that needs I/O return false
      * untouched.
+     *
+     * Background GC in the ULL-Flash needs no special casing here: a
+     * hit never touches the SSD, and while a GC step event is pending
+     * the caller's eventQueue().empty() gate declines the inline path
+     * anyway, so misses — whose latency now sees GC interference
+     * through the FIL's channel/die accounting — always take the
+     * event path.
      */
     bool tryAccess(const MemAccess& acc, Tick at, InlineCompletion& out);
 

@@ -124,7 +124,8 @@ HamsSystem::HamsSystem(const HamsSystemConfig& cfg)
     bool with_buffer = cfg.topology == HamsTopology::Loose;
     SsdConfig scfg = ullFlashConfig(cfg.ssdRawBytes, cfg.functionalData,
                                     /*with_supercap=*/true, with_buffer);
-    ssd = std::make_unique<Ssd>(scfg);
+    scfg.ftl = cfg.ftl;
+    ssd = std::make_unique<Ssd>(scfg, &eq);
 
     link = std::make_unique<PcieLink>(cfg.topology == HamsTopology::Loose
                                           ? ullFlashLink()

@@ -50,6 +50,12 @@ struct HamsSystemConfig
     std::uint32_t mosPageBytes = 128 * 1024;
     NvdimmConfig nvdimm;                 //!< 8 GiB DDR4-2133 default
     std::uint64_t ssdRawBytes = 16ull << 30;
+    /**
+     * ULL-Flash FTL knobs (watermarks, wear leveling, background GC).
+     * With backgroundGc the device's garbage collector runs as events
+     * on the system queue and contends with miss/eviction traffic.
+     */
+    FtlConfig ftl;
     std::uint16_t queueEntries = 1024;
     std::uint64_t pinnedBytes = 512ull << 20;
     bool functionalData = true;

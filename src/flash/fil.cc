@@ -10,6 +10,27 @@ Fil::Fil(const FlashGeometry& geom, const NandTiming& timing)
     : _timing(timing), pool(geom)
 {
     channelFree.assign(geom.channels, 0);
+    channelBgFree.assign(geom.channels, 0);
+}
+
+Tick
+Fil::claimChannel(std::uint32_t ch, Tick earliest, Tick duration,
+                  bool background)
+{
+    Tick& fg = channelFree[ch];
+    Tick& bg = channelBgFree[ch];
+    if (background) {
+        Tick start = std::max({earliest, fg, bg});
+        bg = std::max(bg, start + duration);
+        return start;
+    }
+    Tick start = std::max(earliest, fg);
+    // Foreground traffic owns the bus: a background transfer still
+    // pending at our start slips behind us by our occupancy.
+    if (bg > start)
+        bg += duration;
+    fg = std::max(fg, start + duration);
+    return start;
 }
 
 Tick
@@ -22,33 +43,69 @@ Fil::submit(const FlashOp& op, Tick at)
 
     switch (op.type) {
       case FlashOp::Type::Read:
-        return read(a, op.bytes, at);
+        return read(a, op.bytes, at, op.background);
       case FlashOp::Type::Program:
-        return program(a, op.bytes, at);
+        return program(a, op.bytes, at, op.background);
       case FlashOp::Type::Erase:
-        return erase(a, at);
+        return erase(a, at, op.background);
     }
     panic("unreachable flash op type");
 }
 
 Tick
-Fil::read(const FlashAddress& a, std::uint32_t bytes, Tick at)
+Fil::admitForeground(const FlashAddress& a, Tick at, bool background,
+                     bool& suspended, Tick& suspend_from)
 {
+    suspended = false;
+    suspend_from = 0;
+    if (background)
+        return at;
+    Tick all_gate = std::max(pool.dieFreeAt(a), pool.planeFreeAt(a));
+    if (all_gate <= at)
+        return at; // resource idle: nothing to preempt
+    Tick fg_gate = std::max(pool.dieFgFreeAt(a), pool.planeFgFreeAt(a));
+    if (all_gate <= fg_gate)
+        return at; // foreground work is the blocker: queue normally
+    // Only background cell work extends past the foreground timeline:
+    // suspend it and take the die/plane after the handshake.
+    suspended = true;
+    suspend_from = std::max(at, fg_gate);
+    ++_activity.suspensions;
+    return suspend_from + _timing.tSuspend;
+}
+
+Tick
+Fil::read(const FlashAddress& a, std::uint32_t bytes, Tick at,
+          bool background)
+{
+    bool suspended;
+    Tick suspend_from;
+    at = admitForeground(a, at, background, suspended, suspend_from);
+
     // Command/address cycles ride the CA bus (no data-bus occupancy);
     // the cell read runs on the plane; the data transfer then drains
-    // the die register over the channel data bus.
-    Tick cmd_start = std::max(at, pool.dieFreeAt(a));
+    // the die register over the channel data bus. Under a suspension
+    // the die/plane belong to this op from `at`.
+    Tick cmd_start = std::max(at, suspended ? at : pool.dieFreeAt(a));
     Tick cmd_done = cmd_start + _timing.cmdOverhead;
 
-    Tick cell_start = std::max(cmd_done, pool.planeFreeAt(a));
+    Tick cell_start =
+        std::max(cmd_done, suspended ? cmd_done : pool.planeFreeAt(a));
     Tick cell_done = cell_start + _timing.tR;
-    pool.occupyPlane(a, cell_done);
 
-    Tick& chan = channelFree[a.channel];
-    Tick xfer_start = std::max(cell_done, chan);
+    Tick xfer_start = claimChannel(a.channel, cell_done,
+                                   _timing.transferTime(bytes), background);
     Tick xfer_done = xfer_start + _timing.transferTime(bytes);
-    chan = std::max(chan, xfer_done);
-    pool.occupyDie(a, xfer_done);
+
+    if (background) {
+        pool.occupyPlaneBg(a, cell_done);
+        pool.occupyDieBg(a, xfer_done);
+        ++_activity.gcReads;
+    } else {
+        pool.occupyPlane(a, cell_done);
+        pool.occupyDie(a, xfer_done);
+        finishSuspend(a, suspended, suspend_from, xfer_done);
+    }
 
     ++_activity.reads;
     _activity.bytesTransferred += bytes;
@@ -56,20 +113,34 @@ Fil::read(const FlashAddress& a, std::uint32_t bytes, Tick at)
 }
 
 Tick
-Fil::program(const FlashAddress& a, std::uint32_t bytes, Tick at)
+Fil::program(const FlashAddress& a, std::uint32_t bytes, Tick at,
+             bool background)
 {
+    bool suspended;
+    Tick suspend_from;
+    at = admitForeground(a, at, background, suspended, suspend_from);
+
     // Data loads into the die register over the channel first, then the
     // cell program proceeds without holding the bus.
-    Tick& chan = channelFree[a.channel];
-    Tick xfer_start = std::max({at, chan, pool.dieFreeAt(a)});
-    Tick xfer_done =
-        xfer_start + _timing.cmdOverhead + _timing.transferTime(bytes);
-    chan = std::max(chan, xfer_done);
+    Tick earliest = std::max(at, suspended ? at : pool.dieFreeAt(a));
+    Tick duration = _timing.cmdOverhead + _timing.transferTime(bytes);
+    Tick xfer_start = claimChannel(a.channel, earliest, duration,
+                                   background);
+    Tick xfer_done = xfer_start + duration;
 
-    Tick cell_start = std::max(xfer_done, pool.planeFreeAt(a));
+    Tick cell_start =
+        std::max(xfer_done, suspended ? xfer_done : pool.planeFreeAt(a));
     Tick cell_done = cell_start + _timing.tPROG;
-    pool.occupyPlane(a, cell_done);
-    pool.occupyDie(a, cell_done);
+
+    if (background) {
+        pool.occupyPlaneBg(a, cell_done);
+        pool.occupyDieBg(a, cell_done);
+        ++_activity.gcPrograms;
+    } else {
+        pool.occupyPlane(a, cell_done);
+        pool.occupyDie(a, cell_done);
+        finishSuspend(a, suspended, suspend_from, cell_done);
+    }
 
     ++_activity.programs;
     _activity.bytesTransferred += bytes;
@@ -77,15 +148,28 @@ Fil::program(const FlashAddress& a, std::uint32_t bytes, Tick at)
 }
 
 Tick
-Fil::erase(const FlashAddress& a, Tick at)
+Fil::erase(const FlashAddress& a, Tick at, bool background)
 {
-    Tick cmd_start = std::max(at, pool.dieFreeAt(a));
+    bool suspended;
+    Tick suspend_from;
+    at = admitForeground(a, at, background, suspended, suspend_from);
+
+    Tick cmd_start = std::max(at, suspended ? at : pool.dieFreeAt(a));
     Tick cmd_done = cmd_start + _timing.cmdOverhead;
 
-    Tick cell_start = std::max(cmd_done, pool.planeFreeAt(a));
+    Tick cell_start =
+        std::max(cmd_done, suspended ? cmd_done : pool.planeFreeAt(a));
     Tick cell_done = cell_start + _timing.tERASE;
-    pool.occupyPlane(a, cell_done);
-    pool.occupyDie(a, cell_done);
+
+    if (background) {
+        pool.occupyPlaneBg(a, cell_done);
+        pool.occupyDieBg(a, cell_done);
+        ++_activity.gcErases;
+    } else {
+        pool.occupyPlane(a, cell_done);
+        pool.occupyDie(a, cell_done);
+        finishSuspend(a, suspended, suspend_from, cell_done);
+    }
 
     ++_activity.erases;
     return cell_done;
@@ -96,6 +180,7 @@ Fil::reset()
 {
     pool.reset();
     std::fill(channelFree.begin(), channelFree.end(), 0);
+    std::fill(channelBgFree.begin(), channelBgFree.end(), 0);
 }
 
 } // namespace hams

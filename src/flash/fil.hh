@@ -11,6 +11,7 @@
 #ifndef HAMS_FLASH_FIL_HH_
 #define HAMS_FLASH_FIL_HH_
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -28,6 +29,16 @@ struct FlashOp
     Type type = Type::Read;
     std::uint64_t ppn = 0;      //!< physical page (block for erases)
     std::uint32_t bytes = 4096; //!< payload (<= geometry pageSize)
+    /**
+     * Background (GC/housekeeping) priority: the op yields to
+     * foreground traffic. A foreground op arriving at a die/plane
+     * whose only remaining occupancy is background work suspends it
+     * (tSuspend handshake), runs, and the background op resumes
+     * afterwards — the suspend-style program/erase preemption real
+     * low-latency devices use to keep internal tasks off the read
+     * path.
+     */
+    bool background = false;
 };
 
 /**
@@ -48,7 +59,11 @@ class Fil
     Tick submit(const FlashOp& op, Tick at);
 
     /** Earliest tick channel @p ch's bus is free (tests/scheduling). */
-    Tick channelFreeAt(std::uint32_t ch) const { return channelFree[ch]; }
+    Tick
+    channelFreeAt(std::uint32_t ch) const
+    {
+        return std::max(channelFree[ch], channelBgFree[ch]);
+    }
 
     const FlashGeometry& geometry() const { return pool.geometry(); }
     const NandTiming& timing() const { return _timing; }
@@ -58,13 +73,48 @@ class Fil
     void reset();
 
   private:
-    Tick read(const FlashAddress& a, std::uint32_t bytes, Tick at);
-    Tick program(const FlashAddress& a, std::uint32_t bytes, Tick at);
-    Tick erase(const FlashAddress& a, Tick at);
+    Tick read(const FlashAddress& a, std::uint32_t bytes, Tick at,
+              bool background);
+    Tick program(const FlashAddress& a, std::uint32_t bytes, Tick at,
+                 bool background);
+    Tick erase(const FlashAddress& a, Tick at, bool background);
+
+    /**
+     * Foreground-priority admission to @p a's die/plane pair: when the
+     * only occupancy beyond the foreground timeline is background cell
+     * work, the op starts after the suspend handshake instead of
+     * waiting, and the suspended work is pushed out once the
+     * foreground op's resource end is known (finishSuspend()).
+     * @return the effective start tick; sets @p suspended.
+     */
+    Tick admitForeground(const FlashAddress& a, Tick at, bool background,
+                         bool& suspended, Tick& suspend_from);
+
+    /** Push the suspended background work out by the stolen window. */
+    void
+    finishSuspend(const FlashAddress& a, bool suspended, Tick suspend_from,
+                  Tick fg_end)
+    {
+        if (suspended)
+            pool.pushBackgroundOut(a, suspend_from, fg_end - suspend_from);
+    }
+
+    /**
+     * Claim the channel bus for a data transfer starting no earlier
+     * than @p earliest. Foreground transfers queue only behind other
+     * foreground traffic (a pending background transfer is bumped and
+     * resumes later — packet-granular bus arbitration); background
+     * transfers queue behind everything.
+     * @return the transfer's start tick; occupies the bus to start +
+     *         @p duration.
+     */
+    Tick claimChannel(std::uint32_t ch, Tick earliest, Tick duration,
+                      bool background);
 
     NandTiming _timing;
     NandPackagePool pool;
-    std::vector<Tick> channelFree;
+    std::vector<Tick> channelFree;   //!< foreground timeline
+    std::vector<Tick> channelBgFree; //!< background (GC) timeline
     FlashActivity _activity;
 };
 

@@ -10,6 +10,8 @@ NandPackagePool::NandPackagePool(const FlashGeometry& geom) : geom(geom)
                        geom.diesPerPackage;
     dieFree.assign(dies, 0);
     planeFree.assign(dies * geom.planesPerDie, 0);
+    dieBgFree.assign(dies, 0);
+    planeBgFree.assign(dies * geom.planesPerDie, 0);
 }
 
 std::size_t
@@ -28,11 +30,25 @@ NandPackagePool::planeIndex(const FlashAddress& a) const
 Tick
 NandPackagePool::dieFreeAt(const FlashAddress& a) const
 {
-    return dieFree[dieIndex(a)];
+    std::size_t i = dieIndex(a);
+    return std::max(dieFree[i], dieBgFree[i]);
 }
 
 Tick
 NandPackagePool::planeFreeAt(const FlashAddress& a) const
+{
+    std::size_t i = planeIndex(a);
+    return std::max(planeFree[i], planeBgFree[i]);
+}
+
+Tick
+NandPackagePool::dieFgFreeAt(const FlashAddress& a) const
+{
+    return dieFree[dieIndex(a)];
+}
+
+Tick
+NandPackagePool::planeFgFreeAt(const FlashAddress& a) const
 {
     return planeFree[planeIndex(a)];
 }
@@ -52,10 +68,38 @@ NandPackagePool::occupyPlane(const FlashAddress& a, Tick until)
 }
 
 void
+NandPackagePool::occupyDieBg(const FlashAddress& a, Tick until)
+{
+    Tick& t = dieBgFree[dieIndex(a)];
+    t = std::max(t, until);
+}
+
+void
+NandPackagePool::occupyPlaneBg(const FlashAddress& a, Tick until)
+{
+    Tick& t = planeBgFree[planeIndex(a)];
+    t = std::max(t, until);
+}
+
+void
+NandPackagePool::pushBackgroundOut(const FlashAddress& a, Tick from,
+                                   Tick delta)
+{
+    Tick& d = dieBgFree[dieIndex(a)];
+    if (d > from)
+        d += delta;
+    Tick& p = planeBgFree[planeIndex(a)];
+    if (p > from)
+        p += delta;
+}
+
+void
 NandPackagePool::reset()
 {
     std::fill(dieFree.begin(), dieFree.end(), 0);
     std::fill(planeFree.begin(), planeFree.end(), 0);
+    std::fill(dieBgFree.begin(), dieBgFree.end(), 0);
+    std::fill(planeBgFree.begin(), planeBgFree.end(), 0);
 }
 
 } // namespace hams

@@ -6,6 +6,13 @@
  * operation (tR/tPROG/tERASE) runs or while its register is being
  * drained over the channel. Planes within a die operate independently
  * for cell work but share the die's register and channel port.
+ *
+ * Occupancy is tracked on two timelines per resource: foreground
+ * (host I/O) and background (GC/housekeeping). A resource is busy
+ * until the max of both, but the split lets the FIL grant foreground
+ * ops suspend-style priority: when only background work blocks a die
+ * or plane, the foreground op starts after a short suspend handshake
+ * and the background occupancy is pushed out by the stolen window.
  */
 
 #ifndef HAMS_FLASH_NAND_PACKAGE_HH_
@@ -26,6 +33,15 @@ struct FlashActivity
     std::uint64_t programs = 0;
     std::uint64_t erases = 0;
     std::uint64_t bytesTransferred = 0;
+
+    /** @name Background (GC) share of the totals above. */
+    ///@{
+    std::uint64_t gcReads = 0;
+    std::uint64_t gcPrograms = 0;
+    std::uint64_t gcErases = 0;
+    ///@}
+    /** Background ops suspended so a foreground op could run. */
+    std::uint64_t suspensions = 0;
 };
 
 /**
@@ -43,11 +59,30 @@ class NandPackagePool
     /** Earliest tick plane @p a can start a cell operation. */
     Tick planeFreeAt(const FlashAddress& a) const;
 
-    /** Reserve the die until @p until. */
+    /** @name Foreground-only timelines (suspend-priority admission). */
+    ///@{
+    Tick dieFgFreeAt(const FlashAddress& a) const;
+    Tick planeFgFreeAt(const FlashAddress& a) const;
+    ///@}
+
+    /** Reserve the die until @p until (foreground timeline). */
     void occupyDie(const FlashAddress& a, Tick until);
 
-    /** Reserve the plane until @p until. */
+    /** Reserve the plane until @p until (foreground timeline). */
     void occupyPlane(const FlashAddress& a, Tick until);
+
+    /** Reserve the die until @p until on the background timeline. */
+    void occupyDieBg(const FlashAddress& a, Tick until);
+
+    /** Reserve the plane until @p until on the background timeline. */
+    void occupyPlaneBg(const FlashAddress& a, Tick until);
+
+    /**
+     * A foreground op suspended the background work pending on @p a:
+     * push every background occupancy still live past @p from out by
+     * @p delta (the stolen window, suspend handshake included).
+     */
+    void pushBackgroundOut(const FlashAddress& a, Tick from, Tick delta);
 
     /** Clear all busy state (power cycle). */
     void reset();
@@ -59,8 +94,10 @@ class NandPackagePool
     std::size_t planeIndex(const FlashAddress& a) const;
 
     FlashGeometry geom;
-    std::vector<Tick> dieFree;
-    std::vector<Tick> planeFree;
+    std::vector<Tick> dieFree;    //!< foreground timeline
+    std::vector<Tick> planeFree;  //!< foreground timeline
+    std::vector<Tick> dieBgFree;  //!< background timeline
+    std::vector<Tick> planeBgFree;//!< background timeline
 };
 
 } // namespace hams

@@ -12,6 +12,7 @@ NandTiming::zNand()
     t.tPROG = microseconds(100);
     t.tERASE = milliseconds(3);
     t.cmdOverhead = nanoseconds(200);
+    t.tSuspend = microseconds(2); // Z-NAND suspends fast (SLC-mode cells)
     t.channelBandwidth = 1.2e9;
     return t;
 }

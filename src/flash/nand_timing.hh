@@ -24,6 +24,12 @@ struct NandTiming
     Tick tPROG = microseconds(100);   //!< page program
     Tick tERASE = milliseconds(3);    //!< block erase
     Tick cmdOverhead = nanoseconds(200); //!< command/address cycles
+    /**
+     * Program/erase suspend handshake: the time to pause an ongoing
+     * background cell operation so a foreground op can use the
+     * die/plane (suspend-priority scheduling in the FIL).
+     */
+    Tick tSuspend = microseconds(5);
     double channelBandwidth = 1.2e9;  //!< bytes/s on the flash channel
 
     /** Samsung Z-NAND: SLC-mode 3D flash with short latencies. */

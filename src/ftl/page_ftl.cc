@@ -1,6 +1,7 @@
 #include "ftl/page_ftl.hh"
 
 #include <algorithm>
+#include <functional>
 #include <limits>
 
 #include "sim/logging.hh"
@@ -17,6 +18,14 @@ PageFtl::PageFtl(const FlashGeometry& geom, Fil& fil, const FtlConfig& cfg)
         fatal("FTL gcHighWater must exceed gcLowWater");
     if (geom.blocksPerPlane <= cfg.gcHighWater + 1)
         fatal("flash geometry too small for the GC watermarks");
+    if (cfg.backgroundGc) {
+        if (cfg.gcReserveBlocks >= cfg.gcLowWater)
+            fatal("FTL gcReserveBlocks (", cfg.gcReserveBlocks,
+                  ") must stay below gcLowWater (", cfg.gcLowWater,
+                  ") so background GC starts before the reserve is hit");
+        if (cfg.gcBatchPages == 0)
+            fatal("FTL gcBatchPages must be at least 1");
+    }
 
     _logicalPages = static_cast<std::uint64_t>(
         static_cast<double>(geom.totalPages()) * (1.0 - cfg.overProvision));
@@ -36,7 +45,13 @@ PageFtl::PageFtl(const FlashGeometry& geom, Fil& fil, const FtlConfig& cfg)
         u.closedBlocks.reserve(geom.blocksPerPlane);
         // LIFO pop order: push high indices first so block 0 pops first.
         for (std::uint32_t b = geom.blocksPerPlane; b-- > 0;)
-            u.freeBlocks.push_back(b);
+            u.freeBlocks.push_back(freeKey(0, b));
+        // With wear leveling the vector is a min-heap on the packed
+        // (wear, block) key; fresh blocks pop in index order, exactly
+        // the old linear scan's order.
+        if (cfg.wearLeveling)
+            std::make_heap(u.freeBlocks.begin(), u.freeBlocks.end(),
+                           std::greater<>());
     }
 }
 
@@ -99,51 +114,111 @@ Tick
 PageFtl::readPage(std::uint64_t lpn, std::uint32_t bytes, Tick at)
 {
     ++_stats.hostReads;
+    if (gcActiveMachines > 0)
+        ++_stats.gcForegroundOverlap;
     std::uint64_t ppn = l2p.get(lpn);
-    if (ppn == L2pMap::unmapped)
+    if (ppn == L2pMap::unmapped) {
+        if (backgroundGcEnabled())
+            noteHostActivity(at);
         return at; // unmapped: zero-fill, no flash access
-    return fil.submit({FlashOp::Type::Read, ppn, bytes}, at);
+    }
+    Tick done = fil.submit({FlashOp::Type::Read, ppn, bytes}, at);
+    if (backgroundGcEnabled())
+        noteHostActivity(done);
+    return done;
 }
 
 std::uint32_t
 PageFtl::takeFreeBlock(Unit& u, std::uint64_t pu)
 {
     if (u.freeBlocks.empty())
-        panic("parallel unit ", pu, " has no free blocks (GC failed)");
-    if (cfg.wearLeveling) {
-        // Pick the least-worn free block; ties go to the back (cheap pop).
-        auto best = u.freeBlocks.end() - 1;
-        std::uint32_t best_wear =
-            blockOf(pu, *best).eraseCount;
-        for (auto it = u.freeBlocks.begin(); it != u.freeBlocks.end(); ++it) {
-            std::uint32_t wear = blockOf(pu, *it).eraseCount;
-            if (wear < best_wear) {
-                best = it;
-                best_wear = wear;
-            }
-        }
-        std::uint32_t chosen = *best;
-        u.freeBlocks.erase(best);
-        return chosen;
-    }
-    std::uint32_t chosen = u.freeBlocks.back();
+        fatal("parallel unit ", pu, " has no free blocks: GC cannot keep "
+              "up with the write load (watermarks: reserve=",
+              cfg.gcReserveBlocks, " low=", cfg.gcLowWater,
+              " high=", cfg.gcHighWater, "; closedBlocks=",
+              u.closedBlocks.size(), ", victim=", u.gc.victim,
+              " cursor=", u.gc.nextPage, " pendingFree=", u.gc.pendingFree,
+              ", active=", u.activeBlock, " writePtr=",
+              u.activeBlock >= 0
+                  ? blockOf(pu, static_cast<std::uint32_t>(u.activeBlock))
+                        .writePtr
+                  : 0,
+              ", gc machine ", u.gc.active ? "active" : "idle", ", mode ",
+              backgroundGcEnabled() ? "background" : "synchronous", ")");
+    if (cfg.wearLeveling)
+        std::pop_heap(u.freeBlocks.begin(), u.freeBlocks.end(),
+                      std::greater<>());
+    std::uint64_t key = u.freeBlocks.back();
     u.freeBlocks.pop_back();
-    return chosen;
+    return keyBlock(key);
+}
+
+void
+PageFtl::pushFreeBlock(std::uint64_t pu, std::uint32_t block)
+{
+    Unit& u = units[pu];
+    u.freeBlocks.push_back(freeKey(blockOf(pu, block).eraseCount, block));
+    if (cfg.wearLeveling)
+        std::push_heap(u.freeBlocks.begin(), u.freeBlocks.end(),
+                       std::greater<>());
 }
 
 std::uint64_t
-PageFtl::allocate(std::uint64_t pu, Tick& at)
+PageFtl::allocate(std::uint64_t pu, Tick& at, bool for_gc)
 {
     Unit& u = units[pu];
+    // A half-relocated victim can always finish inside the active
+    // block's slack plus one reserve block (victims are never fully
+    // valid) — but only if foreground writes don't consume that slack
+    // while the pool is empty. Settle the in-flight victim first.
+    if (!for_gc && backgroundGcEnabled() && u.freeBlocks.empty() &&
+        (u.gc.victim >= 0 || u.gc.pendingFree >= 0))
+        at = reclaimForeground(pu, at);
     if (u.activeBlock < 0 ||
         blockOf(pu, static_cast<std::uint32_t>(u.activeBlock))
             .full(geom.pagesPerBlock)) {
-        if (u.activeBlock >= 0)
+        if (u.activeBlock >= 0) {
             u.closedBlocks.push_back(
                 static_cast<std::uint32_t>(u.activeBlock));
-        if (!inGc && u.freeBlocks.size() <= cfg.gcLowWater)
+            // Settle the cursor before GC runs below: a nested
+            // relocation allocate() seeing the stale full block would
+            // push it onto closedBlocks a second time, and the
+            // double-listed block eventually gets erased while it is
+            // the active block again (mapping corruption).
+            u.activeBlock = -1;
+        }
+        if (backgroundGcEnabled()) {
+            if (!for_gc) {
+                // Backpressure: the reserve belongs to GC relocation.
+                // A foreground write that would dig into it stalls
+                // until the background engine frees a block.
+                if (u.freeBlocks.size() <= cfg.gcReserveBlocks)
+                    at = reclaimForeground(pu, at);
+                // Kick on the post-take level (size - 1): the machine
+                // gets a full block of runway before the writer would
+                // reach the reserve and stall.
+                if (u.freeBlocks.size() <= cfg.gcLowWater + 1)
+                    kickGc(pu, at, /*idle=*/false);
+                // After taking the new active block this unit sits
+                // below the high watermark: idle time should clean up.
+                if (u.freeBlocks.size() <= cfg.gcHighWater)
+                    idleArmWanted = true;
+            }
+        } else if (!inGc && u.freeBlocks.size() <= cfg.gcLowWater) {
             collect(pu, at);
-        u.activeBlock = takeFreeBlock(u, pu);
+        }
+        // GC relocation may have opened a stream block of its own (and
+        // possibly filled it): reuse it rather than leaking a
+        // partially-written block off every list.
+        if (u.activeBlock >= 0 &&
+            blockOf(pu, static_cast<std::uint32_t>(u.activeBlock))
+                .full(geom.pagesPerBlock)) {
+            u.closedBlocks.push_back(
+                static_cast<std::uint32_t>(u.activeBlock));
+            u.activeBlock = -1;
+        }
+        if (u.activeBlock < 0)
+            u.activeBlock = takeFreeBlock(u, pu);
     }
     auto block = static_cast<std::uint32_t>(u.activeBlock);
     Block& b = blockOf(pu, block);
@@ -160,6 +235,8 @@ PageFtl::writePage(std::uint64_t lpn, std::uint32_t bytes, Tick at)
         fatal("LPN ", lpn, " beyond exported capacity (", _logicalPages,
               " pages)");
     ++_stats.hostWrites;
+    if (gcActiveMachines > 0)
+        ++_stats.gcForegroundOverlap;
 
     std::uint64_t old_ppn = l2p.get(lpn);
     if (old_ppn != L2pMap::unmapped)
@@ -179,7 +256,10 @@ PageFtl::writePage(std::uint64_t lpn, std::uint32_t bytes, Tick at)
     ++b.validCount;
     l2p.set(lpn, ppn);
 
-    return fil.submit({FlashOp::Type::Program, ppn, bytes}, at);
+    Tick done = fil.submit({FlashOp::Type::Program, ppn, bytes}, at);
+    if (backgroundGcEnabled())
+        noteHostActivity(done);
+    return done;
 }
 
 void
@@ -211,25 +291,16 @@ void
 PageFtl::collect(std::uint64_t pu, Tick& at)
 {
     Unit& u = units[pu];
-    ++_stats.gcRuns;
     inGc = true;
+    bool collected = false;
 
     while (u.freeBlocks.size() < cfg.gcHighWater &&
            !u.closedBlocks.empty()) {
-        // Greedy victim selection: fewest valid pages.
-        auto victim_it = u.closedBlocks.begin();
-        std::uint32_t victim_valid =
-            blockOf(pu, *victim_it).validCount;
-        for (auto it = u.closedBlocks.begin(); it != u.closedBlocks.end();
-             ++it) {
-            std::uint32_t v = blockOf(pu, *it).validCount;
-            if (v < victim_valid) {
-                victim_it = it;
-                victim_valid = v;
-            }
-        }
-        std::uint32_t victim = *victim_it;
-        u.closedBlocks.erase(victim_it);
+        std::int32_t victim_i = selectVictim(pu);
+        if (victim_i < 0)
+            break; // only fully-valid victims remain: nothing to gain
+        auto victim = static_cast<std::uint32_t>(victim_i);
+        collected = true;
 
         Block& vb = blockOf(pu, victim);
         ensureBlockArrays(vb);
@@ -266,9 +337,311 @@ PageFtl::collect(std::uint64_t pu, Tick& at)
         ++_stats.erases;
         at = fil.submit({FlashOp::Type::Erase,
                          makePpn(pu, victim, 0), 0}, at);
-        u.freeBlocks.push_back(victim);
+        pushFreeBlock(pu, victim);
     }
+    // Count the run only when it actually collected a victim: an
+    // invocation that found nothing to do is not a GC run.
+    if (collected)
+        ++_stats.gcRuns;
     inGc = false;
+}
+
+std::int32_t
+PageFtl::selectVictim(std::uint64_t pu)
+{
+    Unit& u = units[pu];
+    if (u.closedBlocks.empty())
+        return -1;
+    // Greedy: fewest valid pages.
+    auto victim_it = u.closedBlocks.begin();
+    std::uint32_t victim_valid = blockOf(pu, *victim_it).validCount;
+    for (auto it = u.closedBlocks.begin(); it != u.closedBlocks.end();
+         ++it) {
+        std::uint32_t v = blockOf(pu, *it).validCount;
+        if (v < victim_valid) {
+            victim_it = it;
+            victim_valid = v;
+        }
+    }
+    // A fully valid victim frees nothing: relocating it would just
+    // shuffle data forever (livelock). If even the best victim is
+    // full, no closed block can yield space.
+    if (victim_valid >= geom.pagesPerBlock)
+        return -1;
+    auto victim = static_cast<std::int32_t>(*victim_it);
+    u.closedBlocks.erase(victim_it);
+    return victim;
+}
+
+bool
+PageFtl::pickVictim(std::uint64_t pu)
+{
+    Unit& u = units[pu];
+    std::int32_t victim = selectVictim(pu);
+    if (victim < 0)
+        return false;
+    u.gc.victim = victim;
+    u.gc.nextPage = 0;
+    if (!u.gc.countedRun) {
+        ++_stats.gcRuns;
+        u.gc.countedRun = true;
+    }
+    return true;
+}
+
+bool
+PageFtl::gcSlice(std::uint64_t pu, Tick from)
+{
+    Unit& u = units[pu];
+    GcMachine& g = u.gc;
+    if (g.victim < 0)
+        return false;
+    auto victim = static_cast<std::uint32_t>(g.victim);
+    Block& vb = blockOf(pu, victim);
+    ensureBlockArrays(vb);
+
+    // Relocate up to a batch of surviving pages, pipelined: every read
+    // issues at the slice start (they serialize on the die), each
+    // program issues when its read's data is available. All ops carry
+    // background priority, so foreground traffic can suspend them.
+    Tick batch_done = from;
+    std::uint32_t moved = 0;
+    while (g.nextPage < geom.pagesPerBlock && moved < cfg.gcBatchPages) {
+        std::uint32_t page = g.nextPage++;
+        if (!(vb.validBits[page / 64] & (1ull << (page % 64))))
+            continue;
+        std::uint64_t lpn = vb.pageLpns[page];
+        std::uint64_t old_ppn = makePpn(pu, victim, page);
+        Tick rd = fil.submit({FlashOp::Type::Read, old_ppn, geom.pageSize,
+                              /*background=*/true}, from);
+        // The source page is dead the moment its copy is in flight: a
+        // concurrent trim/overwrite of the LPN must target the new
+        // location (the L2P entry flips below, within this same
+        // atomic slice).
+        vb.validBits[page / 64] &= ~(1ull << (page % 64));
+        --vb.validCount;
+
+        Tick prog_at = rd;
+        std::uint64_t new_ppn = allocate(pu, prog_at, /*for_gc=*/true);
+        std::uint64_t pu2;
+        std::uint32_t nblock, npage;
+        splitPpn(new_ppn, pu2, nblock, npage);
+        Block& nb = blockOf(pu2, nblock);
+        nb.pageLpns[npage] = lpn;
+        nb.validBits[npage / 64] |= 1ull << (npage % 64);
+        ++nb.validCount;
+        l2p.set(lpn, new_ppn);
+        ++_stats.gcRelocations;
+
+        batch_done = std::max(
+            batch_done, fil.submit({FlashOp::Type::Program, new_ppn,
+                                    geom.pageSize, /*background=*/true},
+                                   prog_at));
+        ++moved;
+    }
+
+    if (g.nextPage >= geom.pagesPerBlock) {
+        // Victim drained: erase it. The block re-enters the free pool
+        // at the erase-completion tick (applyPendingFree).
+        vb.validCount = 0;
+        vb.writePtr = 0;
+        std::fill(vb.validBits.begin(), vb.validBits.end(), 0);
+        ++vb.eraseCount;
+        ++_stats.erases;
+        Tick erased = fil.submit({FlashOp::Type::Erase,
+                                  makePpn(pu, victim, 0), 0,
+                                  /*background=*/true}, batch_done);
+        // Completion ticks are latched at submit time. A later
+        // foreground op may suspend this erase and push it out on the
+        // FIL's resource timeline; the block-credit tick below stays
+        // optimistic by that stolen window (bounded by the foreground
+        // work on this plane). Subsequent flash ops pay the true,
+        // extended occupancy — only the credit/step scheduling uses
+        // the latched value. Deterministic either way.
+        g.pendingFree = g.victim;
+        g.pendingFreeAt = erased;
+        g.victim = -1;
+        g.readyAt = erased;
+    } else {
+        g.readyAt = batch_done;
+    }
+    return true;
+}
+
+void
+PageFtl::applyPendingFree(std::uint64_t pu)
+{
+    GcMachine& g = units[pu].gc;
+    if (g.pendingFree < 0)
+        return;
+    pushFreeBlock(pu, static_cast<std::uint32_t>(g.pendingFree));
+    g.pendingFree = -1;
+}
+
+void
+PageFtl::deactivateGc(std::uint64_t pu)
+{
+    GcMachine& g = units[pu].gc;
+    if (!g.active)
+        return;
+    g.active = false;
+    g.idleKicked = false;
+    --gcActiveMachines;
+}
+
+void
+PageFtl::kickGc(std::uint64_t pu, Tick at, bool idle)
+{
+    Unit& u = units[pu];
+    GcMachine& g = u.gc;
+    if (g.active)
+        return;
+    if (u.closedBlocks.empty() && g.pendingFree < 0)
+        return; // nothing collectable yet
+    g.active = true;
+    g.countedRun = false;
+    g.idleKicked = idle;
+    ++gcActiveMachines;
+    if (idle)
+        ++_stats.gcIdleKicks;
+    g.stepEvent = eq->scheduleAt(std::max({eq->now(), at, g.readyAt}),
+                                 [this, pu] { gcStep(pu); });
+}
+
+void
+PageFtl::gcStep(std::uint64_t pu)
+{
+    Unit& u = units[pu];
+    GcMachine& g = u.gc;
+    g.stepEvent = 0;
+    Tick now = eq->now();
+    applyPendingFree(pu);
+    // Starting a victim needs one block of relocation headroom; with
+    // the pool empty the machine goes dormant and the foreground
+    // reclaim path drives any further collection.
+    if (g.victim < 0 &&
+        (u.freeBlocks.size() >= cfg.gcHighWater || u.freeBlocks.empty() ||
+         !pickVictim(pu))) {
+        deactivateGc(pu);
+        return;
+    }
+    ++_stats.gcBatches;
+    gcSlice(pu, std::max(now, g.readyAt));
+    g.stepEvent = eq->scheduleAt(std::max(now, g.readyAt),
+                                 [this, pu] { gcStep(pu); });
+}
+
+Tick
+PageFtl::reclaimForeground(std::uint64_t pu, Tick at)
+{
+    Unit& u = units[pu];
+    GcMachine& g = u.gc;
+    ++_stats.gcWriteStalls;
+    Tick avail = at;
+    while (u.freeBlocks.size() <= cfg.gcReserveBlocks) {
+        if (g.pendingFree >= 0) {
+            // A victim's erase is in flight: the write waits for it.
+            avail = std::max(avail, g.pendingFreeAt);
+            applyPendingFree(pu);
+            continue;
+        }
+        if (!g.active) {
+            g.active = true;
+            g.countedRun = false;
+            g.idleKicked = false;
+            ++gcActiveMachines;
+        }
+        if (g.victim < 0 &&
+            (u.freeBlocks.empty() || !pickVictim(pu)))
+            break; // no headroom or nothing collectable: the caller's
+                   // takeFreeBlock reports the exhaustion state
+        gcSlice(pu, std::max(at, g.readyAt));
+    }
+    _stats.gcStallTicks += avail - at;
+
+    // The machine advanced under its scheduled step's feet; rebuild
+    // the pending event from the new state.
+    if (g.stepEvent) {
+        eq->deschedule(g.stepEvent);
+        g.stepEvent = 0;
+    }
+    if (g.active) {
+        bool work = g.victim >= 0 || g.pendingFree >= 0 ||
+                    (u.freeBlocks.size() < cfg.gcHighWater &&
+                     !u.closedBlocks.empty());
+        if (work)
+            g.stepEvent = eq->scheduleAt(std::max(eq->now(), g.readyAt),
+                                         [this, pu] { gcStep(pu); });
+        else
+            deactivateGc(pu);
+    }
+    return avail;
+}
+
+void
+PageFtl::noteHostActivity(Tick done)
+{
+    lastHostDone = std::max(lastHostDone, done);
+    // Timer-wheel style: at most one idle event is ever pending. If
+    // host activity moved the deadline, idleFire() re-posts itself
+    // instead of this hot path descheduling/rescheduling per op.
+    if (idleArmWanted && !idleEvent)
+        idleEvent = eq->scheduleAt(
+            std::max(eq->now(), lastHostDone + cfg.gcIdleThreshold),
+            [this] { idleFire(); });
+}
+
+void
+PageFtl::idleFire()
+{
+    idleEvent = 0;
+    Tick now = eq->now();
+    if (now < lastHostDone + cfg.gcIdleThreshold) {
+        // A later host op re-posted the deadline after we were armed.
+        idleEvent = eq->scheduleAt(lastHostDone + cfg.gcIdleThreshold,
+                                   [this] { idleFire(); });
+        return;
+    }
+    idleArmWanted = false;
+    for (std::uint64_t pu = 0; pu < units.size(); ++pu) {
+        Unit& u = units[pu];
+        if (!u.gc.active && u.freeBlocks.size() < cfg.gcHighWater &&
+            !u.closedBlocks.empty())
+            kickGc(pu, now, /*idle=*/true);
+    }
+}
+
+void
+PageFtl::onPowerFail()
+{
+    for (std::uint64_t pu = 0; pu < units.size(); ++pu) {
+        Unit& u = units[pu];
+        GcMachine& g = u.gc;
+        // An issued erase counts as done; a half-relocated victim goes
+        // back to the closed list (its surviving pages are still
+        // mapped there).
+        applyPendingFree(pu);
+        if (g.victim >= 0) {
+            u.closedBlocks.push_back(static_cast<std::uint32_t>(g.victim));
+            g.victim = -1;
+        }
+        g.active = false;
+        g.idleKicked = false;
+        g.countedRun = false;
+        g.stepEvent = 0; // the owner reset the queue; ids are dead
+    }
+    gcActiveMachines = 0;
+    idleEvent = 0;
+    inGc = false;
+}
+
+std::uint32_t
+PageFtl::minFreeBlocks() const
+{
+    std::uint32_t lo = std::numeric_limits<std::uint32_t>::max();
+    for (const Unit& u : units)
+        lo = std::min(lo, static_cast<std::uint32_t>(u.freeBlocks.size()));
+    return units.empty() ? 0 : lo;
 }
 
 std::uint32_t

@@ -7,6 +7,33 @@
  * runs greedy garbage collection against an over-provisioned pool, and
  * tracks per-block wear. Timing flows through the FIL so GC relocation
  * traffic naturally delays foreground operations on the same resources.
+ *
+ * Garbage collection has two personalities:
+ *
+ *  - **Synchronous** (`backgroundGc = false`, the default): the caller
+ *    that trips the low watermark absorbs the entire multi-block
+ *    relocation burst inline, op-by-op on its own tick chain. This is
+ *    the classic foreground "GC cliff" and is preserved bit-identically
+ *    for reproducibility.
+ *
+ *  - **Background** (`backgroundGc = true` plus attachEventQueue()):
+ *    each parallel unit owns a small GC state machine driven by events
+ *    on the simulation queue. It activates at the low watermark or
+ *    after the device has sat idle for `gcIdleThreshold`, relocates up
+ *    to `gcBatchPages` pages per step as *background-priority* flash
+ *    ops (the FIL lets foreground ops suspend them), and returns the
+ *    erased victim to the free pool at the erase-completion tick.
+ *    Foreground writes only stall — never panic — when a unit's free
+ *    pool is down to `gcReserveBlocks`: the FTL then drives the unit's
+ *    machine forward synchronously *along its background timeline* and
+ *    charges the write the real wait (FtlStats::gcWriteStalls /
+ *    gcStallTicks).
+ *
+ * Determinism: every GC decision is a pure function of FTL state and
+ * event order, which the EventQueue keeps deterministic; reruns are
+ * bit-identical at any host thread count. Hot-path discipline: the GC
+ * machines live in pre-sized per-unit state, step events capture only
+ * {this, pu}, and steady-state GC performs no heap allocation.
  */
 
 #ifndef HAMS_FTL_PAGE_FTL_HH_
@@ -18,6 +45,7 @@
 #include <vector>
 
 #include "flash/fil.hh"
+#include "sim/event_queue.hh"
 #include "sim/types.hh"
 
 namespace hams {
@@ -33,6 +61,27 @@ struct FtlConfig
     std::uint32_t gcHighWater = 4;
     /** Prefer least-worn blocks when allocating (wear leveling). */
     bool wearLeveling = true;
+
+    /** @name Background GC (requires attachEventQueue()). */
+    ///@{
+    /**
+     * Run GC as an asynchronous background activity on the simulation
+     * event queue instead of inline on the triggering writer's tick.
+     * Off by default: the synchronous path is preserved exactly.
+     */
+    bool backgroundGc = false;
+    /**
+     * Foreground writes stall (wait for background GC to free a
+     * block) once a unit's free pool is at or below this. The reserve
+     * keeps GC relocation always able to allocate. Must be below
+     * gcLowWater.
+     */
+    std::uint32_t gcReserveBlocks = 1;
+    /** Pages relocated per background GC step event. */
+    std::uint32_t gcBatchPages = 8;
+    /** Device idle time before proactive (idle-triggered) GC starts. */
+    Tick gcIdleThreshold = milliseconds(1);
+    ///@}
 };
 
 /** FTL statistics. */
@@ -40,9 +89,20 @@ struct FtlStats
 {
     std::uint64_t hostReads = 0;
     std::uint64_t hostWrites = 0;
+    /** GC activations that collected at least one victim block. */
     std::uint64_t gcRuns = 0;
     std::uint64_t gcRelocations = 0;
     std::uint64_t erases = 0;
+
+    /** @name Background-GC accounting. */
+    ///@{
+    std::uint64_t gcBatches = 0;     //!< background step events executed
+    std::uint64_t gcIdleKicks = 0;   //!< activations from the idle trigger
+    std::uint64_t gcWriteStalls = 0; //!< foreground writes that hit reserve
+    Tick gcStallTicks = 0;           //!< total foreground stall time
+    /** Host ops issued while at least one GC machine was active. */
+    std::uint64_t gcForegroundOverlap = 0;
+    ///@}
 };
 
 /**
@@ -55,6 +115,20 @@ class PageFtl
 {
   public:
     PageFtl(const FlashGeometry& geom, Fil& fil, const FtlConfig& cfg = {});
+
+    /**
+     * Give the FTL a discrete-event queue to run background GC on.
+     * Without one (or with cfg.backgroundGc == false) GC stays
+     * synchronous. The queue must outlive the FTL.
+     */
+    void attachEventQueue(EventQueue* q) { eq = q; }
+
+    /** True when GC runs as background events. */
+    bool
+    backgroundGcEnabled() const
+    {
+        return cfg.backgroundGc && eq != nullptr;
+    }
 
     /** Number of logical pages exported to the host (raw minus OP). */
     std::uint64_t logicalPages() const { return _logicalPages; }
@@ -87,6 +161,32 @@ class PageFtl
     /** Max erase-count spread across blocks (wear-leveling check). */
     std::uint32_t wearSpread() const;
 
+    /** @name Introspection for tests and benches. */
+    ///@{
+    /** True while any unit's background GC machine is active. */
+    bool gcActive() const { return gcActiveMachines > 0; }
+
+    /** Free blocks of parallel unit @p pu (excludes pending erases). */
+    std::uint32_t
+    freeBlocksOf(std::uint64_t pu) const
+    {
+        return static_cast<std::uint32_t>(units[pu].freeBlocks.size());
+    }
+
+    /** Smallest free-block pool across all parallel units. */
+    std::uint32_t minFreeBlocks() const;
+
+    std::uint64_t parallelUnits() const { return units.size(); }
+    ///@}
+
+    /**
+     * Power loss: in-flight background GC work evaporates with the
+     * event queue (the owner resets it); relocations already applied
+     * to the map are durable, a victim whose erase was issued counts
+     * as erased. Deactivates every machine.
+     */
+    void onPowerFail();
+
   private:
     struct Block
     {
@@ -102,13 +202,51 @@ class PageFtl
         }
     };
 
+    /**
+     * Per-unit background GC state machine. All relocation decisions
+     * happen at event (or forced catch-up) time against this state;
+     * the pending step event captures only {this, pu}.
+     */
+    struct GcMachine
+    {
+        bool active = false;
+        bool idleKicked = false;  //!< activation came from the idle timer
+        bool countedRun = false;  //!< gcRuns charged for this activation
+        std::int32_t victim = -1; //!< block being relocated, -1 = none
+        std::uint32_t nextPage = 0; //!< relocation cursor in the victim
+        Tick readyAt = 0;         //!< completion tick of the last slice
+        /** Victim erased but its erase op not yet complete. */
+        std::int32_t pendingFree = -1;
+        Tick pendingFreeAt = 0;
+        EventId stepEvent = 0;
+    };
+
     /** Per-parallel-unit allocation state. */
     struct Unit
     {
-        std::vector<std::uint32_t> freeBlocks; //!< indices, LIFO
+        /**
+         * Free blocks as packed (eraseCount << 32 | block) keys.
+         * With wear leveling the vector is a min-heap on the key, so
+         * the least-worn block pops in O(log n) (ties to the lowest
+         * block index); without leveling it is the original LIFO.
+         */
+        std::vector<std::uint64_t> freeBlocks;
         std::int64_t activeBlock = -1;
         std::vector<std::uint32_t> closedBlocks;
+        GcMachine gc;
     };
+
+    static std::uint64_t
+    freeKey(std::uint32_t wear, std::uint32_t block)
+    {
+        return (std::uint64_t(wear) << 32) | block;
+    }
+
+    static std::uint32_t
+    keyBlock(std::uint64_t key)
+    {
+        return static_cast<std::uint32_t>(key);
+    }
 
     std::uint64_t blockGlobalIndex(std::uint64_t pu,
                                    std::uint32_t block) const;
@@ -123,14 +261,70 @@ class PageFtl
     /** Mark a physical page invalid (after overwrite/trim). */
     void invalidate(std::uint64_t ppn);
 
-    /** Allocate the next physical page on @p pu, running GC if needed. */
-    std::uint64_t allocate(std::uint64_t pu, Tick& at);
+    /**
+     * Allocate the next physical page on @p pu. Foreground callers
+     * (for_gc == false) trigger GC when needed — inline in synchronous
+     * mode, kick-and-continue (or stall at the reserve) in background
+     * mode. GC relocation (for_gc == true) may dip into the reserve.
+     */
+    std::uint64_t allocate(std::uint64_t pu, Tick& at, bool for_gc = false);
 
-    /** Pop a free block for @p pu (wear-aware). */
+    /** Pop a free block for @p pu (wear-aware, O(log n)). */
     std::uint32_t takeFreeBlock(Unit& u, std::uint64_t pu);
 
-    /** Greedy GC on one unit until the high watermark is met. */
+    /** Return an erased block to @p pu's free pool (wear-aware). */
+    void pushFreeBlock(std::uint64_t pu, std::uint32_t block);
+
+    /** Greedy synchronous GC on one unit until the high watermark. */
     void collect(std::uint64_t pu, Tick& at);
+
+    /** @name Background GC engine. */
+    ///@{
+    /** Activate unit @p pu's machine (no-op if already active). */
+    void kickGc(std::uint64_t pu, Tick at, bool idle);
+
+    /** Step event handler for unit @p pu. */
+    void gcStep(std::uint64_t pu);
+
+    /**
+     * One GC slice starting no earlier than @p from: pick a victim if
+     * needed, relocate up to gcBatchPages pages as background flash
+     * ops, issue the erase when the victim drains. Advances
+     * gc.readyAt. @return false when there was nothing to do.
+     */
+    bool gcSlice(std::uint64_t pu, Tick from);
+
+    /**
+     * Greedy victim of @p pu: the closed block with the fewest valid
+     * pages, removed from closedBlocks. Shared by the synchronous and
+     * background collectors so the two modes can never diverge on
+     * policy. @return -1 when nothing is reclaimable (no closed
+     * blocks, or even the best victim is fully valid — collecting it
+     * would shuffle data forever).
+     */
+    std::int32_t selectVictim(std::uint64_t pu);
+
+    /** Start the machine's next victim. @return false if none. */
+    bool pickVictim(std::uint64_t pu);
+
+    /** Credit a completed pending erase to the free pool. */
+    void applyPendingFree(std::uint64_t pu);
+
+    void deactivateGc(std::uint64_t pu);
+
+    /**
+     * Foreground write hit the reserve: drive @p pu's machine forward
+     * along its background timeline until a block frees.
+     * @return the tick the write may proceed at (>= @p at).
+     */
+    Tick reclaimForeground(std::uint64_t pu, Tick at);
+
+    /** Record host activity / re-arm the idle-GC timer. */
+    void noteHostActivity(Tick done);
+
+    /** Idle timer fired: start GC on every unit that wants it. */
+    void idleFire();
+    ///@}
 
     /**
      * Two-level direct logical-to-physical map (no hashing): every
@@ -198,6 +392,18 @@ class PageFtl
     std::uint64_t _logicalPages;
     std::uint64_t nextPu = 0; //!< round-robin write striping
     bool inGc = false;        //!< guards against GC re-entrancy
+
+    /** @name Background-GC engine state. */
+    ///@{
+    EventQueue* eq = nullptr;
+    std::uint32_t gcActiveMachines = 0;
+    Tick lastHostDone = 0;
+    /** Some unit dipped below the high watermark: keep the idle timer
+     *  armed after each host op until the idle pass hands it to the
+     *  per-unit machines. */
+    bool idleArmWanted = false;
+    EventId idleEvent = 0;
+    ///@}
 
     std::vector<Unit> units;
     std::vector<Block> blocks; //!< all blocks, indexed globally

@@ -86,7 +86,10 @@ Hil::flushAll(Tick at)
     Tick done = at + cfg.flushFirmware;
     if (!buffer)
         return done;
-    for (std::uint64_t key : buffer->dirtyFrames())
+    // Pooled scratch variant: flush runs on the flush-heavy `update`
+    // workload's hot path, so it must not allocate per invocation.
+    buffer->dirtyFrames(flushScratch);
+    for (std::uint64_t key : flushScratch)
         done = std::max(done, writebackFrame(key, at + cfg.flushFirmware));
     return done;
 }

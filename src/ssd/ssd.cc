@@ -7,10 +7,11 @@
 
 namespace hams {
 
-Ssd::Ssd(const SsdConfig& cfg) : cfg(cfg)
+Ssd::Ssd(const SsdConfig& cfg, EventQueue* eq) : cfg(cfg)
 {
     fil = std::make_unique<Fil>(cfg.geom, cfg.nand);
     ftl = std::make_unique<PageFtl>(cfg.geom, *fil, cfg.ftl);
+    ftl->attachEventQueue(eq);
     if (cfg.hasBuffer)
         buf = std::make_unique<DramBuffer>(cfg.buffer);
     hil = std::make_unique<Hil>(cfg.hil, *ftl, buf.get(), cfg.geom);
@@ -151,12 +152,14 @@ Ssd::hostFlush(Tick at)
 {
     ++_stats.flushes;
     Tick done = hil->flushAll(admit(at));
-    // Functionally everything buffered becomes durable.
-    std::vector<std::uint64_t> keys;
-    keys.reserve(volatileData.size());
+    // Functionally everything buffered becomes durable. The key list
+    // is a reused member: destage() mutates volatileData, so the keys
+    // must be snapshotted, but never with a per-flush allocation.
+    flushKeys.clear();
+    flushKeys.reserve(volatileData.size());
     for (auto& [k, v] : volatileData)
-        keys.push_back(k);
-    for (std::uint64_t k : keys)
+        flushKeys.push_back(k);
+    for (std::uint64_t k : flushKeys)
         destage(k);
     retire(done);
     return done;
@@ -165,6 +168,9 @@ Ssd::hostFlush(Tick at)
 Tick
 Ssd::powerFail()
 {
+    // In-flight background GC work dies with the power (the owner of
+    // the event queue has already dropped the pending events).
+    ftl->onPowerFail();
     Tick drain = 0;
     if (cfg.hasSupercap && buf) {
         // The supercap powers a full buffer drain: every dirty frame is

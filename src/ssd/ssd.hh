@@ -63,7 +63,13 @@ struct SsdStats
 class Ssd
 {
   public:
-    explicit Ssd(const SsdConfig& cfg);
+    /**
+     * @param eq simulation event queue for device-internal background
+     *           activity (FTL garbage collection). May be null: then
+     *           GC stays synchronous regardless of FtlConfig. The
+     *           queue must outlive the device.
+     */
+    explicit Ssd(const SsdConfig& cfg, EventQueue* eq = nullptr);
 
     /** Exported capacity in 4 KiB logical blocks (after FTL OP). */
     std::uint64_t logicalBlocks() const { return _logicalBlocks; }
@@ -157,6 +163,10 @@ class Ssd
 
     /** Outstanding-command completion times (min-heap). */
     std::priority_queue<Tick, std::vector<Tick>, std::greater<>> inflight;
+
+    /** Reused key list for hostFlush's functional destage (no per-flush
+     *  allocation once grown to the dirty high-water mark). */
+    std::vector<std::uint64_t> flushKeys;
 };
 
 } // namespace hams

@@ -159,6 +159,40 @@ TEST_F(FtlFixture, StatsCountHostOps)
     EXPECT_EQ(ftl.stats().hostReads, 2u);
 }
 
+TEST_F(FtlFixture, FreshFreeListPopsInBlockOrder)
+{
+    // The min-wear free list must reproduce the legacy scan's order on
+    // fresh blocks: equal wear ties break to the lowest block index,
+    // so sequential fills walk block 0, then 1, ...
+    FlashGeometry g = tinyGeom();
+    Tick t = 0;
+    for (std::uint64_t lpn = 0; lpn < g.parallelUnits() * g.pagesPerBlock;
+         ++lpn) {
+        t = ftl.writePage(lpn, 2048, t);
+        FlashAddress a = FlashAddress::decompose(ftl.physicalOf(lpn), g);
+        EXPECT_EQ(a.block, 0u) << "lpn " << lpn;
+    }
+    for (std::uint64_t lpn = 0; lpn < g.parallelUnits(); ++lpn) {
+        std::uint64_t next = g.parallelUnits() * g.pagesPerBlock + lpn;
+        t = ftl.writePage(next, 2048, t);
+        FlashAddress a = FlashAddress::decompose(ftl.physicalOf(next), g);
+        EXPECT_EQ(a.block, 1u) << "lpn " << next;
+    }
+}
+
+TEST_F(FtlFixture, GcRunsCountOnlyProductiveInvocations)
+{
+    // Every counted GC run collected (and therefore erased) at least
+    // one victim; no-op invocations must not inflate the counter.
+    std::uint64_t hot_pages = ftl.logicalPages() / 4;
+    Tick t = 0;
+    for (int round = 0; round < 12; ++round)
+        for (std::uint64_t lpn = 0; lpn < hot_pages; ++lpn)
+            t = ftl.writePage(lpn, 2048, t);
+    EXPECT_GT(ftl.stats().gcRuns, 0u);
+    EXPECT_LE(ftl.stats().gcRuns, ftl.stats().erases);
+}
+
 TEST(FtlConfigTest, BadOverProvisionRejected)
 {
     Fil fil(tinyGeom(), NandTiming::zNand());

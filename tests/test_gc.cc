@@ -1,0 +1,383 @@
+/**
+ * @file
+ * Background garbage collection invariants (ftl/page_ftl.hh):
+ * no L2P mapping lost or duplicated across GC bursts, trim during
+ * relocation, wear-spread bounds with leveling on, backpressure
+ * (stall, never panic) at the reserve, sustained-write determinism,
+ * idle-triggered collection, exact synchronous-mode equivalence, and
+ * zero-allocation steady-state operation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "flash/fil.hh"
+#include "ftl/page_ftl.hh"
+#include "sim/alloc_hook.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace hams {
+namespace {
+
+FlashGeometry
+tinyGeom()
+{
+    FlashGeometry g;
+    g.channels = 2;
+    g.packagesPerChannel = 1;
+    g.diesPerPackage = 1;
+    g.planesPerDie = 2;
+    g.blocksPerPlane = 16;
+    g.pagesPerBlock = 8;
+    g.pageSize = 2048;
+    return g;
+}
+
+FtlConfig
+bgConfig()
+{
+    FtlConfig cfg;
+    cfg.backgroundGc = true;
+    cfg.gcReserveBlocks = 1;
+    cfg.gcLowWater = 2;
+    cfg.gcHighWater = 4;
+    cfg.gcBatchPages = 4;
+    // Comfortably above the ~100 us inter-write spacing of chained
+    // zNand programs, so back-to-back churn never looks idle.
+    cfg.gcIdleThreshold = microseconds(500);
+    return cfg;
+}
+
+/** An FTL wired to its own queue, driven like an SSD would drive it. */
+struct GcRig
+{
+    explicit GcRig(const FtlConfig& cfg = bgConfig())
+        : fil(tinyGeom(), NandTiming::zNand()), ftl(tinyGeom(), fil, cfg)
+    {
+        ftl.attachEventQueue(&eq);
+    }
+
+    /** Write one page and let every due GC event fire first. */
+    Tick
+    write(std::uint64_t lpn, Tick t)
+    {
+        eq.runUntil(t);
+        return ftl.writePage(lpn, 2048, t);
+    }
+
+    /** Overwrite [0, pages) @p rounds times, pumping the queue. */
+    Tick
+    churn(std::uint64_t pages, int rounds, Tick t = 0)
+    {
+        for (int r = 0; r < rounds; ++r)
+            for (std::uint64_t lpn = 0; lpn < pages; ++lpn)
+                t = write(lpn, t);
+        return t;
+    }
+
+    /**
+     * Random overwrites of [0, pages): unlike sequential churn —
+     * where the oldest block is always fully dead by the time GC
+     * needs it — random invalidation leaves live pages in every
+     * victim, forcing relocation.
+     */
+    Tick
+    churnRandom(std::uint64_t pages, std::uint64_t writes, Tick t = 0,
+                std::uint64_t seed = 7)
+    {
+        Rng rng(seed);
+        for (std::uint64_t i = 0; i < writes; ++i)
+            t = write(rng.below(pages), t);
+        return t;
+    }
+
+    EventQueue eq;
+    Fil fil;
+    PageFtl ftl;
+};
+
+/** Assert [0, pages) are all mapped, to pairwise-distinct PPNs. */
+void
+expectMappingsExact(PageFtl& ftl, std::uint64_t pages)
+{
+    std::set<std::uint64_t> ppns;
+    for (std::uint64_t lpn = 0; lpn < pages; ++lpn) {
+        ASSERT_TRUE(ftl.isMapped(lpn)) << "lost mapping for lpn " << lpn;
+        auto [it, fresh] = ppns.insert(ftl.physicalOf(lpn));
+        EXPECT_TRUE(fresh) << "duplicate PPN for lpn " << lpn;
+    }
+}
+
+TEST(BackgroundGc, ReclaimsSpaceAndPreservesMappings)
+{
+    GcRig rig;
+    std::uint64_t hot = rig.ftl.logicalPages() / 4;
+    rig.churn(hot, 12);
+    rig.eq.run(); // drain in-flight GC
+
+    const FtlStats& s = rig.ftl.stats();
+    EXPECT_GT(s.gcRuns, 0u);
+    EXPECT_GT(s.erases, 0u);
+    EXPECT_GT(s.gcBatches, 0u) << "GC never ran as background events";
+    expectMappingsExact(rig.ftl, hot);
+    EXPECT_FALSE(rig.ftl.gcActive());
+}
+
+TEST(BackgroundGc, OverlapsWithForegroundTraffic)
+{
+    // Keep two thirds of the raw capacity live and overwrite it
+    // *randomly*: random invalidation leaves valid pages in every
+    // victim, so GC has to relocate — as background ops — while
+    // writes keep coming. (Much past this, a 16-block unit lacks the
+    // consolidation headroom to absorb the write amplification.)
+    GcRig rig;
+    std::uint64_t pages = rig.ftl.logicalPages() * 2 / 3;
+    Tick t = rig.churn(pages, 1); // map the working set
+    rig.churnRandom(pages, pages * 5, t);
+    rig.eq.run();
+
+    EXPECT_GT(rig.ftl.stats().gcForegroundOverlap, 0u);
+    EXPECT_GT(rig.ftl.stats().gcRelocations, 0u);
+    const FlashActivity& fa = rig.fil.activity();
+    EXPECT_GT(fa.gcReads + fa.gcPrograms, 0u);
+    EXPECT_GT(fa.gcErases, 0u);
+}
+
+TEST(BackgroundGc, NoMappingLostOrDuplicatedUnderHeavyChurn)
+{
+    GcRig rig;
+    std::uint64_t pages = rig.ftl.logicalPages() / 2;
+    rig.churn(pages, 8);
+    rig.eq.run();
+    expectMappingsExact(rig.ftl, pages);
+}
+
+TEST(BackgroundGc, TrimDuringRelocationNeverResurrects)
+{
+    GcRig rig;
+    std::uint64_t hot = rig.ftl.logicalPages() / 4;
+
+    // Churn until a GC machine is mid-victim (events pending).
+    Tick t = 0;
+    int round = 0;
+    while (!rig.ftl.gcActive() && round < 64) {
+        t = rig.churn(hot, 1, t);
+        ++round;
+    }
+    ASSERT_TRUE(rig.ftl.gcActive()) << "churn never started background GC";
+
+    // Trim every odd LPN while relocation is in flight, then let the
+    // collector finish.
+    for (std::uint64_t lpn = 1; lpn < hot; lpn += 2)
+        rig.ftl.trim(lpn);
+    rig.eq.run();
+
+    std::set<std::uint64_t> ppns;
+    for (std::uint64_t lpn = 0; lpn < hot; ++lpn) {
+        if (lpn % 2) {
+            EXPECT_FALSE(rig.ftl.isMapped(lpn))
+                << "trimmed lpn " << lpn << " resurrected by GC";
+        } else {
+            ASSERT_TRUE(rig.ftl.isMapped(lpn));
+            EXPECT_TRUE(ppns.insert(rig.ftl.physicalOf(lpn)).second);
+        }
+    }
+}
+
+TEST(BackgroundGc, WearSpreadStaysBoundedWithLeveling)
+{
+    GcRig rig;
+    std::uint64_t pages = rig.ftl.logicalPages() / 2;
+    rig.churn(pages, 20);
+    rig.eq.run();
+    EXPECT_LE(rig.ftl.wearSpread(), 16u);
+}
+
+TEST(BackgroundGc, BackpressureStallsInsteadOfPanicking)
+{
+    // Never pump the queue: the scheduled GC steps cannot fire, so
+    // every reclamation must come from the foreground catch-up path.
+    GcRig rig;
+    std::uint64_t hot = rig.ftl.logicalPages() / 4;
+    Tick t = 0;
+    for (int r = 0; r < 12; ++r)
+        for (std::uint64_t lpn = 0; lpn < hot; ++lpn)
+            t = rig.ftl.writePage(lpn, 2048, t);
+
+    const FtlStats& s = rig.ftl.stats();
+    EXPECT_GT(s.gcWriteStalls, 0u);
+    EXPECT_GT(s.gcStallTicks, 0u);
+    EXPECT_GT(s.erases, 0u);
+    for (std::uint64_t pu = 0; pu < rig.ftl.parallelUnits(); ++pu)
+        EXPECT_GT(rig.ftl.freeBlocksOf(pu), 0u);
+    rig.eq.run();
+    expectMappingsExact(rig.ftl, hot);
+}
+
+TEST(BackgroundGc, SustainedWriteRerunsAreBitIdentical)
+{
+    auto run = [](std::vector<std::uint64_t>& ppns, FtlStats& stats,
+                  std::uint64_t& fired, Tick& final_tick) {
+        GcRig rig;
+        std::uint64_t pages = rig.ftl.logicalPages() / 3;
+        Tick t = rig.churn(pages, 10);
+        rig.eq.run();
+        final_tick = t;
+        fired = rig.eq.fired();
+        stats = rig.ftl.stats();
+        for (std::uint64_t lpn = 0; lpn < pages; ++lpn)
+            ppns.push_back(rig.ftl.physicalOf(lpn));
+    };
+
+    std::vector<std::uint64_t> ppns_a, ppns_b;
+    FtlStats sa, sb;
+    std::uint64_t fired_a, fired_b;
+    Tick ta, tb;
+    run(ppns_a, sa, fired_a, ta);
+    run(ppns_b, sb, fired_b, tb);
+
+    EXPECT_EQ(ta, tb);
+    EXPECT_EQ(fired_a, fired_b);
+    EXPECT_EQ(ppns_a, ppns_b);
+    EXPECT_EQ(sa.gcRuns, sb.gcRuns);
+    EXPECT_EQ(sa.gcRelocations, sb.gcRelocations);
+    EXPECT_EQ(sa.erases, sb.erases);
+    EXPECT_EQ(sa.gcBatches, sb.gcBatches);
+    EXPECT_EQ(sa.gcWriteStalls, sb.gcWriteStalls);
+    EXPECT_EQ(sa.gcStallTicks, sb.gcStallTicks);
+    EXPECT_EQ(sa.gcForegroundOverlap, sb.gcForegroundOverlap);
+}
+
+TEST(BackgroundGc, IdleTriggerCollectsAheadOfThePressurePoint)
+{
+    GcRig rig;
+    // Churn a small hot set just until some unit sits *between* the
+    // watermarks (free == 3, low == 2, high == 4): pressure GC has no
+    // reason to run yet, so only the idle timer can clean up.
+    std::uint64_t hot = rig.ftl.logicalPages() / 8;
+    Tick t = 0;
+    std::uint64_t i = 0;
+    while (rig.ftl.minFreeBlocks() > 3)
+        t = rig.write(i++ % hot, t);
+    ASSERT_EQ(rig.ftl.stats().gcRuns, 0u)
+        << "setup overshot into pressure-triggered GC";
+
+    // Go idle: only the idle timer fires now.
+    rig.eq.run();
+    EXPECT_GT(rig.ftl.stats().gcIdleKicks, 0u)
+        << "device idle never started proactive GC";
+    EXPECT_GT(rig.ftl.stats().erases, 0u);
+    EXPECT_GE(rig.ftl.minFreeBlocks(), 4u)
+        << "idle GC should restore the high watermark";
+    EXPECT_FALSE(rig.ftl.gcActive());
+    expectMappingsExact(rig.ftl, hot);
+}
+
+TEST(BackgroundGc, DisabledModeMatchesDetachedFtlExactly)
+{
+    // backgroundGc=false with a queue attached must be bit-identical
+    // to the plain synchronous FTL: same completion ticks, same stats,
+    // and it must never schedule an event.
+    FtlConfig sync_cfg; // defaults: backgroundGc off
+    GcRig rig(sync_cfg);
+
+    Fil ref_fil(tinyGeom(), NandTiming::zNand());
+    PageFtl ref(tinyGeom(), ref_fil, sync_cfg);
+
+    std::uint64_t pages = rig.ftl.logicalPages() / 3;
+    Tick ta = 0, tb = 0;
+    for (int r = 0; r < 10; ++r)
+        for (std::uint64_t lpn = 0; lpn < pages; ++lpn) {
+            ta = rig.ftl.writePage(lpn, 2048, ta);
+            tb = ref.writePage(lpn, 2048, tb);
+            ASSERT_EQ(ta, tb) << "divergence at round " << r << " lpn "
+                              << lpn;
+        }
+    EXPECT_EQ(rig.eq.pending(), 0u);
+    EXPECT_EQ(rig.eq.fired(), 0u);
+    EXPECT_EQ(rig.ftl.stats().gcRuns, ref.stats().gcRuns);
+    EXPECT_EQ(rig.ftl.stats().gcRelocations, ref.stats().gcRelocations);
+    EXPECT_EQ(rig.ftl.stats().erases, ref.stats().erases);
+    EXPECT_EQ(rig.ftl.stats().gcBatches, 0u);
+    EXPECT_EQ(rig.ftl.stats().gcWriteStalls, 0u);
+}
+
+TEST(BackgroundGc, GcRunsNeverExceedErases)
+{
+    // Satellite fix: a GC invocation that collects nothing must not
+    // count as a run, so every counted run erased at least one block.
+    GcRig bg;
+    bg.churn(bg.ftl.logicalPages() / 4, 12);
+    bg.eq.run();
+    EXPECT_LE(bg.ftl.stats().gcRuns, bg.ftl.stats().erases);
+
+    FtlConfig sync_cfg;
+    Fil fil(tinyGeom(), NandTiming::zNand());
+    PageFtl sync(tinyGeom(), fil, sync_cfg);
+    Tick t = 0;
+    for (int r = 0; r < 12; ++r)
+        for (std::uint64_t lpn = 0; lpn < sync.logicalPages() / 4; ++lpn)
+            t = sync.writePage(lpn, 2048, t);
+    EXPECT_GT(sync.stats().gcRuns, 0u);
+    EXPECT_LE(sync.stats().gcRuns, sync.stats().erases);
+}
+
+TEST(BackgroundGc, ExhaustionReportsWatermarkState)
+{
+    // With almost no over-provisioning, a full unique fill followed by
+    // overwrites leaves GC only near-full victims and no room to
+    // relocate them: the FTL must fail with an actionable watermark
+    // report instead of a bare "GC failed".
+    FtlConfig cfg = bgConfig();
+    cfg.overProvision = 0.02;
+    GcRig rig(cfg);
+    bool threw = false;
+    Tick t = 0;
+    try {
+        for (std::uint64_t lpn = 0; lpn < rig.ftl.logicalPages(); ++lpn)
+            t = rig.write(lpn, t);
+        for (int round = 0; round < 8; ++round)
+            for (std::uint64_t lpn = 0; lpn < 16; ++lpn)
+                t = rig.write(lpn, t);
+    } catch (const FatalError& e) {
+        threw = true;
+        std::string what = e.what();
+        EXPECT_NE(what.find("no free blocks"), std::string::npos) << what;
+        EXPECT_NE(what.find("low="), std::string::npos) << what;
+        EXPECT_NE(what.find("high="), std::string::npos) << what;
+    }
+    EXPECT_TRUE(threw) << "overfilling the device should fail loudly";
+}
+
+TEST(BackgroundGc, SteadyStateIsAllocationFree)
+{
+    GcRig rig;
+    std::uint64_t hot = rig.ftl.logicalPages() / 4;
+    // Warmup: touch every LPN (L2P leaves), grow the event arena and
+    // per-unit lists to their high-water marks, run several GC cycles.
+    Tick t = rig.churn(hot, 8);
+
+    alloc_hook::AllocCounter allocs;
+    t = rig.churn(hot, 4, t);
+    EXPECT_EQ(allocs.delta(), 0u)
+        << "background GC allocated on the steady-state write path";
+    rig.eq.run();
+}
+
+TEST(BackgroundGc, ConfigValidatesReserveBelowLowWater)
+{
+    Fil fil(tinyGeom(), NandTiming::zNand());
+    FtlConfig cfg = bgConfig();
+    cfg.gcReserveBlocks = 2; // == gcLowWater
+    EXPECT_THROW(PageFtl(tinyGeom(), fil, cfg), FatalError);
+    cfg = bgConfig();
+    cfg.gcBatchPages = 0;
+    EXPECT_THROW(PageFtl(tinyGeom(), fil, cfg), FatalError);
+}
+
+} // namespace
+} // namespace hams
