@@ -4,17 +4,26 @@
  * synchronous collection makes invisible (ISSUE 4 / paper SSII-C).
  *
  * {hams-TE, hams-TP, mmap} × fill levels {25%, 50%, 70%} × GC mode
- * {sync, bg}: the device is pre-filled to the given fraction of its
- * logical space (then the flash busy-state is reset, so the data is
- * *laid out* but the device starts idle), and a closed loop of random
- * 64 B writes over a window 3x the host cache then drives misses,
- * dirty evictions and — as free blocks drain — garbage collection.
+ * {sync, bg, paced}: the device is pre-filled to the given fraction of
+ * its logical space (then the flash busy-state is reset, so the data
+ * is *laid out* but the device starts idle), and a closed loop of
+ * random 64 B writes over a window 3x the host cache then drives
+ * misses, dirty evictions and — as free blocks drain — garbage
+ * collection. The paced mode enables the adaptive pacer on top of the
+ * background engine (FtlConfig::gcAdaptivePacing). Dedicated GC
+ * relocation streams (gcStreamBlocks) stay off here by design: this
+ * sweep's uniform random traffic has no cold data to quarantine, so a
+ * stream block only ties up per-unit capacity — tests/test_gc.cc
+ * demonstrates the occupancy headroom streams buy on skewed churn.
  *
  * Per cell: steady-state throughput, foreground p50/p99 latency, GC
  * overlap counters (host ops issued while a GC machine was active,
- * background flash ops, suspensions) and the end-of-run free-block
- * level, which must match between the sync and bg rows for the p99
- * comparison to be apples-to-apples.
+ * background flash ops, suspensions), the end-of-run free-block
+ * level — which must match between the sync and bg rows for the p99
+ * comparison to be apples-to-apples — plus the pacer columns: the
+ * average free level's position inside the [reserve, high] watermark
+ * band, foreground stall ticks, write amplification (1 + GC programs
+ * per host program) and the deepest pacer level reached.
  *
  * Deterministic: fixed seeds, one fresh platform per cell; reruns —
  * at any HAMS_BENCH_THREADS setting — produce byte-identical tables.
@@ -40,11 +49,25 @@ namespace {
 using namespace hams;
 using namespace hams::bench;
 
+/** GC personality of one cell. */
+enum class GcMode { Sync, Bg, Paced };
+
+const char*
+modeName(GcMode m)
+{
+    switch (m) {
+      case GcMode::Sync: return "sync";
+      case GcMode::Bg: return "bg";
+      case GcMode::Paced: return "paced";
+    }
+    return "?";
+}
+
 struct GcCell
 {
     std::string platform; //!< hams-TE | hams-TP | mmap
     double fill;          //!< prefilled fraction of logical capacity
-    bool backgroundGc;
+    GcMode mode = GcMode::Sync;
 };
 
 struct GcResult
@@ -57,7 +80,11 @@ struct GcResult
     FtlStats ftl;
     FlashActivity flash;
     std::uint32_t minFree = 0;
-    double avgFree = 0;
+    double avgFree = 0;          //!< end-of-run per-unit average
+    double avgFreeSustained = 0; //!< sampled at every measured completion
+    /** Sustained free level's position in the [reserve, high] band. */
+    double bandOccupancy = 0;
+    double writeAmp = 0; //!< 1 + GC relocations per host program
 };
 
 std::unique_ptr<MemoryPlatform>
@@ -65,7 +92,9 @@ buildPlatform(const GcCell& cell, const BenchGeometry& geom)
 {
     setQuiet(true);
     FtlConfig ftl;
-    ftl.backgroundGc = cell.backgroundGc;
+    ftl.backgroundGc = cell.mode != GcMode::Sync;
+    if (cell.mode == GcMode::Paced)
+        ftl.gcAdaptivePacing = true;
 
     if (cell.platform == "mmap") {
         MmapConfig c;
@@ -117,6 +146,7 @@ prefill(Ssd& ssd, double frac)
     for (std::uint64_t lpn = 0; lpn < pages; ++lpn)
         t = ftl.writePage(lpn, page_size, t);
     ssd.flashLayer().reset();
+    ftl.onFlashReset(); // handles died with the FIL's registry
 }
 
 /** Outstanding accesses: sustained write pressure, not lock-step — a
@@ -160,6 +190,13 @@ runCell(const GcCell& cell, const BenchGeometry& geom,
     std::uint64_t completions = 0;
     Tick measure_start = 0;
     Tick last_done = 0;
+    PageFtl& sampled_ftl = ssd.pageFtl();
+    double free_sum = 0;
+    std::uint64_t free_samples = 0;
+    // Measured-phase baselines: prefill and warmup writes run with
+    // almost no GC and would dilute the write-amplification ratio.
+    std::uint64_t base_writes = 0;
+    std::uint64_t base_relocs = 0;
 
     // Record completed slots; returns whether any were pending.
     auto harvest = [&]() -> bool {
@@ -167,11 +204,24 @@ runCell(const GcCell& cell, const BenchGeometry& geom,
         for (auto& s : slots) {
             if (!s.arrived)
                 continue;
-            if (completions == warmup)
+            if (completions == warmup) {
                 measure_start = s.issued;
+                base_writes = sampled_ftl.stats().hostWrites;
+                base_relocs = sampled_ftl.stats().gcRelocations;
+            }
             if (completions >= warmup && lat.size() < measured) {
                 lat.push_back(s.done - s.issued);
                 last_done = std::max(last_done, s.done);
+                // Sample the device-wide free level at every measured
+                // completion: "sustained" free level, not just the
+                // end-of-run snapshot, is what the pacer equalizes.
+                double sum = 0;
+                for (std::uint64_t pu = 0;
+                     pu < sampled_ftl.parallelUnits(); ++pu)
+                    sum += sampled_ftl.freeBlocksOf(pu);
+                free_sum +=
+                    sum / static_cast<double>(sampled_ftl.parallelUnits());
+                ++free_samples;
             }
             ++completions;
             s.nextIssue = s.done;
@@ -235,6 +285,24 @@ runCell(const GcCell& cell, const BenchGeometry& geom,
     for (std::uint64_t pu = 0; pu < ftl.parallelUnits(); ++pu)
         sum += ftl.freeBlocksOf(pu);
     res.avgFree = sum / static_cast<double>(ftl.parallelUnits());
+    res.avgFreeSustained =
+        free_samples > 0 ? free_sum / static_cast<double>(free_samples)
+                         : res.avgFree;
+    const FtlConfig& fcfg = ftl.config();
+    res.bandOccupancy =
+        (res.avgFreeSustained - fcfg.gcReserveBlocks) /
+        static_cast<double>(fcfg.gcHighWater - fcfg.gcReserveBlocks);
+    // gcRelocations counts relocation programs in both GC
+    // personalities (gcPrograms only covers background-priority ops);
+    // measured-phase deltas, so the GC-free prefill/warmup writes do
+    // not dilute the ratio.
+    std::uint64_t meas_writes = res.ftl.hostWrites - base_writes;
+    res.writeAmp =
+        meas_writes > 0
+            ? 1.0 + static_cast<double>(res.ftl.gcRelocations -
+                                        base_relocs) /
+                        static_cast<double>(meas_writes)
+            : 1.0;
     return res;
 }
 
@@ -256,8 +324,8 @@ main()
     std::vector<GcCell> cells;
     for (const auto& p : platforms)
         for (double f : fills)
-            for (bool bg : {false, true})
-                cells.push_back({p, f, bg});
+            for (GcMode m : {GcMode::Sync, GcMode::Bg, GcMode::Paced})
+                cells.push_back({p, f, m});
 
     // Cells own their platform, queue and seed: embarrassingly
     // parallel through the shared sweep runner, results reported in
@@ -268,8 +336,8 @@ main()
             cells.size(),
             [&](std::size_t i) {
                 return cells[i].platform + " fill " +
-                       std::to_string(cells[i].fill) +
-                       (cells[i].backgroundGc ? " bg" : " sync");
+                       std::to_string(cells[i].fill) + " " +
+                       modeName(cells[i].mode);
             },
             [&](std::size_t i) {
                 // mmap's per-access device volume is far smaller (4 KiB
@@ -285,11 +353,11 @@ main()
         return 1;
     }
 
-    std::printf("\n%-8s %5s %5s %10s %9s %9s %10s %10s %7s %8s %8s %7s "
-                "%8s\n",
+    std::printf("\n%-8s %5s %6s %10s %9s %9s %10s %10s %7s %8s %8s %7s "
+                "%8s %6s %6s %5s\n",
                 "platform", "fill", "mode", "ops/s", "p50(us)",
                 "p99(us)", "p99.9(us)", "max(us)", "erases", "reloc",
-                "overlap", "susp", "minFree");
+                "overlap", "susp", "minFree", "band", "WA", "pace");
 
     std::string out = jsonOutPath("BENCH_gc.json");
     std::FILE* f = std::fopen(out.c_str(), "w");
@@ -302,9 +370,9 @@ main()
     for (std::size_t i = 0; i < cells.size(); ++i) {
         const GcCell& c = cells[i];
         const GcResult& r = results[i];
-        const char* mode = c.backgroundGc ? "bg" : "sync";
-        std::printf("%-8s %5.2f %5s %10.0f %9.1f %9.1f %10.1f %10.1f "
-                    "%7llu %8llu %8llu %7llu %8u\n",
+        const char* mode = modeName(c.mode);
+        std::printf("%-8s %5.2f %6s %10.0f %9.1f %9.1f %10.1f %10.1f "
+                    "%7llu %8llu %8llu %7llu %8u %6.2f %6.2f %5u\n",
                     c.platform.c_str(), c.fill, mode, r.opsPerSec,
                     r.p50us, r.p99us, r.p999us, r.maxus,
                     static_cast<unsigned long long>(r.ftl.erases),
@@ -312,7 +380,8 @@ main()
                     static_cast<unsigned long long>(
                         r.ftl.gcForegroundOverlap),
                     static_cast<unsigned long long>(r.flash.suspensions),
-                    r.minFree);
+                    r.minFree, r.bandOccupancy, r.writeAmp,
+                    r.ftl.paceLevelMax);
         std::fprintf(
             f,
             "    {\"name\": \"gc/%s/fill%02d/%s\", "
@@ -324,7 +393,10 @@ main()
             "\"gc_stall_ticks\": %llu, \"gc_foreground_overlap\": %llu, "
             "\"gc_reads\": %llu, \"gc_programs\": %llu, "
             "\"gc_erases\": %llu, \"suspensions\": %llu, "
-            "\"min_free_blocks\": %u, \"avg_free_blocks\": %.2f}%s\n",
+            "\"min_free_blocks\": %u, \"avg_free_blocks\": %.2f, "
+            "\"avg_free_sustained\": %.3f, "
+            "\"band_occupancy\": %.3f, \"write_amp\": %.3f, "
+            "\"gc_stream_blocks\": %llu, \"pace_level_max\": %u}%s\n",
             c.platform.c_str(), static_cast<int>(c.fill * 100), mode,
             r.opsPerSec, r.p50us, r.p99us, r.p999us, r.maxus,
             static_cast<unsigned long long>(r.ftl.gcRuns),
@@ -338,26 +410,32 @@ main()
             static_cast<unsigned long long>(r.flash.gcPrograms),
             static_cast<unsigned long long>(r.flash.gcErases),
             static_cast<unsigned long long>(r.flash.suspensions),
-            r.minFree, r.avgFree, i + 1 < cells.size() ? "," : "");
+            r.minFree, r.avgFree, r.avgFreeSustained, r.bandOccupancy,
+            r.writeAmp,
+            static_cast<unsigned long long>(r.ftl.gcStreamBlocks),
+            r.ftl.paceLevelMax, i + 1 < cells.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
 
-    // Side-by-side tails: the background engine's whole point.
-    std::printf("\nforeground tail, synchronous vs background GC:\n");
-    std::printf("%-8s %5s %12s %12s %12s %12s %8s %10s\n", "platform",
-                "fill", "sync p99", "bg p99", "sync max", "bg max",
-                "ops x", "avgFree s/b");
-    for (std::size_t i = 0; i + 1 < cells.size(); i += 2) {
+    // Side-by-side tails: the background engine removes the sync GC
+    // cliff; the pacer + GC streams then hold the free level up the
+    // band without giving the tail back.
+    std::printf("\nforeground tail, sync vs background vs paced GC:\n");
+    std::printf("%-8s %5s %12s %12s %12s %8s %14s %9s\n", "platform",
+                "fill", "sync p99", "bg p99", "paced p99", "ops b/p",
+                "avgFree s/b/p", "WA b/p");
+    for (std::size_t i = 0; i + 2 < cells.size(); i += 3) {
         const GcResult& s = results[i];
         const GcResult& b = results[i + 1];
-        double speedup =
-            s.opsPerSec > 0 ? b.opsPerSec / s.opsPerSec : 0;
-        std::printf("%-8s %5.2f %10.1fus %10.1fus %10.1fus %10.1fus "
-                    "%7.2fx %5.1f/%.1f\n",
+        const GcResult& p = results[i + 2];
+        double ratio = b.opsPerSec > 0 ? p.opsPerSec / b.opsPerSec : 0;
+        std::printf("%-8s %5.2f %10.1fus %10.1fus %10.1fus %7.2fx "
+                    "%4.1f/%.1f/%.1f %4.2f/%.2f\n",
                     cells[i].platform.c_str(), cells[i].fill, s.p99us,
-                    b.p99us, s.maxus, b.maxus, speedup, s.avgFree,
-                    b.avgFree);
+                    b.p99us, p.p99us, ratio, s.avgFreeSustained,
+                    b.avgFreeSustained, p.avgFreeSustained, b.writeAmp,
+                    p.writeAmp);
     }
     std::printf("\nResults written to %s\n", out.c_str());
     return 0;

@@ -2,9 +2,11 @@
 # Build the Release GC interference sweep and record the trajectory in
 # BENCH_gc.json (repo root, or $HAMS_BENCH_JSON): sustained random
 # writes over pre-filled devices, foreground p50/p99 and throughput
-# with synchronous vs background garbage collection, plus the GC
-# overlap counters (host ops during active GC, background flash ops,
-# suspensions) and end-of-run free-block levels.
+# with synchronous vs background vs adaptively paced garbage
+# collection, plus the GC overlap counters (host ops during active GC,
+# background flash ops, suspensions), free-block levels (end-of-run
+# and sustained), watermark-band occupancy, write amplification and
+# the pacer level reached.
 #
 # Usage: scripts/bench_gc.sh
 #   HAMS_BENCH_SCALE=N enlarges the runs (default 1 = smoke size).

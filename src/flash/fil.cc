@@ -26,11 +26,30 @@ Fil::claimChannel(std::uint32_t ch, Tick earliest, Tick duration,
     }
     Tick start = std::max(earliest, fg);
     // Foreground traffic owns the bus: a background transfer still
-    // pending at our start slips behind us by our occupancy.
-    if (bg > start)
+    // pending at our start slips behind us by our occupancy, and any
+    // tracked background op still in flight on this channel finishes
+    // later by the same window.
+    if (bg > start) {
         bg += duration;
+        pool.bumpChannelOps(ch, start, duration);
+    }
     fg = std::max(fg, start + duration);
     return start;
+}
+
+FlashOpHandle
+Fil::submitTracked(const FlashOp& op, Tick at)
+{
+    if (!op.background)
+        panic("submitTracked is for background ops: a foreground op is "
+              "never suspended, so its latched submit() tick is final");
+    FlashAddress a = FlashAddress::decompose(op.ppn, pool.geometry());
+    // Only a read's completion is a channel transfer (register drain);
+    // program/erase completions are cell work, whose extensions come
+    // from the die-suspension push alone.
+    return pool.trackOp(a, submit(op, at),
+                        /*transfer_tailed=*/op.type ==
+                            FlashOp::Type::Read);
 }
 
 Tick

@@ -55,8 +55,50 @@ class Fil
      * @return tick at which the operation fully completes (data available
      *         in the channel controller for reads; cell programmed for
      *         writes; block erased for erases).
+     *
+     * The returned tick is *latched*: for a background op that a later
+     * foreground op suspends, the resource timelines are pushed out but
+     * the returned value is not. Callers that must observe the true
+     * completion (the FTL's GC machines crediting an erased block)
+     * submit through submitTracked() instead and query the handle.
      */
     Tick submit(const FlashOp& op, Tick at);
+
+    /** @name Op-handle completion contract (background ops). */
+    ///@{
+    /**
+     * Issue a *background* operation and return a stable handle
+     * instead of a latched tick. completionOf(handle) answers the
+     * op's current completion, re-extended by exactly one mechanism
+     * per op — a cell-tailed program/erase by every foreground
+     * suspension of its die, a transfer-tailed read by every
+     * foreground claim that bumps its channel — which is how
+     * suspension-extended completions propagate back to the FTL's GC
+     * machines. Model boundary: a cell-tailed op whose *data load*
+     * has not happened yet can additionally slip behind a foreground
+     * transfer from another die on the same channel; distinguishing
+     * that would need per-op phase tracking, so the handle stays
+     * latched for that window (the same bounded optimism all of PR 4
+     * had) rather than risk double-counting the same-die case. The
+     * caller owns the handle and must release() it once the
+     * completion has been consumed. Panics on a foreground op:
+     * foreground completions are never extended, so the latched
+     * submit() tick is already the truth.
+     */
+    FlashOpHandle submitTracked(const FlashOp& op, Tick at);
+
+    /** Current (suspension-extended) completion of a tracked op. */
+    Tick completionOf(FlashOpHandle h) const
+    {
+        return pool.completionOf(h);
+    }
+
+    /** Retire a tracked op's handle. */
+    void release(FlashOpHandle h) { pool.releaseOp(h); }
+
+    /** Live tracked ops (leak check for tests). */
+    std::size_t trackedOps() const { return pool.liveTrackedOps(); }
+    ///@}
 
     /** Earliest tick channel @p ch's bus is free (tests/scheduling). */
     Tick
@@ -69,7 +111,13 @@ class Fil
     const NandTiming& timing() const { return _timing; }
     const FlashActivity& activity() const { return _activity; }
 
-    /** Clear all busy state (power cycle). */
+    /**
+     * Clear all busy state (power cycle). Also invalidates every
+     * outstanding FlashOpHandle — an owner still holding handles (a
+     * PageFtl with background GC mid-flight) must drop them in the
+     * same breath (`PageFtl::onFlashReset()`), or its next
+     * completionOf() query panics on a stale handle.
+     */
     void reset();
 
   private:

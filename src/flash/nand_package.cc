@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/logging.hh"
+
 namespace hams {
 
 NandPackagePool::NandPackagePool(const FlashGeometry& geom) : geom(geom)
@@ -91,6 +93,81 @@ NandPackagePool::pushBackgroundOut(const FlashAddress& a, Tick from,
     Tick& p = planeBgFree[planeIndex(a)];
     if (p > from)
         p += delta;
+    // Every cell-tailed tracked op on this die still in flight at the
+    // suspension point finishes later by the stolen window. Each op is
+    // extended by exactly one mechanism — cell-tailed ops by the die
+    // push here, transfer-tailed ops by bumpChannelOps — so one
+    // foreground op that both claims the channel and suspends the die
+    // can never double-count against a single record. Uniform
+    // extension preserves the relative order of ops on the same die,
+    // so the latest-latched op stays the latest — the FTL relies on
+    // this to track one handle per GC slice.
+    auto die = static_cast<std::uint32_t>(dieIndex(a));
+    for (std::uint32_t slot : liveOps) {
+        OpRecord& r = ops[slot];
+        if (!r.transferTailed && r.die == die && r.completion > from)
+            r.completion += delta;
+    }
+}
+
+FlashOpHandle
+NandPackagePool::trackOp(const FlashAddress& a, Tick completion,
+                         bool transfer_tailed)
+{
+    std::uint32_t slot;
+    if (!freeOps.empty()) {
+        slot = freeOps.back();
+        freeOps.pop_back();
+    } else {
+        slot = static_cast<std::uint32_t>(ops.size());
+        ops.emplace_back();
+    }
+    OpRecord& r = ops[slot];
+    r.live = true;
+    r.transferTailed = transfer_tailed;
+    r.die = static_cast<std::uint32_t>(dieIndex(a));
+    r.channel = a.channel;
+    r.completion = completion;
+    liveOps.push_back(slot);
+    return {slot, r.gen};
+}
+
+Tick
+NandPackagePool::completionOf(FlashOpHandle h) const
+{
+    if (h.slot >= ops.size() || ops[h.slot].gen != h.gen ||
+        !ops[h.slot].live)
+        panic("completionOf on a stale or invalid FlashOpHandle (slot ",
+              h.slot, " gen ", h.gen, ")");
+    return ops[h.slot].completion;
+}
+
+void
+NandPackagePool::releaseOp(FlashOpHandle h)
+{
+    if (h.slot >= ops.size() || ops[h.slot].gen != h.gen ||
+        !ops[h.slot].live)
+        panic("releaseOp on a stale or invalid FlashOpHandle (slot ",
+              h.slot, " gen ", h.gen, ")");
+    OpRecord& r = ops[h.slot];
+    r.live = false;
+    ++r.gen;
+    // liveOps order is irrelevant (extensions apply a uniform delta),
+    // so swap-with-back instead of shifting the tail.
+    auto it = std::find(liveOps.begin(), liveOps.end(), h.slot);
+    *it = liveOps.back();
+    liveOps.pop_back();
+    freeOps.push_back(h.slot);
+}
+
+void
+NandPackagePool::bumpChannelOps(std::uint32_t ch, Tick from, Tick delta)
+{
+    for (std::uint32_t slot : liveOps) {
+        OpRecord& r = ops[slot];
+        if (r.transferTailed && r.channel == ch && r.completion > from)
+            r.completion += delta;
+    }
 }
 
 void
@@ -100,6 +177,14 @@ NandPackagePool::reset()
     std::fill(planeFree.begin(), planeFree.end(), 0);
     std::fill(dieBgFree.begin(), dieBgFree.end(), 0);
     std::fill(planeBgFree.begin(), planeBgFree.end(), 0);
+    // Power cycle: every outstanding handle dies with the in-flight
+    // work. Generation bumps make pre-reset handles detectably stale.
+    for (std::uint32_t slot : liveOps) {
+        ops[slot].live = false;
+        ++ops[slot].gen;
+        freeOps.push_back(slot);
+    }
+    liveOps.clear();
 }
 
 } // namespace hams

@@ -13,6 +13,17 @@
  * ops suspend-style priority: when only background work blocks a die
  * or plane, the foreground op starts after a short suspend handshake
  * and the background occupancy is pushed out by the stolen window.
+ *
+ * Tracked background ops: the pool also keeps a registry of in-flight
+ * background operations identified by stable FlashOpHandle values
+ * (generation-tagged slots, never heap-allocated in steady state).
+ * When a foreground op suspends background cell work or bumps a
+ * background transfer off the channel, every live tracked op on the
+ * affected die/channel has its completion pushed out by the stolen
+ * window — so a handle always answers "when does this op *really*
+ * finish", which is what lets the FTL's GC machines credit erased
+ * blocks at the true erase-completion tick instead of the tick that
+ * was latched at submit time.
  */
 
 #ifndef HAMS_FLASH_NAND_PACKAGE_HH_
@@ -42,6 +53,20 @@ struct FlashActivity
     ///@}
     /** Background ops suspended so a foreground op could run. */
     std::uint64_t suspensions = 0;
+};
+
+/**
+ * Stable identifier of a tracked in-flight background flash op.
+ * Returned by Fil::submitTracked; resolves to the op's *current*
+ * completion tick (suspension-extended) until released. Value-type,
+ * trivially copyable; a default-constructed handle is invalid.
+ */
+struct FlashOpHandle
+{
+    std::uint32_t slot = 0;
+    std::uint32_t gen = 0; //!< 0 is never a live generation
+
+    bool valid() const { return gen != 0; }
 };
 
 /**
@@ -80,11 +105,49 @@ class NandPackagePool
     /**
      * A foreground op suspended the background work pending on @p a:
      * push every background occupancy still live past @p from out by
-     * @p delta (the stolen window, suspend handshake included).
+     * @p delta (the stolen window, suspend handshake included), and
+     * extend the completion of every tracked op on the same die that
+     * was still in flight at @p from by the same window.
      */
     void pushBackgroundOut(const FlashAddress& a, Tick from, Tick delta);
 
-    /** Clear all busy state (power cycle). */
+    /** @name Tracked background ops (FlashOpHandle registry). */
+    ///@{
+    /**
+     * Register a background op on @p a completing at @p completion
+     * (the submit-time latch). The record lives — and keeps absorbing
+     * suspension/bus-bump extensions — until releaseOp(). Slot reuse
+     * is generation-tagged, so stale handles are detected, and the
+     * arena never allocates once grown to the high-water mark.
+     * @p transfer_tailed marks an op whose completion is a channel
+     * data transfer (a read draining the die register): only those
+     * are extended by bumpChannelOps — a program/erase completion is
+     * cell work, already covered by the die push.
+     */
+    FlashOpHandle trackOp(const FlashAddress& a, Tick completion,
+                          bool transfer_tailed);
+
+    /** Current (suspension-extended) completion tick of a live op. */
+    Tick completionOf(FlashOpHandle h) const;
+
+    /** Retire a tracked op; its handle becomes invalid. */
+    void releaseOp(FlashOpHandle h);
+
+    /**
+     * A foreground transfer bumped pending background transfers off
+     * channel @p ch: extend *transfer-tailed* tracked ops on that
+     * channel still in flight past @p from by @p delta. Ops whose
+     * completion is cell work are untouched — extending them here
+     * would double-count with the die push when one foreground op
+     * both claims the channel and suspends the die.
+     */
+    void bumpChannelOps(std::uint32_t ch, Tick from, Tick delta);
+
+    /** Live tracked ops (leak check for tests). */
+    std::size_t liveTrackedOps() const { return liveOps.size(); }
+    ///@}
+
+    /** Clear all busy state and invalidate every handle (power cycle). */
     void reset();
 
     const FlashGeometry& geometry() const { return geom; }
@@ -93,11 +156,26 @@ class NandPackagePool
     std::size_t dieIndex(const FlashAddress& a) const;
     std::size_t planeIndex(const FlashAddress& a) const;
 
+    /** One tracked in-flight background op. */
+    struct OpRecord
+    {
+        std::uint32_t gen = 1;
+        bool live = false;
+        bool transferTailed = false;
+        std::uint32_t die = 0;
+        std::uint32_t channel = 0;
+        Tick completion = 0;
+    };
+
     FlashGeometry geom;
     std::vector<Tick> dieFree;    //!< foreground timeline
     std::vector<Tick> planeFree;  //!< foreground timeline
     std::vector<Tick> dieBgFree;  //!< background timeline
     std::vector<Tick> planeBgFree;//!< background timeline
+
+    std::vector<OpRecord> ops;          //!< handle arena
+    std::vector<std::uint32_t> freeOps; //!< recycled arena slots
+    std::vector<std::uint32_t> liveOps; //!< slots to scan on extension
 };
 
 } // namespace hams

@@ -26,6 +26,9 @@ PageFtl::PageFtl(const FlashGeometry& geom, Fil& fil, const FtlConfig& cfg)
         if (cfg.gcBatchPages == 0)
             fatal("FTL gcBatchPages must be at least 1");
     }
+    if (cfg.gcAdaptivePacing && !cfg.backgroundGc)
+        fatal("FTL gcAdaptivePacing requires backgroundGc: the pacer "
+              "rate-limits the background machines");
 
     _logicalPages = static_cast<std::uint64_t>(
         static_cast<double>(geom.totalPages()) * (1.0 - cfg.overProvision));
@@ -143,6 +146,14 @@ PageFtl::takeFreeBlock(Unit& u, std::uint64_t pu)
                   ? blockOf(pu, static_cast<std::uint32_t>(u.activeBlock))
                         .writePtr
                   : 0,
+              ", gcStream=", u.gcStreamBlock, " streamWritePtr=",
+              u.gcStreamBlock >= 0
+                  ? blockOf(pu,
+                            static_cast<std::uint32_t>(u.gcStreamBlock))
+                        .writePtr
+                  : 0,
+              " streamsOpened=", _stats.gcStreamBlocks, ", paceLevel=",
+              _stats.paceLevel,
               ", gc machine ", u.gc.active ? "active" : "idle", ", mode ",
               backgroundGcEnabled() ? "background" : "synchronous", ")");
     if (cfg.wearLeveling)
@@ -167,6 +178,41 @@ std::uint64_t
 PageFtl::allocate(std::uint64_t pu, Tick& at, bool for_gc)
 {
     Unit& u = units[pu];
+    // Dedicated relocation stream: GC victims pack into a per-unit
+    // stream block, so relocation write amplification never churns
+    // the foreground active block and cold valid pages consolidate
+    // together. A full stream block joins closedBlocks like any
+    // other. Packing is strictly best-effort: the stream never draws
+    // on the reserve (a fresh stream block opens only above it), and
+    // with no stream slack available the relocation falls through to
+    // the shared active path below. The reserve block is therefore always
+    // consumed *fresh* by a relocation crisis — exactly the PR 4
+    // completion guarantee — while leftover stream slack on an empty
+    // pool is headroom PR 4 never had (canStartVictim()).
+    if (for_gc && cfg.gcStreamBlocks > 0) {
+        if (u.gcStreamBlock < 0 &&
+            u.freeBlocks.size() > cfg.gcReserveBlocks) {
+            u.gcStreamBlock = takeFreeBlock(u, pu);
+            ++_stats.gcStreamBlocks;
+        }
+        if (u.gcStreamBlock >= 0) {
+            auto block = static_cast<std::uint32_t>(u.gcStreamBlock);
+            Block& b = blockOf(pu, block);
+            ensureBlockArrays(b);
+            std::uint32_t page = b.writePtr++;
+            // Rotate a just-filled stream block onto closedBlocks
+            // eagerly, not on the next relocation: a dormant machine's
+            // full stream block must be victimizable once churn kills
+            // its pages, or a reclaimable block sits invisible while
+            // the pool exhausts.
+            if (b.full(geom.pagesPerBlock)) {
+                u.closedBlocks.push_back(block);
+                u.gcStreamBlock = -1;
+            }
+            b.pageLpns[page] = std::numeric_limits<std::uint64_t>::max();
+            return makePpn(pu, block, page);
+        }
+    }
     // A half-relocated victim can always finish inside the active
     // block's slack plus one reserve block (victims are never fully
     // valid) — but only if foreground writes don't consume that slack
@@ -196,8 +242,14 @@ PageFtl::allocate(std::uint64_t pu, Tick& at, bool for_gc)
                     at = reclaimForeground(pu, at);
                 // Kick on the post-take level (size - 1): the machine
                 // gets a full block of runway before the writer would
-                // reach the reserve and stall.
-                if (u.freeBlocks.size() <= cfg.gcLowWater + 1)
+                // reach the reserve and stall. The pacer starts as
+                // soon as the unit leaves the high watermark — it
+                // collects gently up there — where the fixed-rate
+                // engine waits for the low watermark.
+                std::uint32_t kick_at = cfg.gcAdaptivePacing
+                                            ? cfg.gcHighWater
+                                            : cfg.gcLowWater + 1;
+                if (u.freeBlocks.size() <= kick_at)
                     kickGc(pu, at, /*idle=*/false);
                 // After taking the new active block this unit sits
                 // below the high watermark: idle time should clean up.
@@ -314,7 +366,11 @@ PageFtl::collect(std::uint64_t pu, Tick& at)
             at = fil.submit({FlashOp::Type::Read, old_ppn, geom.pageSize},
                             at);
 
-            std::uint64_t new_ppn = allocate(pu, at);
+            // for_gc routes the relocation into the dedicated GC
+            // stream when one is configured; with gcStreamBlocks == 0
+            // it is bit-identical to the plain foreground allocate
+            // (the GC-trigger branch is already guarded by inGc).
+            std::uint64_t new_ppn = allocate(pu, at, /*for_gc=*/true);
             std::uint64_t pu2;
             std::uint32_t nblock, npage;
             splitPpn(new_ppn, pu2, nblock, npage);
@@ -374,6 +430,26 @@ PageFtl::selectVictim(std::uint64_t pu)
 }
 
 bool
+PageFtl::canStartVictim(std::uint64_t pu) const
+{
+    // O(1) until the pool is exhausted; the closed-list scan below
+    // (which selectVictim will repeat) runs only on that crisis path.
+    const Unit& u = units[pu];
+    if (!u.freeBlocks.empty())
+        return true;
+    if (cfg.gcStreamBlocks == 0 || u.gcStreamBlock < 0 ||
+        u.closedBlocks.empty())
+        return false;
+    const Block& sb = blocks[blockGlobalIndex(
+        pu, static_cast<std::uint32_t>(u.gcStreamBlock))];
+    std::uint32_t slack = geom.pagesPerBlock - sb.writePtr;
+    std::uint32_t best = geom.pagesPerBlock;
+    for (std::uint32_t b : u.closedBlocks)
+        best = std::min(best, blocks[blockGlobalIndex(pu, b)].validCount);
+    return best < geom.pagesPerBlock && best <= slack;
+}
+
+bool
 PageFtl::pickVictim(std::uint64_t pu)
 {
     Unit& u = units[pu];
@@ -390,7 +466,7 @@ PageFtl::pickVictim(std::uint64_t pu)
 }
 
 bool
-PageFtl::gcSlice(std::uint64_t pu, Tick from)
+PageFtl::gcSlice(std::uint64_t pu, Tick from, std::uint32_t batch)
 {
     Unit& u = units[pu];
     GcMachine& g = u.gc;
@@ -400,13 +476,26 @@ PageFtl::gcSlice(std::uint64_t pu, Tick from)
     Block& vb = blockOf(pu, victim);
     ensureBlockArrays(vb);
 
+    // A new slice supersedes the previous slice's tracked op: its
+    // completion has been consumed (the step that got us here waited
+    // for it).
+    if (g.sliceOp.valid()) {
+        fil.release(g.sliceOp);
+        g.sliceOp = {};
+    }
+
     // Relocate up to a batch of surviving pages, pipelined: every read
     // issues at the slice start (they serialize on the die), each
     // program issues when its read's data is available. All ops carry
     // background priority, so foreground traffic can suspend them.
+    // The program with the latest latched completion is tracked: a
+    // foreground suspension extends every in-flight op on the die by
+    // the same window, so the latest-latched op stays the latest and
+    // one handle answers when the whole slice is really done.
     Tick batch_done = from;
+    FlashOpHandle batch_op;
     std::uint32_t moved = 0;
-    while (g.nextPage < geom.pagesPerBlock && moved < cfg.gcBatchPages) {
+    while (g.nextPage < geom.pagesPerBlock && moved < batch) {
         std::uint32_t page = g.nextPage++;
         if (!(vb.validBits[page / 64] & (1ull << (page % 64))))
             continue;
@@ -433,38 +522,48 @@ PageFtl::gcSlice(std::uint64_t pu, Tick from)
         l2p.set(lpn, new_ppn);
         ++_stats.gcRelocations;
 
-        batch_done = std::max(
-            batch_done, fil.submit({FlashOp::Type::Program, new_ppn,
-                                    geom.pageSize, /*background=*/true},
-                                   prog_at));
+        FlashOpHandle ph =
+            fil.submitTracked({FlashOp::Type::Program, new_ppn,
+                               geom.pageSize, /*background=*/true},
+                              prog_at);
+        Tick prog_done = fil.completionOf(ph);
+        if (prog_done >= batch_done) {
+            if (batch_op.valid())
+                fil.release(batch_op);
+            batch_op = ph;
+            batch_done = prog_done;
+        } else {
+            fil.release(ph);
+        }
         ++moved;
     }
 
     if (g.nextPage >= geom.pagesPerBlock) {
         // Victim drained: erase it. The block re-enters the free pool
-        // at the erase-completion tick (applyPendingFree).
+        // at the erase op's *true* completion: the credit is latched
+        // as a hint (pendingFreeAt) but applied only once the tracked
+        // handle confirms the erase — a later foreground op that
+        // suspends it pushes the credit out by the stolen window
+        // instead of leaving the pool optimistically early.
         vb.validCount = 0;
         vb.writePtr = 0;
         std::fill(vb.validBits.begin(), vb.validBits.end(), 0);
         ++vb.eraseCount;
         ++_stats.erases;
-        Tick erased = fil.submit({FlashOp::Type::Erase,
-                                  makePpn(pu, victim, 0), 0,
-                                  /*background=*/true}, batch_done);
-        // Completion ticks are latched at submit time. A later
-        // foreground op may suspend this erase and push it out on the
-        // FIL's resource timeline; the block-credit tick below stays
-        // optimistic by that stolen window (bounded by the foreground
-        // work on this plane). Subsequent flash ops pay the true,
-        // extended occupancy — only the credit/step scheduling uses
-        // the latched value. Deterministic either way.
+        FlashOpHandle eh =
+            fil.submitTracked({FlashOp::Type::Erase,
+                               makePpn(pu, victim, 0), 0,
+                               /*background=*/true}, batch_done);
+        Tick erased = fil.completionOf(eh);
         g.pendingFree = g.victim;
         g.pendingFreeAt = erased;
+        g.pendingFreeOp = eh;
         g.victim = -1;
         g.readyAt = erased;
     } else {
         g.readyAt = batch_done;
     }
+    g.sliceOp = batch_op;
     return true;
 }
 
@@ -474,8 +573,65 @@ PageFtl::applyPendingFree(std::uint64_t pu)
     GcMachine& g = units[pu].gc;
     if (g.pendingFree < 0)
         return;
+    if (g.pendingFreeOp.valid()) {
+        fil.release(g.pendingFreeOp);
+        g.pendingFreeOp = {};
+    }
     pushFreeBlock(pu, static_cast<std::uint32_t>(g.pendingFree));
     g.pendingFree = -1;
+}
+
+Tick
+PageFtl::trueReadyAt(std::uint64_t pu, Tick now) const
+{
+    const GcMachine& g = units[pu].gc;
+    Tick ready = now;
+    if (g.sliceOp.valid())
+        ready = std::max(ready, fil.completionOf(g.sliceOp));
+    if (g.pendingFreeOp.valid())
+        ready = std::max(ready, fil.completionOf(g.pendingFreeOp));
+    return ready;
+}
+
+std::uint32_t
+PageFtl::paceLevelOf(std::uint32_t free_blocks) const
+{
+    if (free_blocks >= cfg.gcHighWater)
+        return 0;
+    std::uint32_t span = cfg.gcHighWater - cfg.gcReserveBlocks;
+    return std::min(cfg.gcHighWater - free_blocks, span);
+}
+
+std::uint32_t
+PageFtl::paceBatch(std::uint32_t free_blocks) const
+{
+    if (!cfg.gcAdaptivePacing)
+        return cfg.gcBatchPages;
+    // Linear ramp across the watermark band: one base batch just
+    // under the high watermark, band-width batches at the reserve.
+    std::uint32_t level = std::max(paceLevelOf(free_blocks), 1u);
+    return cfg.gcBatchPages * level;
+}
+
+std::uint32_t
+PageFtl::notePaceLevel(std::uint32_t free_blocks)
+{
+    if (cfg.gcAdaptivePacing) {
+        _stats.paceLevel = paceLevelOf(free_blocks);
+        _stats.paceLevelMax =
+            std::max(_stats.paceLevelMax, _stats.paceLevel);
+    }
+    return paceBatch(free_blocks);
+}
+
+Tick
+PageFtl::paceDelay(std::uint32_t free_blocks) const
+{
+    if (!cfg.gcAdaptivePacing)
+        return 0;
+    std::uint32_t span = cfg.gcHighWater - cfg.gcReserveBlocks;
+    std::uint32_t level = paceLevelOf(free_blocks);
+    return Tick(span - std::min(level, span)) * cfg.gcPaceQuantum;
 }
 
 void
@@ -484,6 +640,13 @@ PageFtl::deactivateGc(std::uint64_t pu)
     GcMachine& g = units[pu].gc;
     if (!g.active)
         return;
+    // A dormant machine keeps no tracked ops: the slice's completion
+    // was consumed by the step that decided to deactivate, and any
+    // pending erase credit was applied before getting here.
+    if (g.sliceOp.valid()) {
+        fil.release(g.sliceOp);
+        g.sliceOp = {};
+    }
     g.active = false;
     g.idleKicked = false;
     --gcActiveMachines;
@@ -515,19 +678,40 @@ PageFtl::gcStep(std::uint64_t pu)
     GcMachine& g = u.gc;
     g.stepEvent = 0;
     Tick now = eq->now();
+    // Op-handle contract: the step was scheduled at the submit-time
+    // latch, but a foreground op may have suspended the in-flight
+    // work since. If the tracked completions moved past now, the
+    // machine is not actually done — wait for the true tick (this is
+    // what keeps the erase credit honest under suspension).
+    Tick ready = trueReadyAt(pu, now);
+    if (ready > now) {
+        g.readyAt = ready;
+        g.stepEvent = eq->scheduleAt(ready, [this, pu] { gcStep(pu); });
+        return;
+    }
+    if (g.sliceOp.valid()) {
+        fil.release(g.sliceOp);
+        g.sliceOp = {};
+    }
     applyPendingFree(pu);
-    // Starting a victim needs one block of relocation headroom; with
-    // the pool empty the machine goes dormant and the foreground
-    // reclaim path drives any further collection.
+    // Starting a victim needs relocation headroom (a free block, or a
+    // stream block with enough slack); without it the machine goes
+    // dormant and the foreground reclaim path drives any further
+    // collection.
     if (g.victim < 0 &&
-        (u.freeBlocks.size() >= cfg.gcHighWater || u.freeBlocks.empty() ||
+        (u.freeBlocks.size() >= cfg.gcHighWater || !canStartVictim(pu) ||
          !pickVictim(pu))) {
         deactivateGc(pu);
         return;
     }
     ++_stats.gcBatches;
-    gcSlice(pu, std::max(now, g.readyAt));
-    g.stepEvent = eq->scheduleAt(std::max(now, g.readyAt),
+    // The pacer reads the free level at step time: deeper depletion
+    // means a bigger relocation batch now and a shorter breather
+    // before the next step (both constant with pacing off).
+    auto free = static_cast<std::uint32_t>(u.freeBlocks.size());
+    gcSlice(pu, std::max(now, g.readyAt), notePaceLevel(free));
+    g.stepEvent = eq->scheduleAt(std::max(now, g.readyAt) +
+                                     paceDelay(free),
                                  [this, pu] { gcStep(pu); });
 }
 
@@ -540,8 +724,11 @@ PageFtl::reclaimForeground(std::uint64_t pu, Tick at)
     Tick avail = at;
     while (u.freeBlocks.size() <= cfg.gcReserveBlocks) {
         if (g.pendingFree >= 0) {
-            // A victim's erase is in flight: the write waits for it.
-            avail = std::max(avail, g.pendingFreeAt);
+            // A victim's erase is in flight: the write waits for its
+            // *true* completion — if a foreground op suspended the
+            // erase after its tick was latched, the handle carries
+            // the extended window and the stall is charged honestly.
+            avail = std::max(avail, pendingFreeTrueAt(pu));
             applyPendingFree(pu);
             continue;
         }
@@ -552,10 +739,14 @@ PageFtl::reclaimForeground(std::uint64_t pu, Tick at)
             ++gcActiveMachines;
         }
         if (g.victim < 0 &&
-            (u.freeBlocks.empty() || !pickVictim(pu)))
+            (!canStartVictim(pu) || !pickVictim(pu)))
             break; // no headroom or nothing collectable: the caller's
                    // takeFreeBlock reports the exhaustion state
-        gcSlice(pu, std::max(at, g.readyAt));
+        // The crisis path runs at the deepest pacer levels; record
+        // them like gcStep does or paceLevelMax under-reports.
+        gcSlice(pu, std::max(at, g.readyAt),
+                notePaceLevel(
+                    static_cast<std::uint32_t>(u.freeBlocks.size())));
     }
     _stats.gcStallTicks += avail - at;
 
@@ -619,7 +810,12 @@ PageFtl::onPowerFail()
         GcMachine& g = u.gc;
         // An issued erase counts as done; a half-relocated victim goes
         // back to the closed list (its surviving pages are still
-        // mapped there).
+        // mapped there). Tracked-op handles die with the in-flight
+        // work (released here, while the FIL still honours them).
+        if (g.sliceOp.valid()) {
+            fil.release(g.sliceOp);
+            g.sliceOp = {};
+        }
         applyPendingFree(pu);
         if (g.victim >= 0) {
             u.closedBlocks.push_back(static_cast<std::uint32_t>(g.victim));
@@ -635,6 +831,15 @@ PageFtl::onPowerFail()
     inGc = false;
 }
 
+void
+PageFtl::onFlashReset()
+{
+    for (Unit& u : units) {
+        u.gc.sliceOp = {};
+        u.gc.pendingFreeOp = {};
+    }
+}
+
 std::uint32_t
 PageFtl::minFreeBlocks() const
 {
@@ -642,6 +847,44 @@ PageFtl::minFreeBlocks() const
     for (const Unit& u : units)
         lo = std::min(lo, static_cast<std::uint32_t>(u.freeBlocks.size()));
     return units.empty() ? 0 : lo;
+}
+
+PageFtl::UnitView
+PageFtl::unitView(std::uint64_t pu) const
+{
+    const Unit& u = units[pu];
+    UnitView v;
+    v.freeBlocks.reserve(u.freeBlocks.size());
+    for (std::uint64_t key : u.freeBlocks)
+        v.freeBlocks.push_back(keyBlock(key));
+    v.closedBlocks = u.closedBlocks;
+    v.activeBlock = u.activeBlock;
+    v.gcStreamBlock = u.gcStreamBlock;
+    v.victim = u.gc.victim;
+    v.pendingFree = u.gc.pendingFree;
+    return v;
+}
+
+std::uint32_t
+PageFtl::blockValidCount(std::uint64_t pu, std::uint32_t block) const
+{
+    return blocks[blockGlobalIndex(pu, block)].validCount;
+}
+
+std::uint32_t
+PageFtl::blockEraseCount(std::uint64_t pu, std::uint32_t block) const
+{
+    return blocks[blockGlobalIndex(pu, block)].eraseCount;
+}
+
+Tick
+PageFtl::pendingFreeTrueAt(std::uint64_t pu) const
+{
+    const GcMachine& g = units[pu].gc;
+    if (g.pendingFree < 0)
+        panic("pendingFreeTrueAt: unit ", pu, " has no pending free");
+    return g.pendingFreeOp.valid() ? fil.completionOf(g.pendingFreeOp)
+                                   : g.pendingFreeAt;
 }
 
 std::uint32_t

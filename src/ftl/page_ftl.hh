@@ -29,6 +29,38 @@
  *    charges the write the real wait (FtlStats::gcWriteStalls /
  *    gcStallTicks).
  *
+ * Background collection rides the FIL's op-handle contract
+ * (Fil::submitTracked): the machines keep FlashOpHandle values for the
+ * last relocation program of a slice and for the victim's erase, and
+ * consult the handle — not the tick latched at submit time — before
+ * stepping or crediting the block back. A foreground op that suspends
+ * a background erase therefore delays the block credit by exactly the
+ * stolen window instead of leaving it optimistic.
+ *
+ * Two optional policies sharpen the background engine:
+ *
+ *  - **Adaptive pacing** (`gcAdaptivePacing = true`): collection
+ *    intensity scales with pool depletion. The pacer maps the free
+ *    level inside the [gcReserveBlocks, gcHighWater] band to a level
+ *    in [0, band]; the per-step relocation batch grows linearly with
+ *    the level (`gcBatchPages * level`) and the inter-step cadence
+ *    slack shrinks to zero (`(band - level) * gcPaceQuantum`), so the
+ *    collector idles politely near the high watermark and runs flat
+ *    out at the reserve — the paper's hardware-automated rate
+ *    limiting of device housekeeping against host pressure. Pacing
+ *    also activates machines as soon as a unit drops below the high
+ *    watermark rather than waiting for the low watermark. Off by
+ *    default: the PR 4 trigger/batch/cadence behaviour is preserved.
+ *
+ *  - **Dedicated relocation streams** (`gcStreamBlocks > 0`): GC
+ *    relocations pack into a per-unit GC stream block instead of the
+ *    unit's shared active block. Foreground writes never land in a
+ *    stream block, so relocation write amplification no longer churns
+ *    the foreground stream, cold valid pages consolidate together,
+ *    and tiny geometries sustain random churn at higher occupancy
+ *    before exhausting consolidation headroom. Applies to both GC
+ *    personalities; 0 (default) keeps the PR 4 shared-stream layout.
+ *
  * Determinism: every GC decision is a pure function of FTL state and
  * event order, which the EventQueue keeps deterministic; reruns are
  * bit-identical at any host thread count. Hot-path discipline: the GC
@@ -81,6 +113,23 @@ struct FtlConfig
     std::uint32_t gcBatchPages = 8;
     /** Device idle time before proactive (idle-triggered) GC starts. */
     Tick gcIdleThreshold = milliseconds(1);
+    /**
+     * Scale collection intensity with pool depletion (see the header
+     * comment): batch size ramps up and step cadence tightens as the
+     * free level falls from gcHighWater toward gcReserveBlocks, and
+     * machines activate already below the high watermark. Off
+     * preserves the fixed-batch, low-watermark-triggered behaviour.
+     */
+    bool gcAdaptivePacing = false;
+    /**
+     * Dedicated GC relocation streams per unit: victims relocate into
+     * a private stream block instead of the shared active block.
+     * 0 disables (relocations share the foreground stream); any
+     * positive value keeps one stream block open per unit.
+     */
+    std::uint32_t gcStreamBlocks = 0;
+    /** Cadence slack per unused pacer level (gcAdaptivePacing). */
+    Tick gcPaceQuantum = microseconds(25);
     ///@}
 };
 
@@ -102,6 +151,12 @@ struct FtlStats
     Tick gcStallTicks = 0;           //!< total foreground stall time
     /** Host ops issued while at least one GC machine was active. */
     std::uint64_t gcForegroundOverlap = 0;
+    /** Dedicated relocation stream blocks opened (gcStreamBlocks). */
+    std::uint64_t gcStreamBlocks = 0;
+    /** Pacer level at the most recent background step (0 = gentlest). */
+    std::uint32_t paceLevel = 0;
+    /** Deepest pacer level reached (pool closest to the reserve). */
+    std::uint32_t paceLevelMax = 0;
     ///@}
 };
 
@@ -177,6 +232,60 @@ class PageFtl
     std::uint32_t minFreeBlocks() const;
 
     std::uint64_t parallelUnits() const { return units.size(); }
+
+    /** Unit @p pu's open GC relocation stream block (-1 = none). */
+    std::int64_t
+    gcStreamBlockOf(std::uint64_t pu) const
+    {
+        return units[pu].gcStreamBlock;
+    }
+
+    /**
+     * Pacer transfer functions, exposed so tests can pin monotonicity
+     * without driving a whole workload: relocation batch for a unit
+     * sitting at @p free_blocks, and the cadence slack added after a
+     * step at that level. With gcAdaptivePacing off these are the
+     * constants gcBatchPages and 0.
+     */
+    std::uint32_t paceBatch(std::uint32_t free_blocks) const;
+    Tick paceDelay(std::uint32_t free_blocks) const;
+
+    /**
+     * Shadow-model introspection: a copy of unit @p pu's block lists.
+     * Every block of a unit must appear on exactly one of these lists
+     * (free, closed, active, GC stream, in-relocation victim, pending
+     * erase credit) — the partition invariant whose violation is how
+     * mapping corruption (double-listed or leaked blocks) starts.
+     */
+    struct UnitView
+    {
+        std::vector<std::uint32_t> freeBlocks;  //!< decoded indices
+        std::vector<std::uint32_t> closedBlocks;
+        std::int64_t activeBlock = -1;
+        std::int64_t gcStreamBlock = -1;
+        std::int32_t victim = -1;
+        std::int32_t pendingFree = -1;
+    };
+    UnitView unitView(std::uint64_t pu) const;
+
+    /** Valid-page count the FTL believes block holds (shadow check). */
+    std::uint32_t blockValidCount(std::uint64_t pu,
+                                  std::uint32_t block) const;
+
+    /** Erase count of one block (wear conservation check). */
+    std::uint32_t blockEraseCount(std::uint64_t pu,
+                                  std::uint32_t block) const;
+
+    /**
+     * True (suspension-extended) completion tick of unit @p pu's
+     * pending erase credit, straight from the FIL's op handle; the
+     * latched submit-time tick when no handle is live. Panics when
+     * the unit has no pending free. Lets tests pin the credit-at-
+     * true-completion contract without reaching into the machine.
+     */
+    Tick pendingFreeTrueAt(std::uint64_t pu) const;
+
+    const FtlConfig& config() const { return cfg; }
     ///@}
 
     /**
@@ -186,6 +295,18 @@ class PageFtl
      * as erased. Deactivates every machine.
      */
     void onPowerFail();
+
+    /**
+     * The FIL's busy-state was cleared under a live FTL
+     * (`Fil::reset()`, the benches' prefill-then-start-idle idiom):
+     * every FlashOpHandle died with the registry, so forget ours
+     * without releasing. Machines keep their latched schedule
+     * (readyAt / pendingFreeAt) — the in-flight work's *timing*
+     * vanished with the busy-state, not its bookkeeping. Callers
+     * resetting the FIL mid-churn must invoke this or the next GC
+     * step panics on a stale handle.
+     */
+    void onFlashReset();
 
   private:
     struct Block
@@ -214,10 +335,17 @@ class PageFtl
         bool countedRun = false;  //!< gcRuns charged for this activation
         std::int32_t victim = -1; //!< block being relocated, -1 = none
         std::uint32_t nextPage = 0; //!< relocation cursor in the victim
-        Tick readyAt = 0;         //!< completion tick of the last slice
+        Tick readyAt = 0; //!< latched completion tick of the last slice
         /** Victim erased but its erase op not yet complete. */
         std::int32_t pendingFree = -1;
-        Tick pendingFreeAt = 0;
+        Tick pendingFreeAt = 0; //!< latched erase tick (scheduling hint)
+        /** Tracked op of the last slice's latest relocation program. */
+        FlashOpHandle sliceOp;
+        /** Tracked erase op backing pendingFree: the block credit
+         *  waits for this handle's *true* completion, so a foreground
+         *  suspension of the erase delays the credit by exactly the
+         *  stolen window. */
+        FlashOpHandle pendingFreeOp;
         EventId stepEvent = 0;
     };
 
@@ -232,6 +360,9 @@ class PageFtl
          */
         std::vector<std::uint64_t> freeBlocks;
         std::int64_t activeBlock = -1;
+        /** Dedicated GC relocation stream block (-1 when none open or
+         *  cfg.gcStreamBlocks == 0). Never hosts foreground writes. */
+        std::int64_t gcStreamBlock = -1;
         std::vector<std::uint32_t> closedBlocks;
         GcMachine gc;
     };
@@ -287,12 +418,36 @@ class PageFtl
     void gcStep(std::uint64_t pu);
 
     /**
-     * One GC slice starting no earlier than @p from: pick a victim if
-     * needed, relocate up to gcBatchPages pages as background flash
-     * ops, issue the erase when the victim drains. Advances
-     * gc.readyAt. @return false when there was nothing to do.
+     * One GC slice starting no earlier than @p from: relocate up to
+     * @p batch surviving pages of the current victim as background
+     * flash ops, issue the erase when the victim drains. Advances
+     * gc.readyAt and re-points gc.sliceOp / gc.pendingFreeOp at the
+     * tracked ops. @return false when there was nothing to do.
      */
-    bool gcSlice(std::uint64_t pu, Tick from);
+    bool gcSlice(std::uint64_t pu, Tick from, std::uint32_t batch);
+
+    /**
+     * Pacer level of a unit at @p free_blocks free: 0 at or above the
+     * high watermark, ramping to the band width (gcHighWater -
+     * gcReserveBlocks) as the pool falls to the reserve.
+     */
+    std::uint32_t paceLevelOf(std::uint32_t free_blocks) const;
+
+    /**
+     * Record the pacer level a collection slice is about to run at
+     * (stats gauge + high-water mark; no-op with pacing off) and
+     * return the slice's relocation batch. Shared by the event step
+     * and the foreground crisis path so neither under-reports.
+     */
+    std::uint32_t notePaceLevel(std::uint32_t free_blocks);
+
+    /**
+     * Latest *true* completion among the machine's tracked ops, or
+     * @p now when none are live. A value beyond now means a foreground
+     * op extended the in-flight work after its ticks were latched, and
+     * the step must wait.
+     */
+    Tick trueReadyAt(std::uint64_t pu, Tick now) const;
 
     /**
      * Greedy victim of @p pu: the closed block with the fewest valid
@@ -306,6 +461,15 @@ class PageFtl
 
     /** Start the machine's next victim. @return false if none. */
     bool pickVictim(std::uint64_t pu);
+
+    /**
+     * True when unit @p pu has the headroom to start a new victim: a
+     * free block to draw on, or — in stream mode — enough slack in
+     * the open GC stream block to absorb the least-valid victim
+     * whole (foreground writes never touch the stream, so the slack
+     * cannot be stolen mid-relocation).
+     */
+    bool canStartVictim(std::uint64_t pu) const;
 
     /** Credit a completed pending erase to the free pool. */
     void applyPendingFree(std::uint64_t pu);

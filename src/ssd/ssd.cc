@@ -169,8 +169,14 @@ Tick
 Ssd::powerFail()
 {
     // In-flight background GC work dies with the power (the owner of
-    // the event queue has already dropped the pending events).
+    // the event queue has already dropped the pending events). The
+    // FTL must release its FlashOpHandles here, while the FIL still
+    // honours them — powerRestore() resets the registry, after which
+    // a leaked handle would alias a post-boot op.
     ftl->onPowerFail();
+    if (fil->trackedOps() != 0)
+        fatal("SSD '", cfg.name, "' leaked ", fil->trackedOps(),
+              " tracked flash op handles across power failure");
     Tick drain = 0;
     if (cfg.hasSupercap && buf) {
         // The supercap powers a full buffer drain: every dirty frame is

@@ -377,6 +377,335 @@ TEST(BackgroundGc, ConfigValidatesReserveBelowLowWater)
     cfg = bgConfig();
     cfg.gcBatchPages = 0;
     EXPECT_THROW(PageFtl(tinyGeom(), fil, cfg), FatalError);
+    cfg = FtlConfig{};
+    cfg.gcAdaptivePacing = true; // pacer needs the background engine
+    EXPECT_THROW(PageFtl(tinyGeom(), fil, cfg), FatalError);
+}
+
+// ---------------------------------------------------------------------
+// Op-handle contract: block credit lands at the *true* erase
+// completion, even when a foreground op suspends the erase after its
+// completion tick was latched at submit time.
+// ---------------------------------------------------------------------
+
+TEST(GcOpHandles, CreditWaitsForSuspensionExtendedErase)
+{
+    GcRig rig;
+    std::uint64_t hot = rig.ftl.logicalPages() / 4;
+
+    // Drive churn one event at a time until some unit has issued its
+    // victim's erase (pendingFree set) and the erase is still in
+    // flight on the simulation queue.
+    std::int64_t pu = -1;
+    Tick t = 0;
+    std::uint64_t lpn = 0;
+    for (std::uint64_t i = 0; i < hot * 64 && pu < 0; ++i) {
+        t = rig.ftl.writePage(lpn++ % hot, 2048, t);
+        while (rig.eq.nextTick() <= t && pu < 0) {
+            rig.eq.step();
+            for (std::uint64_t u = 0; u < rig.ftl.parallelUnits(); ++u)
+                if (rig.ftl.unitView(u).pendingFree >= 0) {
+                    pu = static_cast<std::int64_t>(u);
+                    break;
+                }
+        }
+    }
+    ASSERT_GE(pu, 0) << "churn never left an erase in flight";
+    auto upu = static_cast<std::uint64_t>(pu);
+
+    std::uint32_t free0 = rig.ftl.freeBlocksOf(upu);
+    Tick latched = rig.ftl.pendingFreeTrueAt(upu);
+    ASSERT_GT(latched, rig.eq.now()) << "erase already complete";
+
+    // Force a suspension: a foreground read of an LPN mapped to this
+    // unit arrives while the only blocker is the background erase.
+    std::uint64_t victim_lpn = hot;
+    for (std::uint64_t l = 0; l < hot; ++l) {
+        if (!rig.ftl.isMapped(l))
+            continue;
+        std::uint64_t blk =
+            rig.ftl.physicalOf(l) / tinyGeom().pagesPerBlock;
+        if (blk / tinyGeom().blocksPerPlane == upu) {
+            victim_lpn = l;
+            break;
+        }
+    }
+    ASSERT_LT(victim_lpn, hot) << "no LPN mapped to the erasing unit";
+
+    std::uint64_t susp0 = rig.fil.activity().suspensions;
+    rig.ftl.readPage(victim_lpn, 2048, rig.eq.now());
+    ASSERT_GT(rig.fil.activity().suspensions, susp0)
+        << "foreground read did not suspend the background erase";
+
+    // The handle now answers a later tick than the latch...
+    Tick extended = rig.ftl.pendingFreeTrueAt(upu);
+    EXPECT_GT(extended, latched)
+        << "suspension did not extend the tracked erase completion";
+
+    // ...and the block credit waits for exactly that tick: the free
+    // pool must not grow while simulated time is before it.
+    while (rig.ftl.freeBlocksOf(upu) == free0) {
+        ASSERT_TRUE(rig.eq.step()) << "queue drained without crediting";
+        if (rig.ftl.freeBlocksOf(upu) == free0)
+            ASSERT_LT(rig.eq.now(), extended)
+                << "credit tick passed without crediting the block";
+    }
+    EXPECT_GE(rig.eq.now(), extended)
+        << "block credited before the true erase completion";
+    rig.eq.run();
+    expectMappingsExact(rig.ftl, hot);
+}
+
+TEST(GcOpHandles, DrainedEngineLeaksNoTrackedOps)
+{
+    GcRig rig;
+    rig.churn(rig.ftl.logicalPages() / 3, 10);
+    rig.eq.run();
+    EXPECT_EQ(rig.fil.trackedOps(), 0u);
+    EXPECT_FALSE(rig.ftl.gcActive());
+}
+
+// ---------------------------------------------------------------------
+// Inline-gate soundness: an active GC machine always has work pending
+// on the queue, so the CoreModel/SmpModel eq.empty() fast-path gate
+// declines while collection is in flight.
+// ---------------------------------------------------------------------
+
+TEST(GcOpHandles, ActiveMachineAlwaysHasPendingEvents)
+{
+    GcRig rig;
+    std::uint64_t hot = rig.ftl.logicalPages() / 4;
+    Tick t = 0;
+    std::uint64_t lpn = 0;
+    std::uint64_t active_samples = 0;
+    for (std::uint64_t i = 0; i < hot * 24; ++i) {
+        t = rig.write(lpn++ % hot, t);
+        if (rig.ftl.gcActive()) {
+            ++active_samples;
+            EXPECT_GT(rig.eq.pending(), 0u)
+                << "active GC machine with an empty queue: the inline "
+                   "fast-path gate would wrongly accept";
+        }
+    }
+    EXPECT_GT(active_samples, 0u) << "churn never overlapped active GC";
+    rig.eq.run();
+}
+
+// ---------------------------------------------------------------------
+// Adaptive pacer.
+// ---------------------------------------------------------------------
+
+TEST(GcPacer, BatchAndCadenceMonotoneInDepletion)
+{
+    Fil fil(tinyGeom(), NandTiming::zNand());
+    FtlConfig cfg = bgConfig();
+    cfg.gcAdaptivePacing = true;
+    PageFtl ftl(tinyGeom(), fil, cfg);
+
+    // Lower free level => no smaller batch, no longer cadence slack.
+    for (std::uint32_t f = 1; f <= tinyGeom().blocksPerPlane; ++f) {
+        EXPECT_GE(ftl.paceBatch(f - 1), ftl.paceBatch(f))
+            << "batch shrank as the pool depleted (free " << f << ")";
+        EXPECT_LE(ftl.paceDelay(f - 1), ftl.paceDelay(f))
+            << "cadence eased as the pool depleted (free " << f << ")";
+    }
+    // Flat out at the reserve, base-rate near the high watermark.
+    EXPECT_EQ(ftl.paceDelay(cfg.gcReserveBlocks), 0u);
+    EXPECT_GT(ftl.paceDelay(cfg.gcHighWater - 1), 0u);
+    EXPECT_GT(ftl.paceBatch(cfg.gcReserveBlocks),
+              ftl.paceBatch(cfg.gcHighWater - 1));
+    EXPECT_EQ(ftl.paceBatch(cfg.gcHighWater - 1), cfg.gcBatchPages);
+}
+
+TEST(GcPacer, KnobsAreInertWhenPacingOff)
+{
+    // With gcAdaptivePacing=false the pacer knobs must not influence
+    // the run at all: the transfer functions collapse to the static
+    // batch and zero slack, and a run with a wild gcPaceQuantum is
+    // bit-identical to the defaults.
+    {
+        Fil fil(tinyGeom(), NandTiming::zNand());
+        FtlConfig cfg = bgConfig();
+        PageFtl ftl(tinyGeom(), fil, cfg);
+        for (std::uint32_t f = 0; f <= tinyGeom().blocksPerPlane; ++f) {
+            EXPECT_EQ(ftl.paceBatch(f), cfg.gcBatchPages);
+            EXPECT_EQ(ftl.paceDelay(f), 0u);
+        }
+    }
+
+    auto run = [](Tick quantum, std::vector<std::uint64_t>& ppns,
+                  FtlStats& stats, Tick& end) {
+        FtlConfig cfg = bgConfig();
+        cfg.gcPaceQuantum = quantum;
+        GcRig rig(cfg);
+        std::uint64_t pages = rig.ftl.logicalPages() / 3;
+        end = rig.churn(pages, 8);
+        rig.eq.run();
+        stats = rig.ftl.stats();
+        for (std::uint64_t lpn = 0; lpn < pages; ++lpn)
+            ppns.push_back(rig.ftl.physicalOf(lpn));
+    };
+    std::vector<std::uint64_t> ppns_a, ppns_b;
+    FtlStats sa, sb;
+    Tick ta, tb;
+    run(microseconds(25), ppns_a, sa, ta);
+    run(seconds(1), ppns_b, sb, tb);
+    EXPECT_EQ(ta, tb);
+    EXPECT_EQ(ppns_a, ppns_b);
+    EXPECT_EQ(sa.gcBatches, sb.gcBatches);
+    EXPECT_EQ(sa.erases, sb.erases);
+    EXPECT_EQ(sa.paceLevelMax, 0u);
+    EXPECT_EQ(sb.paceLevelMax, 0u);
+}
+
+TEST(GcPacer, HoldsHigherFreeLevelsUnderSteadyChurn)
+{
+    // The pacer starts collecting as soon as a unit leaves the high
+    // watermark; the fixed-rate engine waits for the low watermark.
+    // Under random overwrite traffic the device can absorb (300 us
+    // between writes — slow enough that collection keeps up, far too
+    // busy for the idle trigger), the paced pool must therefore ride
+    // measurably higher in the watermark band. (At full saturation
+    // both engines are erase-bandwidth-bound and converge — that
+    // regime is covered by the fig_gc sweep's QD-8 cells.)
+    auto run = [](bool paced, double& avg_free) {
+        FtlConfig cfg = bgConfig();
+        cfg.gcAdaptivePacing = paced;
+        cfg.gcIdleThreshold = milliseconds(50); // idle GC out of play
+        GcRig rig(cfg);
+        std::uint64_t pages = rig.ftl.logicalPages() / 2;
+        Tick t = rig.churn(pages, 1);
+        Rng rng(7);
+        double sum = 0;
+        std::uint64_t n = 0;
+        for (std::uint64_t i = 0; i < 8000; ++i) {
+            t = rig.write(rng.below(pages), t) ;
+            t += microseconds(300); // host busy elsewhere
+            double s = 0;
+            for (std::uint64_t pu = 0; pu < rig.ftl.parallelUnits();
+                 ++pu)
+                s += rig.ftl.freeBlocksOf(pu);
+            sum += s / static_cast<double>(rig.ftl.parallelUnits());
+            ++n;
+        }
+        rig.eq.run();
+        avg_free = sum / static_cast<double>(n);
+        return rig.ftl.stats();
+    };
+    double free_fixed = 0, free_paced = 0;
+    run(false, free_fixed);
+    FtlStats paced = run(true, free_paced);
+    EXPECT_GT(free_paced, free_fixed + 0.3)
+        << "adaptive pacing did not hold the pool above the fixed-rate "
+           "engine's level";
+    EXPECT_GE(paced.paceLevelMax, 1u)
+        << "pacer never engaged";
+}
+
+// ---------------------------------------------------------------------
+// Dedicated GC relocation streams.
+// ---------------------------------------------------------------------
+
+/**
+ * Hot/cold churn interleaved at page granularity: prefill [0, pages),
+ * then rewrite only the odd page-rows (a row = one page across every
+ * unit), so every block holds alternating hot and cold pages. Without
+ * victim packing GC re-mixes the cold survivors into the foreground
+ * stream forever; with a dedicated stream they consolidate. @return
+ * FTL write amplification over the churn phase, or -1 on exhaustion.
+ */
+double
+hotColdChurnWa(double fill, std::uint32_t stream_blocks, int rounds)
+{
+    FtlConfig cfg = bgConfig();
+    cfg.gcStreamBlocks = stream_blocks;
+    GcRig rig(cfg);
+    auto pages = static_cast<std::uint64_t>(
+        static_cast<double>(rig.ftl.logicalPages()) * fill);
+    std::uint64_t units = rig.ftl.parallelUnits();
+    std::uint64_t hot_rows = (pages / units) / 2;
+    try {
+        Tick t = 0;
+        for (std::uint64_t lpn = 0; lpn < pages; ++lpn)
+            t = rig.write(lpn, t);
+        std::uint64_t w0 = rig.ftl.stats().hostWrites;
+        std::uint64_t r0 = rig.ftl.stats().gcRelocations;
+        Rng rng(11);
+        for (std::uint64_t i = 0;
+             i < pages * static_cast<std::uint64_t>(rounds); ++i) {
+            std::uint64_t lpn =
+                (rng.below(hot_rows) * 2 + 1) * units + rng.below(units);
+            if (lpn >= pages)
+                continue;
+            t = rig.write(lpn, t);
+        }
+        rig.eq.run();
+        return 1.0 +
+               static_cast<double>(rig.ftl.stats().gcRelocations - r0) /
+                   static_cast<double>(rig.ftl.stats().hostWrites - w0);
+    } catch (const FatalError&) {
+        return -1.0;
+    }
+}
+
+TEST(GcStreams, ForegroundNeverWritesToStreamBlocks)
+{
+    FtlConfig cfg = bgConfig();
+    cfg.gcStreamBlocks = 1;
+    GcRig rig(cfg);
+    std::uint64_t pages = rig.ftl.logicalPages() * 2 / 3;
+    Tick t = rig.churn(pages, 1);
+    Rng rng(13);
+    FlashGeometry g = tinyGeom();
+    for (std::uint64_t i = 0; i < pages * 4; ++i) {
+        std::uint64_t lpn = rng.below(pages);
+        t = rig.write(lpn, t);
+        // The page the foreground write just landed on must not be in
+        // any unit's currently open GC stream block.
+        std::uint64_t blk = rig.ftl.physicalOf(lpn) / g.pagesPerBlock;
+        std::uint64_t pu = blk / g.blocksPerPlane;
+        auto block = static_cast<std::int64_t>(blk % g.blocksPerPlane);
+        EXPECT_NE(block, rig.ftl.gcStreamBlockOf(pu))
+            << "foreground write landed in the GC relocation stream";
+    }
+    rig.eq.run();
+    EXPECT_GT(rig.ftl.stats().gcStreamBlocks, 0u)
+        << "churn never opened a relocation stream";
+    expectMappingsExact(rig.ftl, pages);
+}
+
+TEST(GcStreams, PackingCutsWriteAmplificationAtHighOccupancy)
+{
+    double wa_shared = hotColdChurnWa(0.80, 0, 20);
+    double wa_stream = hotColdChurnWa(0.80, 1, 20);
+    ASSERT_GT(wa_shared, 0) << "shared-stream run exhausted the device";
+    ASSERT_GT(wa_stream, 0) << "stream run exhausted the device";
+    EXPECT_LT(wa_stream, wa_shared)
+        << "victim packing did not reduce write amplification";
+}
+
+TEST(GcStreams, RaiseSustainableOccupancyBound)
+{
+    // "Sustainable" = the device absorbs sustained hot/cold churn
+    // with write amplification inside a fixed budget. The dedicated
+    // relocation stream stops GC from re-mixing cold survivors into
+    // the foreground stream, so the same WA budget holds at a higher
+    // occupancy. (The budget sits between deterministic measured
+    // values: shared ~3.34 vs stream ~3.16 at the upper fill, shared
+    // ~2.92 at the lower.)
+    constexpr double budget = 3.25;
+    double shared_hi = hotColdChurnWa(0.825, 0, 60);
+    double stream_hi = hotColdChurnWa(0.825, 1, 60);
+    double shared_lo = hotColdChurnWa(0.800, 0, 60);
+    ASSERT_GT(shared_hi, 0);
+    ASSERT_GT(stream_hi, 0);
+    ASSERT_GT(shared_lo, 0);
+    EXPECT_LE(shared_lo, budget)
+        << "80% occupancy should be sustainable without streams";
+    EXPECT_GT(shared_hi, budget)
+        << "82.5% occupancy unexpectedly sustainable without streams";
+    EXPECT_LE(stream_hi, budget)
+        << "GC streams should hold the WA budget at 82.5% occupancy";
 }
 
 } // namespace

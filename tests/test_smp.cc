@@ -18,7 +18,9 @@
 #include "core/hams_system.hh"
 #include "cpu/core_model.hh"
 #include "cpu/smp_model.hh"
+#include "ftl/page_ftl.hh"
 #include "sim/alloc_hook.hh"
+#include "ssd/ssd.hh"
 #include "workload/workload.hh"
 
 namespace hams {
@@ -366,6 +368,135 @@ TEST(SmpContention, PersistGateSerialisesAcrossCores)
 // Hot-path discipline: the per-core hit path through the SMP conductor
 // allocates nothing in steady state.
 // ---------------------------------------------------------------------
+
+// ---------------------------------------------------------------------
+// Background GC under SMP: device-internal collection events share the
+// queue with four cores' accesses. Runs must stay rerun-deterministic,
+// the inline fast-path gate must keep declining while GC events are
+// pending (pinned end-to-end by inline-on == inline-off bit-identity),
+// and the hit path stays allocation-free with the engine enabled.
+// ---------------------------------------------------------------------
+
+/**
+ * A small HAMS machine whose ULL-Flash runs background GC, prefilled
+ * to 65% so the dirty evictions of a cache-overflowing write workload
+ * overwrite live LBAs and drive real collection during the run.
+ */
+std::unique_ptr<HamsSystem>
+smallHamsBgGc()
+{
+    HamsSystemConfig c = HamsSystemConfig::tightExtend();
+    c.nvdimm.capacity = 96ull << 20;
+    c.ssdRawBytes = 512ull << 20; // 8 blocks/plane: GC within reach
+    c.pinnedBytes = 32ull << 20;
+    c.functionalData = false;
+    c.ftl.backgroundGc = true;
+    auto sys = std::make_unique<HamsSystem>(c);
+
+    Ssd& ssd = sys->ullFlash();
+    PageFtl& ftl = ssd.pageFtl();
+    std::uint64_t pages = ftl.logicalPages() * 65 / 100;
+    Tick t = 0;
+    for (std::uint64_t lpn = 0; lpn < pages; ++lpn)
+        t = ftl.writePage(lpn, ssd.config().geom.pageSize, t);
+    sys->eventQueue().run(); // settle pre-run idle collection
+    ssd.flashLayer().reset(); // prefilled but idle device
+    ftl.onFlashReset();       // handles died with the FIL's registry
+    return sys;
+}
+
+SmpResult
+runBgGcSmp(HamsSystem& sys, bool inline_on)
+{
+    std::vector<std::unique_ptr<WorkloadGenerator>> gens;
+    std::vector<WorkloadGenerator*> raw;
+    for (std::uint32_t c = 0; c < 4; ++c) {
+        gens.push_back(makeCoreWorkload("rndWr", 128ull << 20, c, 4));
+        raw.push_back(gens.back().get());
+    }
+    SmpConfig cfg;
+    cfg.core.inlineFastPath = inline_on;
+    SmpModel smp(sys, cfg);
+    smp.run(raw, 100000);
+    return smp.run(raw, 200000);
+}
+
+TEST(SmpBackgroundGc, FourCoreRerunIdenticalAndGateSound)
+{
+    auto p1 = smallHamsBgGc();
+    auto p2 = smallHamsBgGc();
+    SmpResult r1 = runBgGcSmp(*p1, /*inline_on=*/true);
+    SmpResult r2 = runBgGcSmp(*p2, /*inline_on=*/true);
+
+    // Collection genuinely ran as background events and overlapped
+    // with host traffic (it may still be mid-victim when the budget
+    // runs out — an active machine then holds a pending step event,
+    // which is exactly what keeps the inline gate declining).
+    const FtlStats& fs = p1->ullFlash().ftlStats();
+    EXPECT_GT(fs.gcBatches, 0u) << "background GC never stepped";
+    EXPECT_GT(fs.gcForegroundOverlap, 0u)
+        << "no host op overlapped active collection";
+    if (p1->ullFlash().pageFtl().gcActive())
+        EXPECT_GT(p1->eventQueue().pending(), 0u)
+            << "active machine with an empty queue";
+
+    // Rerun-deterministic, including the device-internal engine.
+    for (std::uint32_t c = 0; c < 4; ++c)
+        expectIdentical(r1.perCore[c], r2.perCore[c], "bg-GC rerun");
+    expectIdentical(r1.combined, r2.combined, "bg-GC combined");
+    expectIdentical(p1->stats(), p2->stats(), "bg-GC HamsStats");
+    EXPECT_EQ(p1->eventQueue().now(), p2->eventQueue().now());
+    EXPECT_EQ(p1->eventQueue().fired(), p2->eventQueue().fired());
+    const FtlStats& fs2 = p2->ullFlash().ftlStats();
+    EXPECT_EQ(fs.gcBatches, fs2.gcBatches);
+    EXPECT_EQ(fs.gcRelocations, fs2.gcRelocations);
+    EXPECT_EQ(fs.erases, fs2.erases);
+    EXPECT_EQ(fs.gcWriteStalls, fs2.gcWriteStalls);
+
+    // Gate soundness, end to end: pending GC events force the event
+    // path, so enabling the inline fast path must not change a single
+    // simulated result. A gate that wrongly accepted while collection
+    // events were pending would complete inline at a tick that ignores
+    // them and diverge here.
+    auto p3 = smallHamsBgGc();
+    SmpResult r3 = runBgGcSmp(*p3, /*inline_on=*/false);
+    for (std::uint32_t c = 0; c < 4; ++c)
+        expectIdentical(r1.perCore[c], r3.perCore[c],
+                        "bg-GC inline on vs off");
+    expectIdentical(p1->stats(), p3->stats(),
+                    "bg-GC HamsStats inline on vs off");
+    EXPECT_EQ(p1->eventQueue().now(), p3->eventQueue().now());
+}
+
+TEST(SmpBackgroundGc, HitPathStaysAllocationFree)
+{
+    // Same discipline as SmpZeroAlloc.HitPathThroughConductor, with
+    // the background collector enabled and engaged: equal allocation
+    // deltas between a short and a long measured run mean the per-op
+    // cost — host path and GC machinery included — is zero.
+    auto sys = smallHamsBgGc();
+    std::vector<std::unique_ptr<WorkloadGenerator>> gens;
+    std::vector<WorkloadGenerator*> raw;
+    for (std::uint32_t c = 0; c < 4; ++c) {
+        gens.push_back(makeCoreWorkload("rndWr", 128ull << 20, c, 4));
+        raw.push_back(gens.back().get());
+    }
+    SmpModel smp(*sys);
+    // Warm pools, arenas, GC machines and every block's lazily
+    // allocated page arrays: collection keeps opening fresh blocks,
+    // so the first-touch tail is longer than the host-only paths'.
+    smp.run(raw, 600000);
+
+    alloc_hook::AllocCounter allocs;
+    smp.run(raw, 50000);
+    std::uint64_t small = allocs.delta();
+    allocs.rebase();
+    smp.run(raw, 200000);
+    std::uint64_t large = allocs.delta();
+    EXPECT_EQ(small, large)
+        << "per-op allocations on the SMP path with background GC";
+    EXPECT_GT(sys->ullFlash().ftlStats().gcBatches, 0u);
+}
 
 TEST(SmpZeroAlloc, HitPathThroughConductor)
 {
