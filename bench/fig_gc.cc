@@ -4,13 +4,15 @@
  * synchronous collection makes invisible (ISSUE 4 / paper SSII-C).
  *
  * {hams-TE, hams-TP, mmap} × fill levels {25%, 50%, 70%} × GC mode
- * {sync, bg, paced}: the device is pre-filled to the given fraction of
- * its logical space (then the flash busy-state is reset, so the data
- * is *laid out* but the device starts idle), and a closed loop of
- * random 64 B writes over a window 3x the host cache then drives
- * misses, dirty evictions and — as free blocks drain — garbage
+ * {sync, bg, paced, quality}: the device is pre-filled to the given
+ * fraction of its logical space (then the flash busy-state is reset,
+ * so the data is *laid out* but the device starts idle), and a closed
+ * loop of random 64 B writes over a window 3x the host cache then
+ * drives misses, dirty evictions and — as free blocks drain — garbage
  * collection. The paced mode enables the adaptive pacer on top of the
- * background engine (FtlConfig::gcAdaptivePacing). Dedicated GC
+ * background engine (FtlConfig::gcAdaptivePacing); quality adds the
+ * victim-quality gate (FtlConfig::gcVictimQuality), which defers
+ * near-full victims while the pool has runway. Dedicated GC
  * relocation streams (gcStreamBlocks) stay off here by design: this
  * sweep's uniform random traffic has no cold data to quarantine, so a
  * stream block only ties up per-unit capacity — tests/test_gc.cc
@@ -50,7 +52,7 @@ using namespace hams;
 using namespace hams::bench;
 
 /** GC personality of one cell. */
-enum class GcMode { Sync, Bg, Paced };
+enum class GcMode { Sync, Bg, Paced, Quality };
 
 const char*
 modeName(GcMode m)
@@ -59,6 +61,7 @@ modeName(GcMode m)
       case GcMode::Sync: return "sync";
       case GcMode::Bg: return "bg";
       case GcMode::Paced: return "paced";
+      case GcMode::Quality: return "quality";
     }
     return "?";
 }
@@ -93,8 +96,10 @@ buildPlatform(const GcCell& cell, const BenchGeometry& geom)
     setQuiet(true);
     FtlConfig ftl;
     ftl.backgroundGc = cell.mode != GcMode::Sync;
-    if (cell.mode == GcMode::Paced)
+    if (cell.mode == GcMode::Paced || cell.mode == GcMode::Quality)
         ftl.gcAdaptivePacing = true;
+    if (cell.mode == GcMode::Quality)
+        ftl.gcVictimQuality = true;
 
     if (cell.platform == "mmap") {
         MmapConfig c;
@@ -324,7 +329,8 @@ main()
     std::vector<GcCell> cells;
     for (const auto& p : platforms)
         for (double f : fills)
-            for (GcMode m : {GcMode::Sync, GcMode::Bg, GcMode::Paced})
+            for (GcMode m : {GcMode::Sync, GcMode::Bg, GcMode::Paced,
+                             GcMode::Quality})
                 cells.push_back({p, f, m});
 
     // Cells own their platform, queue and seed: embarrassingly
@@ -396,7 +402,8 @@ main()
             "\"min_free_blocks\": %u, \"avg_free_blocks\": %.2f, "
             "\"avg_free_sustained\": %.3f, "
             "\"band_occupancy\": %.3f, \"write_amp\": %.3f, "
-            "\"gc_stream_blocks\": %llu, \"pace_level_max\": %u}%s\n",
+            "\"gc_stream_blocks\": %llu, \"gc_quality_deferrals\": %llu, "
+            "\"pace_level_max\": %u}%s\n",
             c.platform.c_str(), static_cast<int>(c.fill * 100), mode,
             r.opsPerSec, r.p50us, r.p99us, r.p999us, r.maxus,
             static_cast<unsigned long long>(r.ftl.gcRuns),
@@ -413,29 +420,33 @@ main()
             r.minFree, r.avgFree, r.avgFreeSustained, r.bandOccupancy,
             r.writeAmp,
             static_cast<unsigned long long>(r.ftl.gcStreamBlocks),
+            static_cast<unsigned long long>(r.ftl.gcQualityDeferrals),
             r.ftl.paceLevelMax, i + 1 < cells.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
 
     // Side-by-side tails: the background engine removes the sync GC
-    // cliff; the pacer + GC streams then hold the free level up the
-    // band without giving the tail back.
-    std::printf("\nforeground tail, sync vs background vs paced GC:\n");
-    std::printf("%-8s %5s %12s %12s %12s %8s %14s %9s\n", "platform",
+    // cliff; the pacer + GC streams hold the free level up the band
+    // without giving the tail back; the victim-quality gate then
+    // shaves write amplification on top of the paced engine.
+    std::printf("\nforeground tail, sync vs background vs paced vs "
+                "quality-gated GC:\n");
+    std::printf("%-8s %5s %12s %12s %12s %8s %14s %14s\n", "platform",
                 "fill", "sync p99", "bg p99", "paced p99", "ops b/p",
-                "avgFree s/b/p", "WA b/p");
-    for (std::size_t i = 0; i + 2 < cells.size(); i += 3) {
+                "avgFree s/b/p", "WA b/p/q");
+    for (std::size_t i = 0; i + 3 < cells.size(); i += 4) {
         const GcResult& s = results[i];
         const GcResult& b = results[i + 1];
         const GcResult& p = results[i + 2];
+        const GcResult& q = results[i + 3];
         double ratio = b.opsPerSec > 0 ? p.opsPerSec / b.opsPerSec : 0;
         std::printf("%-8s %5.2f %10.1fus %10.1fus %10.1fus %7.2fx "
-                    "%4.1f/%.1f/%.1f %4.2f/%.2f\n",
+                    "%4.1f/%.1f/%.1f %4.2f/%.2f/%.2f\n",
                     cells[i].platform.c_str(), cells[i].fill, s.p99us,
                     b.p99us, p.p99us, ratio, s.avgFreeSustained,
                     b.avgFreeSustained, p.avgFreeSustained, b.writeAmp,
-                    p.writeAmp);
+                    p.writeAmp, q.writeAmp);
     }
     std::printf("\nResults written to %s\n", out.c_str());
     return 0;

@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Recovery-time (RTO) sweep: power cuts at seeded event boundaries of
+ * a loaded system, then Fig. 15 recovery — NVDIMM restore, journal
+ * scan, in-flight replay — timed end to end.
+ *
+ * {hams-LE, hams-TE} × fill {25%, 50%, 70%} × GC debt {idle, churn}:
+ * each cell prefills the backing ULL-Flash to the fill level, runs
+ * dirty-miss write traffic over the MoS cache (the churn debt level
+ * keeps writing until background GC is in flight and the free pool is
+ * depleted), leaves reads in flight, and cuts power mid-simulation
+ * with the seeded FaultInjector. Reported per cell:
+ *
+ *  - shutdown side: frames the supercap destaged and the drain tick
+ *    (pure integer arithmetic — identical across compilers), loose
+ *    topology only since advanced HAMS removes the device DRAM;
+ *  - recovery side: RTO in simulated ms, split into the NVDIMM
+ *    restore floor and the journal-replay remainder;
+ *  - the GC state the cut interrupted (free-block level, live GC
+ *    machines) and the number of acknowledged writes verified intact
+ *    after recovery — a failed readback aborts the sweep.
+ *
+ * The whole sweep runs twice; BENCH_recovery.json records
+ * "sim_outputs_identical": true only if every number of the second
+ * pass is bit-identical to the first — the determinism contract the
+ * crash fuzzer's replay depends on.
+ *
+ * Deterministic: fixed seeds, one fresh platform per cell; results in
+ * BENCH_recovery.json (HAMS_BENCH_JSON overrides, HAMS_BENCH_SCALE
+ * enlarges the traffic phase).
+ */
+
+#include <cstdio>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "core/hams_system.hh"
+#include "ftl/page_ftl.hh"
+#include "sim/fault_injector.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "ssd/ssd.hh"
+
+namespace {
+
+using namespace hams;
+using namespace hams::bench;
+
+struct RecoveryCell
+{
+    std::string platform; //!< hams-LE | hams-TE
+    double fill;          //!< prefilled fraction of logical capacity
+    bool churn = false;   //!< drive GC debt before the cut
+};
+
+struct RecoveryResult
+{
+    std::uint64_t ackedWrites = 0;   //!< verified intact after recovery
+    std::uint64_t inFlight = 0;      //!< accesses pending at the cut
+    std::uint64_t drainFrames = 0;   //!< supercap-destaged dirty frames
+    Tick drainTicks = 0;             //!< integer-path drain cost
+    Tick cutTick = 0;                //!< when the power failed
+    Tick rtoTicks = 0;               //!< powerRestore -> first service
+    Tick nvdimmRestoreTicks = 0;     //!< restore floor inside the RTO
+    double avgFreeAtCut = 0;         //!< free-block level the cut saw
+    std::uint64_t gcRelocations = 0; //!< GC debt paid before the cut
+    bool gcActiveAtCut = false;
+
+    bool
+    operator==(const RecoveryResult& o) const
+    {
+        return ackedWrites == o.ackedWrites && inFlight == o.inFlight &&
+               drainFrames == o.drainFrames &&
+               drainTicks == o.drainTicks && cutTick == o.cutTick &&
+               rtoTicks == o.rtoTicks &&
+               nvdimmRestoreTicks == o.nvdimmRestoreTicks &&
+               avgFreeAtCut == o.avgFreeAtCut &&
+               gcRelocations == o.gcRelocations &&
+               gcActiveAtCut == o.gcActiveAtCut;
+    }
+};
+
+HamsSystemConfig
+cellConfig(const RecoveryCell& cell)
+{
+    HamsSystemConfig c;
+    c.mode = HamsMode::Extend;
+    c.topology = cell.platform == "hams-TE" ? HamsTopology::Tight
+                                            : HamsTopology::Loose;
+    c.nvdimm.capacity = 128ull << 20;
+    c.ssdRawBytes = 1ull << 30;
+    c.pinnedBytes = 32ull << 20;
+    c.queueEntries = 256;
+    return c;
+}
+
+RecoveryResult
+runCell(const RecoveryCell& cell, std::uint64_t traffic)
+{
+    setQuiet(true);
+    RecoveryResult res;
+    HamsSystem sys(cellConfig(cell));
+    EventQueue& eq = sys.eventQueue();
+    Ssd& ssd = sys.ullFlash();
+    PageFtl& ftl = ssd.pageFtl();
+
+    // Lay data out on the fill fraction of the flash, then clear the
+    // busy-state: the device starts loaded but idle (fig_gc's scheme).
+    auto pages = static_cast<std::uint64_t>(
+        static_cast<double>(ftl.logicalPages()) * cell.fill);
+    Tick t = 0;
+    std::uint32_t page_size = ssd.config().geom.pageSize;
+    for (std::uint64_t lpn = 0; lpn < pages; ++lpn)
+        t = ftl.writePage(lpn, page_size, t);
+    ssd.flashLayer().reset();
+    ftl.onFlashReset();
+
+    // Acknowledged dirty-miss traffic over a window 3x the MoS cache:
+    // evictions reach the flash, and under the churn debt level the
+    // free pool depletes until background GC owes real work.
+    std::uint64_t cache = sys.pinnedRegion().cacheBytes();
+    std::uint64_t window = std::min<std::uint64_t>(
+        3 * (128ull << 20), sys.capacity());
+    Rng rng(41 + static_cast<std::uint64_t>(cell.fill * 100) +
+            (cell.churn ? 7 : 0));
+    std::map<Addr, std::uint64_t> acked;
+    std::uint64_t writes = cell.churn ? traffic * 4 : traffic;
+    for (std::uint64_t i = 0; i < writes; ++i) {
+        Addr addr = (cache + rng.below(window)) & ~Addr(7);
+        std::uint64_t val = rng.next();
+        sys.write(addr, &val, sizeof(val));
+        acked[addr] = val;
+    }
+
+    // Leave reads in flight and cut at a seeded event boundary.
+    for (int a = 0; a < 6; ++a)
+        sys.access(MemAccess{cache + (rng.below(window) & ~Addr(63)), 64,
+                             MemOp::Read},
+                   eq.now(), nullptr);
+    FaultInjector inj(eq, 1009);
+    FaultPlan plan;
+    plan.policy = CutPolicy::RandomEvent;
+    plan.param = 16;
+    inj.arm(plan);
+    inj.pumpToCut();
+    res.inFlight = eq.pending();
+    res.gcActiveAtCut = ftl.gcActive();
+    double free_sum = 0;
+    for (std::uint64_t pu = 0; pu < ftl.parallelUnits(); ++pu)
+        free_sum += ftl.freeBlocksOf(pu);
+    res.avgFreeAtCut =
+        free_sum / static_cast<double>(ftl.parallelUnits());
+    res.gcRelocations = ftl.stats().gcRelocations;
+    std::uint64_t dirty =
+        ssd.buffer() ? ssd.buffer()->dirtyFrames().size() : 0;
+
+    res.cutTick = eq.now();
+    res.drainTicks = sys.powerFail();
+    res.drainFrames = dirty;
+
+    // Recovery: recover() returns the absolute tick of first service.
+    // The NVDIMM restore floor is capacity over the on-DIMM flash
+    // stream bandwidth (Nvdimm::powerRestore's model).
+    Tick recovered = sys.recover();
+    res.rtoTicks = recovered - res.cutTick;
+    HamsSystemConfig scfg = cellConfig(cell);
+    res.nvdimmRestoreTicks =
+        seconds(static_cast<double>(scfg.nvdimm.capacity) /
+                scfg.nvdimm.backupBandwidth);
+
+    // Every acknowledged write must read back intact.
+    for (const auto& [addr, val] : acked) {
+        std::uint64_t got = 0;
+        sys.read(addr, &got, sizeof(got));
+        if (got != val)
+            throw std::runtime_error(
+                "acked write lost across recovery in " + cell.platform);
+        ++res.ackedWrites;
+    }
+    return res;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("recovery",
+           "crash-recovery RTO sweep (seeded arbitrary-tick cuts, "
+           "verified recovery, supercap drain on the integer path)");
+    std::uint64_t traffic = 1500 * scale();
+
+    const std::vector<std::string> platforms = {"hams-LE", "hams-TE"};
+    const std::vector<double> fills = {0.25, 0.50, 0.70};
+
+    std::vector<RecoveryCell> cells;
+    for (const auto& p : platforms)
+        for (double f : fills)
+            for (bool churn : {false, true})
+                cells.push_back({p, f, churn});
+
+    // The sweep runs twice; pass 2 must be bit-identical to pass 1.
+    std::vector<RecoveryResult> results(cells.size());
+    std::vector<RecoveryResult> rerun(cells.size());
+    try {
+        runCells(
+            cells.size(),
+            [&](std::size_t i) {
+                return cells[i].platform + " fill " +
+                       std::to_string(cells[i].fill) +
+                       (cells[i].churn ? " churn" : " idle");
+            },
+            [&](std::size_t i) {
+                results[i] = runCell(cells[i], traffic);
+                rerun[i] = runCell(cells[i], traffic);
+            });
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+    bool identical = true;
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        identical = identical && results[i] == rerun[i];
+
+    std::printf("\n%-8s %5s %6s %9s %10s %10s %10s %9s %8s %8s %6s\n",
+                "platform", "fill", "debt", "acked", "inflight",
+                "drainFr", "drain(us)", "rto(ms)", "restore", "reloc",
+                "free");
+
+    std::string out = jsonOutPath("BENCH_recovery.json");
+    std::FILE* f = std::fopen(out.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "could not write %s\n", out.c_str());
+        return 1;
+    }
+    std::fprintf(f, "{\n  \"sim_outputs_identical\": %s,\n",
+                 identical ? "true" : "false");
+    std::fprintf(f, "  \"benchmarks\": [\n");
+
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const RecoveryCell& c = cells[i];
+        const RecoveryResult& r = results[i];
+        double rto_ms = static_cast<double>(r.rtoTicks) * 1e-9;
+        double restore_ms =
+            static_cast<double>(r.nvdimmRestoreTicks) * 1e-9;
+        double drain_us = static_cast<double>(r.drainTicks) * 1e-6;
+        std::printf("%-8s %5.2f %6s %9llu %10llu %10llu %10.1f %9.1f "
+                    "%7.1f %8llu %6.1f\n",
+                    c.platform.c_str(), c.fill,
+                    c.churn ? "churn" : "idle",
+                    static_cast<unsigned long long>(r.ackedWrites),
+                    static_cast<unsigned long long>(r.inFlight),
+                    static_cast<unsigned long long>(r.drainFrames),
+                    drain_us, rto_ms, restore_ms,
+                    static_cast<unsigned long long>(r.gcRelocations),
+                    r.avgFreeAtCut);
+        std::fprintf(
+            f,
+            "    {\"name\": \"recovery/%s/fill%02d/%s\", "
+            "\"acked_writes_verified\": %llu, \"in_flight_at_cut\": "
+            "%llu, \"drain_frames\": %llu, \"drain_ticks\": %llu, "
+            "\"drain_us\": %.3f, \"cut_tick\": %llu, "
+            "\"rto_ticks\": %llu, \"rto_ms\": %.3f, "
+            "\"nvdimm_restore_ms\": %.3f, \"replay_ms\": %.3f, "
+            "\"gc_active_at_cut\": %s, \"avg_free_at_cut\": %.2f, "
+            "\"gc_relocations\": %llu}%s\n",
+            c.platform.c_str(), static_cast<int>(c.fill * 100),
+            c.churn ? "churn" : "idle",
+            static_cast<unsigned long long>(r.ackedWrites),
+            static_cast<unsigned long long>(r.inFlight),
+            static_cast<unsigned long long>(r.drainFrames),
+            static_cast<unsigned long long>(r.drainTicks), drain_us,
+            static_cast<unsigned long long>(r.cutTick),
+            static_cast<unsigned long long>(r.rtoTicks), rto_ms,
+            restore_ms, rto_ms - restore_ms,
+            r.gcActiveAtCut ? "true" : "false", r.avgFreeAtCut,
+            static_cast<unsigned long long>(r.gcRelocations),
+            i + 1 < cells.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+
+    std::printf("\nsim outputs identical across reruns: %s\n",
+                identical ? "yes" : "NO");
+    std::printf("Results written to %s\n", out.c_str());
+    return identical ? 0 : 1;
+}

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Build the Release recovery-time sweep and record the trajectory in
+# BENCH_recovery.json (repo root, or $HAMS_BENCH_JSON): seeded
+# arbitrary-tick power cuts on loaded hams-LE/hams-TE systems across
+# fill levels and GC-debt states, with the supercap drain cost (pure
+# integer tick path), the RTO split into NVDIMM-restore floor and
+# journal-replay remainder, and post-recovery verification of every
+# acknowledged write. The sweep runs twice and the JSON's
+# "sim_outputs_identical" field asserts bit-identical reruns.
+#
+# Usage: scripts/bench_recovery.sh
+#   HAMS_BENCH_SCALE=N enlarges the traffic phase (default 1).
+#   HAMS_BENCH_THREADS=N caps the cross-cell worker pool.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build-bench"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+      -DCMAKE_BUILD_TYPE=Release \
+      -DHAMS_BUILD_TESTS=OFF \
+      -DHAMS_BUILD_EXAMPLES=OFF
+cmake --build "${build_dir}" --target fig_recovery -j"$(nproc)"
+
+export HAMS_BENCH_JSON="${HAMS_BENCH_JSON:-${repo_root}/BENCH_recovery.json}"
+"${build_dir}/fig_recovery"
+
+echo
+echo "Results written to ${HAMS_BENCH_JSON}"

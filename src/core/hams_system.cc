@@ -231,17 +231,23 @@ HamsSystem::read(Addr addr, void* dst, std::uint64_t size)
     return t;
 }
 
-void
-HamsSystem::powerFail()
+Tick
+HamsSystem::powerFail(std::uint64_t max_drain_frames)
 {
     // In-flight events evaporate with the power.
     eq.reset(false);
     nvmeCtrl->powerFail(/*events_dropped=*/true);
     engine->onPowerFail();
     ctrl->onPowerFail();
-    ssd->powerFail();
-    nvdimm->powerFail();
+    Tick drain = ssd->powerFail(max_drain_frames);
+    // A second failure during the failure handling itself finds the
+    // NVDIMM already isolated and backed up (Protected): nothing left
+    // to do for it, and the component-level state machine would
+    // rightly reject the call.
+    if (nvdimm->state() == Nvdimm::State::Operational)
+        nvdimm->powerFail();
     link->reset();
+    return drain;
 }
 
 Tick

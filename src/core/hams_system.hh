@@ -107,8 +107,19 @@ class HamsSystem : public MemoryPlatform
     /**
      * Cut power: all in-flight work vanishes, the NVDIMM backs itself
      * up, the ULL-Flash supercap drains its buffer.
+     *
+     * Idempotent before recover(): a second failure during the
+     * failure handling finds the NVDIMM already Protected and the
+     * device state already resolved, and changes nothing.
+     *
+     * @param max_drain_frames fault-injection hook (see
+     *        Ssd::powerFail): a second failure cuts the supercap
+     *        drain short after this many frames. Default: full drain.
+     * @return ticks the ULL-Flash supercap drain took (0 without a
+     *         device buffer) — the shutdown-side cost the recovery
+     *         bench reports next to the restore-side RTO.
      */
-    void powerFail();
+    Tick powerFail(std::uint64_t max_drain_frames = ~std::uint64_t(0));
 
     /**
      * Boot and run the paper's Fig. 15 recovery (journal scan + replay).

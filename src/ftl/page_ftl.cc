@@ -403,7 +403,7 @@ PageFtl::collect(std::uint64_t pu, Tick& at)
 }
 
 std::int32_t
-PageFtl::selectVictim(std::uint64_t pu)
+PageFtl::selectVictim(std::uint64_t pu, std::uint32_t max_valid)
 {
     Unit& u = units[pu];
     if (u.closedBlocks.empty())
@@ -424,6 +424,12 @@ PageFtl::selectVictim(std::uint64_t pu)
     // full, no closed block can yield space.
     if (victim_valid >= geom.pagesPerBlock)
         return -1;
+    // The quality gate defers reclaimable-but-expensive victims while
+    // the pool still has runway; the victim stays on the closed list.
+    if (victim_valid > max_valid) {
+        ++_stats.gcQualityDeferrals;
+        return -1;
+    }
     auto victim = static_cast<std::int32_t>(*victim_it);
     u.closedBlocks.erase(victim_it);
     return victim;
@@ -453,7 +459,8 @@ bool
 PageFtl::pickVictim(std::uint64_t pu)
 {
     Unit& u = units[pu];
-    std::int32_t victim = selectVictim(pu);
+    std::int32_t victim = selectVictim(
+        pu, victimAllowance(static_cast<std::uint32_t>(u.freeBlocks.size())));
     if (victim < 0)
         return false;
     u.gc.victim = victim;
@@ -622,6 +629,21 @@ PageFtl::notePaceLevel(std::uint32_t free_blocks)
             std::max(_stats.paceLevelMax, _stats.paceLevel);
     }
     return paceBatch(free_blocks);
+}
+
+std::uint32_t
+PageFtl::victimAllowance(std::uint32_t free_blocks) const
+{
+    if (!cfg.gcVictimQuality || !cfg.gcAdaptivePacing)
+        return geom.pagesPerBlock; // gate open: only the livelock
+                                   // reject in selectVictim applies
+    // Linear in the pacer level: no tolerance for valid pages at the
+    // high watermark, a full block's worth at the reserve. The crisis
+    // path always sits at the deepest level, so the gate never blocks
+    // a stalled writer.
+    std::uint32_t span = cfg.gcHighWater - cfg.gcReserveBlocks;
+    std::uint32_t level = paceLevelOf(free_blocks);
+    return geom.pagesPerBlock * std::min(level, span) / span;
 }
 
 Tick
@@ -821,13 +843,20 @@ PageFtl::onPowerFail()
             u.closedBlocks.push_back(static_cast<std::uint32_t>(g.victim));
             g.victim = -1;
         }
+        g.nextPage = 0;
         g.active = false;
         g.idleKicked = false;
         g.countedRun = false;
         g.stepEvent = 0; // the owner reset the queue; ids are dead
+        // The latched schedule hints die with the in-flight work: a
+        // stale future readyAt would otherwise defer the first
+        // post-recovery kick of this machine for no physical reason.
+        g.readyAt = 0;
+        g.pendingFreeAt = 0;
     }
     gcActiveMachines = 0;
     idleEvent = 0;
+    idleArmWanted = false;
     inGc = false;
 }
 
@@ -838,6 +867,24 @@ PageFtl::onFlashReset()
         u.gc.sliceOp = {};
         u.gc.pendingFreeOp = {};
     }
+}
+
+bool
+PageFtl::gcVictimLive() const
+{
+    for (const Unit& u : units)
+        if (u.gc.victim >= 0)
+            return true;
+    return false;
+}
+
+bool
+PageFtl::gcEraseInFlight() const
+{
+    for (const Unit& u : units)
+        if (u.gc.pendingFree >= 0)
+            return true;
+    return false;
 }
 
 std::uint32_t

@@ -37,7 +37,7 @@
  * a background erase therefore delays the block credit by exactly the
  * stolen window instead of leaving it optimistic.
  *
- * Two optional policies sharpen the background engine:
+ * Three optional policies sharpen the background engine:
  *
  *  - **Adaptive pacing** (`gcAdaptivePacing = true`): collection
  *    intensity scales with pool depletion. The pacer maps the free
@@ -60,6 +60,13 @@
  *    and tiny geometries sustain random churn at higher occupancy
  *    before exhausting consolidation headroom. Applies to both GC
  *    personalities; 0 (default) keeps the PR 4 shared-stream layout.
+ *
+ *  - **Victim quality** (`gcVictimQuality = true`, with pacing on):
+ *    the paced collector refuses victims more valid than the level's
+ *    allowance (victimAllowance()) while the free pool has runway,
+ *    trading collection eagerness for write amplification — the
+ *    deferral shows up as FtlStats::gcQualityDeferrals and a lower
+ *    steady-state write_amp at high occupancy. Off by default.
  *
  * Determinism: every GC decision is a pure function of FTL state and
  * event order, which the EventQueue keeps deterministic; reruns are
@@ -130,6 +137,19 @@ struct FtlConfig
     std::uint32_t gcStreamBlocks = 0;
     /** Cadence slack per unused pacer level (gcAdaptivePacing). */
     Tick gcPaceQuantum = microseconds(25);
+    /**
+     * Victim-quality term of the adaptive pacer (requires
+     * gcAdaptivePacing): while the free pool has runway, the
+     * background collector only accepts victims whose valid-page
+     * count fits the pacer level's allowance (victimAllowance()) —
+     * near-full victims, whose relocation is nearly all write
+     * amplification, are deferred until depletion justifies them.
+     * The crisis path (foreground stall at the reserve) always runs
+     * at full allowance, so the gate can never starve a writer. Off
+     * (default) preserves the pure fewest-valid greedy policy
+     * bit-identically.
+     */
+    bool gcVictimQuality = false;
     ///@}
 };
 
@@ -153,6 +173,8 @@ struct FtlStats
     std::uint64_t gcForegroundOverlap = 0;
     /** Dedicated relocation stream blocks opened (gcStreamBlocks). */
     std::uint64_t gcStreamBlocks = 0;
+    /** Victims deferred by the quality gate (gcVictimQuality). */
+    std::uint64_t gcQualityDeferrals = 0;
     /** Pacer level at the most recent background step (0 = gentlest). */
     std::uint32_t paceLevel = 0;
     /** Deepest pacer level reached (pool closest to the reserve). */
@@ -221,6 +243,19 @@ class PageFtl
     /** True while any unit's background GC machine is active. */
     bool gcActive() const { return gcActiveMachines > 0; }
 
+    /**
+     * True while any machine is mid-victim: a block is checked out of
+     * the closed list with its relocation cursor live. The state the
+     * mid-GC-slice cut policy of the fault injector hunts for.
+     */
+    bool gcVictimLive() const;
+
+    /**
+     * True while any unit holds an issued-but-uncredited erase (the
+     * pendingFree window). The mid-erase cut state.
+     */
+    bool gcEraseInFlight() const;
+
     /** Free blocks of parallel unit @p pu (excludes pending erases). */
     std::uint32_t
     freeBlocksOf(std::uint64_t pu) const
@@ -249,6 +284,16 @@ class PageFtl
      */
     std::uint32_t paceBatch(std::uint32_t free_blocks) const;
     Tick paceDelay(std::uint32_t free_blocks) const;
+
+    /**
+     * Victim-quality allowance at @p free_blocks free: the most valid
+     * pages a background victim may carry before the quality gate
+     * defers it. Ramps linearly with the pacer level — zero tolerance
+     * at the high watermark, a full block at the reserve — and is the
+     * whole block (gate open) whenever gcVictimQuality or
+     * gcAdaptivePacing is off. Monotone non-increasing in free_blocks.
+     */
+    std::uint32_t victimAllowance(std::uint32_t free_blocks) const;
 
     /**
      * Shadow-model introspection: a copy of unit @p pu's block lists.
@@ -455,9 +500,12 @@ class PageFtl
      * background collectors so the two modes can never diverge on
      * policy. @return -1 when nothing is reclaimable (no closed
      * blocks, or even the best victim is fully valid — collecting it
-     * would shuffle data forever).
+     * would shuffle data forever). @p max_valid additionally defers
+     * victims past the quality gate's allowance (background paced
+     * path only; the default admits every reclaimable victim).
      */
-    std::int32_t selectVictim(std::uint64_t pu);
+    std::int32_t selectVictim(std::uint64_t pu,
+                              std::uint32_t max_valid = ~std::uint32_t(0));
 
     /** Start the machine's next victim. @return false if none. */
     bool pickVictim(std::uint64_t pu);

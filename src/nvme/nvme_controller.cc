@@ -203,6 +203,19 @@ NvmeController::execute(std::uint16_t qid, const NvmeCommand& cmd,
 void
 NvmeController::powerFail(bool events_dropped)
 {
+    // The flag is a claim about the event queue's state; verify it.
+    // An inconsistent claim is how context double-frees (dropped=true
+    // with events still pending) or permanent context leaks
+    // (dropped=false after the queue was reset) start.
+    if (events_dropped && eq.pending() != 0)
+        fatal("NvmeController::powerFail(events_dropped=true) with ",
+              eq.pending(), " events still pending: reset the event "
+              "queue before declaring its events dropped");
+    std::size_t live = cplPool.liveObjects() + dataPool.liveObjects();
+    if (!events_dropped && eq.pending() == 0 && live != 0)
+        fatal("NvmeController::powerFail(events_dropped=false) with an "
+              "empty event queue would strand ", live,
+              " live contexts: no event remains to release them");
     // Orphan every in-flight completion event; the SSD handles its own
     // buffer fate.
     ++epoch;

@@ -105,8 +105,15 @@ class NvmeController
      * those events referenced are reclaimed here. When the queue keeps
      * running (false), the now-stale events release their own contexts
      * on firing, and reclaiming early would double-free them.
+     *
+     * The flag is deliberately not defaulted: every caller states
+     * which side of the contract it is on, and an inconsistent claim
+     * is fatal — `true` while the queue still holds pending events
+     * would double-free contexts when those events fire, `false`
+     * with an already-empty queue would strand every live context
+     * forever.
      */
-    void powerFail(bool events_dropped = false);
+    void powerFail(bool events_dropped);
 
     Ssd& ssd() { return _ssd; }
 

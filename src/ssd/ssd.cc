@@ -166,7 +166,7 @@ Ssd::hostFlush(Tick at)
 }
 
 Tick
-Ssd::powerFail()
+Ssd::powerFail(std::uint64_t max_drain_frames)
 {
     // In-flight background GC work dies with the power (the owner of
     // the event queue has already dropped the pending events). The
@@ -179,20 +179,28 @@ Ssd::powerFail()
               " tracked flash op handles across power failure");
     Tick drain = 0;
     if (cfg.hasSupercap && buf) {
-        // The supercap powers a full buffer drain: every dirty frame is
-        // programmed before the device dies. Model the drain as the
-        // aggregate program throughput of the flash complex.
+        // The supercap powers a buffer drain: dirty frames program to
+        // flash at the aggregate throughput of the complex. Pure
+        // integer tick arithmetic — a frame costs
+        // ceil(frameBytes / pageSize) programs, the units pipeline
+        // them — so the drain tick is bit-identical across
+        // compilers and -O levels.
         auto dirty = buf->dirtyFrames();
-        if (!dirty.empty()) {
-            double pages_per_sec =
-                static_cast<double>(cfg.geom.parallelUnits()) /
-                (static_cast<double>(cfg.nand.tPROG) * 1e-12);
-            double frames_per_sec =
-                pages_per_sec * cfg.geom.pageSize / nvmeBlockSize;
-            drain = seconds(dirty.size() / frames_per_sec);
-            for (std::uint64_t k : dirty)
-                destage(k);
+        std::uint64_t drained =
+            std::min<std::uint64_t>(dirty.size(), max_drain_frames);
+        if (drained != 0) {
+            std::uint64_t programs =
+                (drained * nvmeBlockSize + cfg.geom.pageSize - 1) /
+                cfg.geom.pageSize;
+            std::uint64_t pus = cfg.geom.parallelUnits();
+            drain = ((programs + pus - 1) / pus) * cfg.nand.tPROG;
+            for (std::uint64_t i = 0; i < drained; ++i)
+                destage(dirty[i]);
         }
+        // A second failure mid-drain (max_drain_frames) loses every
+        // frame past the destaged prefix.
+        if (drained != dirty.size())
+            volatileData.clear();
     } else {
         // No supercap: buffered writes that never reached flash are gone.
         volatileData.clear();

@@ -59,6 +59,37 @@ struct SsdStats
  * One SSD. Host-visible operations are 4 KiB-block granular; timing and
  * (optionally) bytes move together so crash tests observe exactly what a
  * real device would lose.
+ *
+ * ## Durability and recovery contract
+ *
+ * Power may be cut at **any event boundary** — mid-GC-slice, with an
+ * erase in flight, with background relocations suspended under a
+ * foreground burst. The owner must sequence a cut exactly as:
+ *
+ *  1. `EventQueue::reset(false)` — every pending event (GC steps,
+ *     completion deliveries) evaporates; simulated time keeps running.
+ *  2. `powerFail()` — the FTL resolves its in-flight state first
+ *     (`PageFtl::onPowerFail()`): an *issued* erase counts as done and
+ *     its block is credited to the free pool, a half-relocated victim
+ *     returns to the closed list with its surviving pages still
+ *     mapped, every FlashOpHandle is released while the FIL still
+ *     honours it. A handle leaked past this point is fatal — after
+ *     the registry resets it would alias a post-boot op. Then the
+ *     volatile buffer meets its fate: with a supercap every dirty
+ *     frame destages to flash (drain time computed in integer tick
+ *     arithmetic, reproducible across compilers); without one, or
+ *     when a second failure cuts the drain short, unflushed frames
+ *     are lost.
+ *  3. `powerRestore()` — clears transient busy state (FIL registry,
+ *     outstanding-command heap, latched GC schedule hints).
+ *
+ * What survives a cut: the L2P map and block metadata (per the paper,
+ * FTL metadata is journalled/reconstructable), every byte previously
+ * written with FUA or flushed, and every frame the supercap drained.
+ * What does not: buffered unflushed frames (no supercap / interrupted
+ * drain), in-flight commands (never acknowledged — the host must not
+ * have observed their completion), and un-erased victim progress
+ * beyond the pages whose relocation already reached the map.
  */
 class Ssd
 {
@@ -111,10 +142,19 @@ class Ssd
 
     /**
      * Power loss. With a supercap, dirty buffer contents drain to flash
-     * (both functionally and in time); without one they are lost.
+     * (both functionally and in time); without one they are lost. See
+     * the class comment for the full sequencing contract.
+     *
+     * @param max_drain_frames fault-injection hook: the supercap only
+     *        manages to destage this many dirty frames before a second
+     *        failure cuts the drain short; the remaining frames are
+     *        lost exactly as if no supercap existed. Frames destage in
+     *        ascending frame-key order (deterministic), so the durable
+     *        prefix of an interrupted drain is reproducible. Default:
+     *        unlimited (full drain).
      * @return the time the drain took (0 without supercap).
      */
-    Tick powerFail();
+    Tick powerFail(std::uint64_t max_drain_frames = ~std::uint64_t(0));
 
     /** Bring the device back up (clears transient busy state). */
     void powerRestore();

@@ -2,168 +2,30 @@
  * @file
  * FTL shadow-model differential suite.
  *
- * A plain std::map-based reference model shadows the real PageFtl
- * through a seeded fuzz run of mixed write/trim/read/drain operations
- * (tiny geometry, so garbage collection runs constantly), and after
- * *every* operation the full observable FTL state is checked against
- * the model:
- *
- *  - **L2P integrity**: every LPN the model holds is mapped, to a
- *    PPN no other LPN shares; every LPN the model dropped (trimmed or
- *    never written) is unmapped. GC relocation may move a mapping —
- *    the model adopts the move — but can never lose, duplicate or
- *    resurrect one.
- *  - **Valid-page counts**: for every block of every unit, the FTL's
- *    internal validCount equals the number of model mappings that
- *    decode into that block. This catches double-invalidation and
- *    relocation bookkeeping drift long before it corrupts a mapping.
- *  - **Wear**: per-block erase counts never decrease and their sum
- *    equals FtlStats::erases (erase conservation).
- *  - **Block-list partition**: every block of a unit sits on exactly
- *    one list — free, closed, active, GC stream, in-relocation
- *    victim, or pending erase credit. This is the invariant whose
- *    violation was PR 4's double-close bug (a block on closedBlocks
- *    twice) and leaked-stream-block bug (a block on no list at all);
- *    this harness would have caught both at seed.
- *
- * The fuzzer runs in synchronous and background GC modes, with and
- * without the adaptive pacer + dedicated relocation streams, so every
- * GC personality added on top of the FTL is held to the same model.
+ * The reference model and checker live in ftl_shadow_model.hh (shared
+ * with the crash fuzzer, test_crash_fuzz.cc). This suite runs it
+ * through seeded fuzz runs of mixed write/trim/read/drain operations
+ * (tiny geometry, so garbage collection runs constantly) and checks
+ * the full observable FTL state after *every* operation, in
+ * synchronous and background GC modes, with and without the adaptive
+ * pacer + dedicated relocation streams — every GC personality added
+ * on top of the FTL is held to the same model.
  */
 
 #include <gtest/gtest.h>
-
-#include <algorithm>
-#include <map>
-#include <set>
-#include <vector>
 
 #include "flash/fil.hh"
 #include "ftl/page_ftl.hh"
 #include "sim/event_queue.hh"
 #include "sim/rng.hh"
 
+#include "ftl_shadow_model.hh"
+
 namespace hams {
 namespace {
 
-FlashGeometry
-tinyGeom()
-{
-    FlashGeometry g;
-    g.channels = 2;
-    g.packagesPerChannel = 1;
-    g.diesPerPackage = 1;
-    g.planesPerDie = 2;
-    g.blocksPerPlane = 16;
-    g.pagesPerBlock = 8;
-    g.pageSize = 2048;
-    return g;
-}
-
-/** The reference model plus the differential checker. */
-class ShadowFtl
-{
-  public:
-    ShadowFtl(PageFtl& ftl, const FlashGeometry& geom)
-        : ftl(ftl), geom(geom),
-          prevErase(geom.parallelUnits() * geom.blocksPerPlane, 0)
-    {
-    }
-
-    void
-    noteWrite(std::uint64_t lpn)
-    {
-        l2p[lpn] = ftl.physicalOf(lpn);
-    }
-
-    void noteTrim(std::uint64_t lpn) { l2p.erase(lpn); }
-
-    /** Full differential sweep; call after every operation. */
-    void
-    check(std::uint64_t lpn_space, const char* what)
-    {
-        // --- L2P: model mappings exist, pairwise distinct, and moved
-        // entries (GC relocation) are adopted; dropped LPNs unmapped.
-        std::set<std::uint64_t> ppns;
-        for (auto& [lpn, ppn] : l2p) {
-            ASSERT_TRUE(ftl.isMapped(lpn))
-                << what << ": model lpn " << lpn << " lost its mapping";
-            std::uint64_t now = ftl.physicalOf(lpn);
-            if (now != ppn)
-                ppn = now; // relocated by GC: adopt
-            ASSERT_TRUE(ppns.insert(now).second)
-                << what << ": PPN " << now << " mapped twice (lpn " << lpn
-                << ")";
-        }
-        for (std::uint64_t lpn = 0; lpn < lpn_space; ++lpn)
-            if (!l2p.count(lpn))
-                ASSERT_FALSE(ftl.isMapped(lpn))
-                    << what << ": lpn " << lpn
-                    << " mapped but the model dropped it";
-
-        // --- Valid-page counts per block, rebuilt from the model.
-        std::vector<std::uint32_t> model_valid(
-            geom.parallelUnits() * geom.blocksPerPlane, 0);
-        for (auto& [lpn, ppn] : l2p) {
-            (void)lpn;
-            std::uint64_t blk = ppn / geom.pagesPerBlock;
-            ++model_valid[blk];
-        }
-        std::uint64_t erase_sum = 0;
-        for (std::uint64_t pu = 0; pu < geom.parallelUnits(); ++pu) {
-            for (std::uint32_t b = 0; b < geom.blocksPerPlane; ++b) {
-                std::uint64_t gi = pu * geom.blocksPerPlane + b;
-                ASSERT_EQ(ftl.blockValidCount(pu, b), model_valid[gi])
-                    << what << ": valid-count drift on pu " << pu
-                    << " block " << b;
-                std::uint32_t wear = ftl.blockEraseCount(pu, b);
-                ASSERT_GE(wear, prevErase[gi])
-                    << what << ": erase count went backwards on pu " << pu
-                    << " block " << b;
-                prevErase[gi] = wear;
-                erase_sum += wear;
-            }
-        }
-        ASSERT_EQ(erase_sum, ftl.stats().erases)
-            << what << ": per-block erase counts do not add up to "
-            << "FtlStats::erases";
-
-        // --- Partition: every block on exactly one list.
-        for (std::uint64_t pu = 0; pu < geom.parallelUnits(); ++pu) {
-            PageFtl::UnitView v = ftl.unitView(pu);
-            std::vector<std::uint32_t> all;
-            all.insert(all.end(), v.freeBlocks.begin(),
-                       v.freeBlocks.end());
-            all.insert(all.end(), v.closedBlocks.begin(),
-                       v.closedBlocks.end());
-            if (v.activeBlock >= 0)
-                all.push_back(static_cast<std::uint32_t>(v.activeBlock));
-            if (v.gcStreamBlock >= 0)
-                all.push_back(
-                    static_cast<std::uint32_t>(v.gcStreamBlock));
-            if (v.victim >= 0)
-                all.push_back(static_cast<std::uint32_t>(v.victim));
-            if (v.pendingFree >= 0)
-                all.push_back(static_cast<std::uint32_t>(v.pendingFree));
-            std::sort(all.begin(), all.end());
-            ASSERT_EQ(all.size(), geom.blocksPerPlane)
-                << what << ": pu " << pu << " lists hold " << all.size()
-                << " blocks (double-listed or leaked block)";
-            for (std::uint32_t b = 0; b < geom.blocksPerPlane; ++b)
-                ASSERT_EQ(all[b], b)
-                    << what << ": pu " << pu << " block " << b
-                    << " is double-listed or on no list";
-        }
-    }
-
-    std::size_t mapped() const { return l2p.size(); }
-
-  private:
-    PageFtl& ftl;
-    FlashGeometry geom;
-    std::map<std::uint64_t, std::uint64_t> l2p;
-    std::vector<std::uint32_t> prevErase;
-};
+using testing_support::ShadowFtl;
+using testing_support::tinyGeom;
 
 /**
  * Seeded fuzz run: ~@p ops mixed operations over a hot range of half
@@ -263,6 +125,18 @@ TEST(FtlShadow, BackgroundGcPacedWithStreams)
     cfg.gcAdaptivePacing = true;
     cfg.gcStreamBlocks = 1;
     fuzz(cfg, /*background=*/true, 10000, 4);
+}
+
+TEST(FtlShadow, BackgroundGcPacedWithVictimQuality)
+{
+    // The quality gate defers near-full victims while the pool has
+    // runway; the shadow holds it to the same invariants as every
+    // other GC personality.
+    FtlConfig cfg = bgConfig();
+    cfg.gcAdaptivePacing = true;
+    cfg.gcStreamBlocks = 1;
+    cfg.gcVictimQuality = true;
+    fuzz(cfg, /*background=*/true, 10000, 5);
 }
 
 TEST(FtlShadow, BackgroundGcSecondSeedDiverges)

@@ -615,10 +615,9 @@ TEST(GcPacer, HoldsHigherFreeLevelsUnderSteadyChurn)
  * FTL write amplification over the churn phase, or -1 on exhaustion.
  */
 double
-hotColdChurnWa(double fill, std::uint32_t stream_blocks, int rounds)
+hotColdWa(const FtlConfig& cfg, double fill, int rounds,
+          FtlStats* stats_out = nullptr)
 {
-    FtlConfig cfg = bgConfig();
-    cfg.gcStreamBlocks = stream_blocks;
     GcRig rig(cfg);
     auto pages = static_cast<std::uint64_t>(
         static_cast<double>(rig.ftl.logicalPages()) * fill);
@@ -640,12 +639,22 @@ hotColdChurnWa(double fill, std::uint32_t stream_blocks, int rounds)
             t = rig.write(lpn, t);
         }
         rig.eq.run();
+        if (stats_out)
+            *stats_out = rig.ftl.stats();
         return 1.0 +
                static_cast<double>(rig.ftl.stats().gcRelocations - r0) /
                    static_cast<double>(rig.ftl.stats().hostWrites - w0);
     } catch (const FatalError&) {
         return -1.0;
     }
+}
+
+double
+hotColdChurnWa(double fill, std::uint32_t stream_blocks, int rounds)
+{
+    FtlConfig cfg = bgConfig();
+    cfg.gcStreamBlocks = stream_blocks;
+    return hotColdWa(cfg, fill, rounds);
 }
 
 TEST(GcStreams, ForegroundNeverWritesToStreamBlocks)
@@ -706,6 +715,107 @@ TEST(GcStreams, RaiseSustainableOccupancyBound)
         << "82.5% occupancy unexpectedly sustainable without streams";
     EXPECT_LE(stream_hi, budget)
         << "GC streams should hold the WA budget at 82.5% occupancy";
+}
+
+// ---------------------------------------------------------------------
+// Victim-quality gating (ROADMAP open item 5).
+// ---------------------------------------------------------------------
+
+TEST(GcQuality, AllowanceMonotoneInDepletion)
+{
+    Fil fil(tinyGeom(), NandTiming::zNand());
+    FtlConfig cfg = bgConfig();
+    cfg.gcAdaptivePacing = true;
+    cfg.gcVictimQuality = true;
+    PageFtl ftl(tinyGeom(), fil, cfg);
+
+    // Less runway => GC may accept costlier (more-valid) victims;
+    // the allowance never shrinks as the pool depletes.
+    for (std::uint32_t f = 1; f <= tinyGeom().blocksPerPlane; ++f)
+        EXPECT_GE(ftl.victimAllowance(f - 1), ftl.victimAllowance(f))
+            << "allowance shrank as the pool depleted (free " << f
+            << ")";
+    // Crisis takes any victim; comfort takes only fully-dead ones.
+    EXPECT_EQ(ftl.victimAllowance(cfg.gcReserveBlocks),
+              tinyGeom().pagesPerBlock);
+    EXPECT_EQ(ftl.victimAllowance(cfg.gcHighWater), 0u);
+}
+
+TEST(GcQuality, KnobIsInertWithoutPacing)
+{
+    // gcVictimQuality rides on the pacer's depletion level; with
+    // pacing off the gate must be wide open at every level and a run
+    // with the knob set must be bit-identical to one without it.
+    {
+        Fil fil(tinyGeom(), NandTiming::zNand());
+        FtlConfig cfg = bgConfig();
+        cfg.gcVictimQuality = true;
+        PageFtl ftl(tinyGeom(), fil, cfg);
+        for (std::uint32_t f = 0; f <= tinyGeom().blocksPerPlane; ++f)
+            EXPECT_EQ(ftl.victimAllowance(f), tinyGeom().pagesPerBlock);
+    }
+
+    auto run = [](bool quality, std::vector<std::uint64_t>& ppns,
+                  FtlStats& stats, Tick& end) {
+        FtlConfig cfg = bgConfig();
+        cfg.gcVictimQuality = quality;
+        GcRig rig(cfg);
+        std::uint64_t pages = rig.ftl.logicalPages() / 3;
+        end = rig.churnRandom(pages, pages * 8);
+        rig.eq.run();
+        stats = rig.ftl.stats();
+        for (std::uint64_t lpn = 0; lpn < pages; ++lpn)
+            ppns.push_back(rig.ftl.physicalOf(lpn));
+    };
+    std::vector<std::uint64_t> ppns_a, ppns_b;
+    FtlStats sa, sb;
+    Tick ta, tb;
+    run(false, ppns_a, sa, ta);
+    run(true, ppns_b, sb, tb);
+    EXPECT_EQ(ta, tb);
+    EXPECT_EQ(ppns_a, ppns_b);
+    EXPECT_EQ(sa.erases, sb.erases);
+    EXPECT_EQ(sa.gcRelocations, sb.gcRelocations);
+    EXPECT_EQ(sb.gcQualityDeferrals, 0u)
+        << "gate engaged despite pacing off";
+}
+
+TEST(GcQuality, SkippingNearFullVictimsCutsWriteAmplification)
+{
+    // With runway in the pool, deferring near-full victims lets
+    // ongoing invalidation do GC's work: by the time the pool
+    // actually needs the block, more of its pages are dead and fewer
+    // survivors move. Uniform random churn keeps every block
+    // decaying, which is exactly the regime where the eager paced
+    // collector wastes relocations on pages about to die anyway.
+    auto waOf = [](bool quality, FtlStats* out) {
+        FtlConfig cfg = bgConfig();
+        cfg.gcAdaptivePacing = true;
+        cfg.gcStreamBlocks = 1;
+        cfg.gcVictimQuality = quality;
+        GcRig rig(cfg);
+        std::uint64_t pages = rig.ftl.logicalPages() * 70 / 100;
+        Tick t = 0;
+        for (std::uint64_t lpn = 0; lpn < pages; ++lpn)
+            t = rig.write(lpn, t);
+        std::uint64_t w0 = rig.ftl.stats().hostWrites;
+        std::uint64_t r0 = rig.ftl.stats().gcRelocations;
+        rig.churnRandom(pages, pages * 30, t);
+        rig.eq.run();
+        if (out)
+            *out = rig.ftl.stats();
+        return 1.0 +
+               static_cast<double>(rig.ftl.stats().gcRelocations - r0) /
+                   static_cast<double>(rig.ftl.stats().hostWrites - w0);
+    };
+
+    FtlStats stats_gated;
+    double wa_paced = waOf(false, nullptr);
+    double wa_gated = waOf(true, &stats_gated);
+    EXPECT_GT(stats_gated.gcQualityDeferrals, 0u)
+        << "the gate never deferred a victim";
+    EXPECT_LT(wa_gated, wa_paced)
+        << "victim-quality gating did not reduce write amplification";
 }
 
 } // namespace

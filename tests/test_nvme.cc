@@ -14,6 +14,7 @@
 #include "nvme/queue_pair.hh"
 #include "pcie/pcie_link.hh"
 #include "sim/event_queue.hh"
+#include "sim/logging.hh"
 #include "ssd/device_configs.hh"
 
 namespace hams {
@@ -259,10 +260,33 @@ TEST_F(ControllerFixture, PowerFailOrphansInflight)
                           Tick) { ++completions; });
     qp.push(makeReadCommand(1, 0, 1, 0x50000));
     ctrl.ringDoorbell(qid, 0);
-    ctrl.powerFail();
+    // The queue keeps running: the stale events must release their
+    // own contexts (events_dropped=false side of the contract).
+    ctrl.powerFail(/*events_dropped=*/false);
     eq.run();
     EXPECT_EQ(completions, 0);
     EXPECT_EQ(ctrl.outstanding(), 0u);
+}
+
+TEST_F(ControllerFixture, PowerFailFlagInconsistencyIsFatal)
+{
+    // Claiming the queue's events were dropped while they still pend
+    // would double-free the contexts those events reference: fatal.
+    qp.push(makeReadCommand(1, 0, 1, 0x50000));
+    ctrl.ringDoorbell(qid, 0);
+    ASSERT_GT(eq.pending(), 0u);
+    EXPECT_THROW(ctrl.powerFail(/*events_dropped=*/true), FatalError);
+}
+
+TEST_F(ControllerFixture, PowerFailFalseAfterQueueResetIsFatal)
+{
+    // The inverse claim: the queue was reset (no event will ever fire
+    // again) but the caller pretends they still run — every live
+    // context would be stranded forever.
+    qp.push(makeReadCommand(1, 0, 1, 0x50000));
+    ctrl.ringDoorbell(qid, 0);
+    eq.reset(false);
+    EXPECT_THROW(ctrl.powerFail(/*events_dropped=*/false), FatalError);
 }
 
 TEST(PcieLinkTest, TransferTimeMatchesBandwidth)

@@ -11,8 +11,11 @@
 #include <vector>
 
 #include "core/hams_system.hh"
+#include "flash/fil.hh"
 #include "sim/logging.hh"
 #include "sim/rng.hh"
+#include "ssd/device_configs.hh"
+#include "ssd/ssd.hh"
 
 namespace hams {
 namespace {
@@ -253,6 +256,113 @@ TEST(Recovery, PooledContextsReclaimedAcrossPowerCycles)
     EXPECT_EQ(sys.nvmeController().dataContextsAllocated(), data);
     // Replay returns every stranded PRP clone frame to the pool.
     EXPECT_EQ(sys.pinnedRegion().prpFramesFree(), prp_free);
+}
+
+TEST(Recovery, SupercapDrainInterruptedBySecondFailure)
+{
+    // A second power failure mid-drain: only the frames the supercap
+    // managed to destage (the lowest-keyed prefix — dirtyFrames() is
+    // sorted) are durable; everything past the interruption point
+    // reverts to its last durable version, not to torn bytes.
+    SsdConfig cfg = ullFlashConfig(1ull << 30, /*functional_data=*/true,
+                                   /*with_supercap=*/true,
+                                   /*with_buffer=*/true);
+    cfg.buffer.capacity = 1ull << 20;
+    EventQueue eq;
+    Ssd ssd(cfg, &eq);
+
+    std::vector<std::uint8_t> frame(nvmeBlockSize), out(nvmeBlockSize);
+    constexpr std::uint64_t frames = 8;
+    for (std::uint64_t b = 0; b < frames; ++b) {
+        std::memset(frame.data(), static_cast<int>(0x10 + b),
+                    frame.size());
+        ssd.hostWrite(b, 1, /*fua=*/false, 0, frame.data());
+    }
+    ASSERT_EQ(ssd.buffer()->dirtyFrames().size(), frames);
+
+    constexpr std::uint64_t budget = 3;
+    eq.reset(false);
+    Tick drain = ssd.powerFail(budget);
+    ssd.powerRestore();
+
+    // The drain tick covers exactly the saved prefix.
+    std::uint64_t programs =
+        (budget * nvmeBlockSize + cfg.geom.pageSize - 1) /
+        cfg.geom.pageSize;
+    std::uint64_t pus = cfg.geom.parallelUnits();
+    EXPECT_EQ(drain, ((programs + pus - 1) / pus) * cfg.nand.tPROG);
+
+    for (std::uint64_t b = 0; b < frames; ++b) {
+        ssd.peek(b, 1, out.data());
+        std::uint8_t expect =
+            b < budget ? static_cast<std::uint8_t>(0x10 + b) : 0;
+        EXPECT_EQ(out[0], expect) << "block " << b;
+        EXPECT_EQ(out[nvmeBlockSize - 1], expect) << "block " << b;
+    }
+    // The interrupted drain leaves no dirty residue to resurrect.
+    EXPECT_TRUE(ssd.buffer()->dirtyFrames().empty());
+}
+
+TEST(Recovery, LeakedFlashOpHandleAcrossPowerFailIsFatal)
+{
+    // The FTL must release every FlashOpHandle in onPowerFail();
+    // powerRestore() resets the handle registry, so a survivor would
+    // alias a post-boot op. A handle the FTL does not own models
+    // exactly that bug and must trip the fatal check.
+    SsdConfig cfg = ullFlashConfig(1ull << 30);
+    EventQueue eq;
+    Ssd ssd(cfg, &eq);
+
+    FlashOp op;
+    op.type = FlashOp::Type::Program;
+    op.ppn = 0;
+    op.bytes = cfg.geom.pageSize;
+    op.background = true;
+    FlashOpHandle leak = ssd.flashLayer().submitTracked(op, 0);
+    ASSERT_EQ(ssd.flashLayer().trackedOps(), 1u);
+    EXPECT_THROW(ssd.powerFail(), FatalError);
+    ssd.flashLayer().release(leak);
+}
+
+TEST(Recovery, BackToBackPowerFailuresWithoutRecovery)
+{
+    // A failure during the failure handling itself (e.g. supercap
+    // glitch): powerFail lands twice before anyone calls recover().
+    // The second pass must be idempotent — no double-free of pooled
+    // contexts, no fatal — and recovery must still produce a system
+    // that serves acked data and reclaims every pool across further
+    // cycles.
+    HamsSystem sys(crashConfig(HamsMode::Extend));
+    std::uint64_t cache = sys.pinnedRegion().cacheBytes();
+
+    std::uint32_t v = 0xFEED;
+    sys.write(0, &v, sizeof(v));
+    sys.write(cache, &v, sizeof(v));
+    sys.access(MemAccess{0, 64, MemOp::Read}, sys.eventQueue().now(),
+               nullptr); // in flight
+    sys.powerFail();
+    sys.powerFail(); // second failure before recovery
+    sys.recover();
+
+    std::uint32_t got = 0;
+    sys.read(0, &got, sizeof(got));
+    EXPECT_EQ(got, v);
+    sys.read(cache, &got, sizeof(got));
+    EXPECT_EQ(got, v);
+
+    std::size_t cpl = sys.nvmeController().cplContextsAllocated();
+    std::size_t ops = sys.controller().opContextsAllocated();
+    for (int i = 0; i < 6; ++i) {
+        std::uint32_t w = static_cast<std::uint32_t>(i);
+        sys.write((i % 2) ? cache : 0, &w, sizeof(w));
+        sys.access(MemAccess{(i % 2) ? Addr(0) : cache, 64, MemOp::Read},
+                   sys.eventQueue().now(), nullptr);
+        sys.powerFail();
+        sys.powerFail();
+        sys.recover();
+    }
+    EXPECT_EQ(sys.nvmeController().cplContextsAllocated(), cpl);
+    EXPECT_EQ(sys.controller().opContextsAllocated(), ops);
 }
 
 TEST(Recovery, RecoveryTimeDominatedByNvdimmRestore)
