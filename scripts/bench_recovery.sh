@@ -4,7 +4,9 @@
 # arbitrary-tick power cuts on loaded hams-LE/hams-TE systems across
 # fill levels and GC-debt states, with the supercap drain cost (pure
 # integer tick path), the RTO split into NVDIMM-restore floor and
-# journal-replay remainder, and post-recovery verification of every
+# journal-replay remainder, the online-recovery time-to-first-service
+# (a degraded read served mid-restore; must beat the full RTO) with
+# the per-entry replay count, and post-recovery verification of every
 # acknowledged write. The sweep runs twice and the JSON's
 # "sim_outputs_identical" field asserts bit-identical reruns.
 #

@@ -74,6 +74,21 @@ HamsController::access(const MemAccess& acc, const std::uint8_t* wdata,
         return;
     }
 
+    if (_recovering) {
+        // Degraded-service admission: the frame must be restored before
+        // anything touches it (serving it earlier would return the
+        // pre-backup garbage still in the DRAM). Stalled requests ride
+        // the same pooled per-frame wait lists as busy-frame waiters;
+        // the priority restore wakes them through onFramesRestored().
+        ++_stats.degradedAccesses;
+        if (!nvdimm.spanRestored(frameAddr(idx), cfg.pageBytes)) {
+            ++_stats.restoreStalls;
+            nvdimm.requestRestoreSpan(frameAddr(idx), cfg.pageBytes, at);
+            parkWaiter(acc, wdata, rdata, idx, std::move(cb));
+            return;
+        }
+    }
+
     Op* op = makeOp(acc, wdata, rdata, idx, std::move(cb));
     if (e.valid && e.tag == tags.tagOf(acc.addr))
         handleHit(op, at);
@@ -86,8 +101,10 @@ HamsController::tryAccess(const MemAccess& acc, Tick at,
                           InlineCompletion& out)
 {
     // Persist mode serialises I/O through the gate; keep its accesses
-    // on the one battle-tested path.
-    if (cfg.mode != HamsMode::Extend)
+    // on the one battle-tested path. Mid-recovery accesses need the
+    // degraded-mode admission checks (and with restore events pending
+    // the caller's queue-empty gate declines the inline path anyway).
+    if (cfg.mode != HamsMode::Extend || _recovering)
         return false;
     if (acc.addr + acc.size > _mosCapacity)
         fatal("MoS access [", acc.addr, ", ", acc.addr + acc.size,
@@ -191,10 +208,41 @@ HamsController::gateRelease(Tick at)
 void
 HamsController::handleMiss(Op* op, Tick at)
 {
+    if (replayHolding()) {
+        // Journal replay owns the SQ (its re-pushes must land on the
+        // compacted slots in order); hold the miss — without setting
+        // the busy bit — and re-decide once the replay drains: the
+        // replay may well have filled this very frame.
+        ++_stats.recoveryGateWaits;
+        recoveryGate.push_back([this, op](Tick t) { retryMiss(op, t); });
+        return;
+    }
     ++_stats.misses;
     tags.entry(op->idx).busy = true;
     op->newTag = tags.tagOf(op->acc.addr);
     startMissIo(op, at + cfg.logicLatency);
+}
+
+void
+HamsController::retryMiss(Op* op, Tick at)
+{
+    MosTagEntry& e = tags.entry(op->idx);
+    if (e.busy) {
+        // A replayed fill (or another retried miss) put the frame under
+        // DMA: fall back to the ordinary wait list.
+        ++_stats.waitQueued;
+        if (e.valid && e.dirty)
+            ++_stats.redundantEvictionsAvoided;
+        parkWaiter(op->acc, op->wdata, op->rdata, op->idx,
+                   std::move(op->cb));
+        opPool.release(op);
+        return;
+    }
+    if (e.valid && e.tag == tags.tagOf(op->acc.addr)) {
+        handleHit(op, at);
+        return;
+    }
+    handleMiss(op, at);
 }
 
 void
@@ -216,6 +264,20 @@ HamsController::startMissIo(Op* op, Tick at)
     Addr evict_prp = frame;
     if (need_evict && cfg.hazard == HazardPolicy::PrpClone) {
         Addr clone = pinned.allocPrpFrame();
+        if (_recovering && !nvdimm.spanRestored(clone, cfg.pageBytes)) {
+            // The clone target itself is still streaming back. Queue
+            // its priority restore and retry once it lands — the frame
+            // goes back to the pool meanwhile so an invariant holds:
+            // every allocated PRP frame is referenced by a journalled
+            // command (that is what reclaims them across a cut).
+            ++_stats.restoreStalls;
+            Tick ready =
+                nvdimm.requestRestoreSpan(clone, cfg.pageBytes, at);
+            pinned.freePrpFrame(clone);
+            eq.scheduleAt(ready,
+                          [this, op]() { startMissIo(op, eq.now()); });
+            return;
+        }
         Tick r = nvdimm.access(frame, cfg.pageBytes, MemOp::Read, at);
         Tick w = nvdimm.access(clone, cfg.pageBytes, MemOp::Write, r);
         if (nvdimm.data() && cfg.functionalData) {
@@ -413,6 +475,19 @@ HamsController::onPowerFail()
     waiterFreeHead = nil;
     gateQueue.clear();
     gateBusy = false;
+    // A failure during recovery abandons the recovery in flight: its
+    // scheduled events died with the queue reset, and the journal —
+    // compacted, with the not-yet-replayed suffix still tagged — is
+    // what the next beginRecovery() scans.
+    recoveryGate.clear();
+    rec.entries.clear();
+    rec.issued = 0;
+    rec.completed = 0;
+    rec.total = 0;
+    rec.scanned = false;
+    rec.done = nullptr;
+    _recovering = false;
+    restoreDone = false;
     // The event queue and the NVMe engine have already dropped every
     // reference to in-flight Op contexts, so the pool can take them
     // all back (callers reset fields on acquire).
@@ -420,29 +495,145 @@ HamsController::onPowerFail()
 }
 
 void
-HamsController::recover(Tick at, std::function<void(Tick)> done)
+HamsController::beginRecovery(Tick at, std::function<void(Tick)> done)
 {
-    engine.replayPending(
-        at,
-        [this](const NvmeCommand& cmd, const NvmeCmdTrace&, Tick) {
-            ++_stats.replayedCommands;
-            if (cmd.op() == NvmeOpcode::Read) {
-                // A replayed fill: rebuild the tag entry it targeted.
-                std::uint64_t idx = cmd.prp1 / cfg.pageBytes;
-                Addr mos_page =
-                    Addr(cmd.slba) * nvmeBlockSize;
-                MosTagEntry& e = tags.entry(idx);
-                e.tag = tags.tagOf(mos_page);
-                e.valid = true;
-                e.dirty = false;
-                e.busy = false;
-            }
-        },
-        [this, done = std::move(done)](Tick when) {
-            tags.clearBusyBits();
-            if (done)
-                done(when);
-        });
+    if (_recovering)
+        fatal("beginRecovery while a recovery is already in flight");
+    _recovering = true;
+    restoreDone = false;
+    rec.entries.clear();
+    rec.issued = 0;
+    rec.completed = 0;
+    rec.total = 0;
+    rec.scanned = false;
+    rec.done = std::move(done);
+
+    // Stale busy bits from the cut would wedge every access to their
+    // frames; replay re-busies exactly the frames with a fill still
+    // pending (startReplay), so clearing here is safe.
+    tags.clearBusyBits();
+
+    // The journal scan reads the SQ ring: jump the NVMe metadata span
+    // to the head of the restore stream, then scan when it lands.
+    Tick ready = nvdimm.requestRestoreSpan(pinned.metadataBase(),
+                                           pinned.metadataBytes(), at);
+    eq.scheduleAt(std::max(ready, at),
+                  [this]() { startReplay(eq.now()); });
+}
+
+void
+HamsController::startReplay(Tick at)
+{
+    rec.entries = engine.scanJournal();
+    rec.total = rec.entries.size();
+    rec.scanned = true;
+    engine.prepareReplay(rec.entries);
+    // Re-busy the frames whose fills are about to be replayed: a
+    // degraded access must park on them instead of hitting the evicted
+    // victim's stale tag mid-replay.
+    for (const NvmeCommand& cmd : rec.entries)
+        if (cmd.op() == NvmeOpcode::Read && cmd.prp1 < pinned.cacheBytes())
+            tags.entry(cmd.prp1 / cfg.pageBytes).busy = true;
+    if (rec.total == 0) {
+        finishReplay(at);
+        return;
+    }
+    scheduleNextReplayEntry(at);
+}
+
+void
+HamsController::scheduleNextReplayEntry(Tick at)
+{
+    // Per-entry replay cost plus however long the entry's DMA target
+    // (cache frame for a fill, PRP clone for an eviction) still needs
+    // on the restore stream.
+    const NvmeCommand& cmd = rec.entries[rec.issued];
+    Tick t = at + cfg.replayEntryCost;
+    Tick ready = nvdimm.requestRestoreSpan(cmd.prp1, cfg.pageBytes, t);
+    eq.scheduleAt(std::max(t, ready),
+                  [this]() { issueReplayEntry(eq.now()); });
+}
+
+void
+HamsController::issueReplayEntry(Tick at)
+{
+    const NvmeCommand& cmd = rec.entries[rec.issued++];
+    engine.submitReplay(cmd, at,
+                        [this](const NvmeCommand& c, const NvmeCmdTrace&,
+                               Tick when) { onReplayEntryDone(c, when); });
+}
+
+void
+HamsController::onReplayEntryDone(const NvmeCommand& cmd, Tick when)
+{
+    ++_stats.replayedCommands;
+    ++rec.completed;
+    if (cmd.op() == NvmeOpcode::Read && cmd.prp1 < pinned.cacheBytes()) {
+        // A replayed fill: rebuild the tag entry it targeted and wake
+        // the degraded accesses parked on it.
+        std::uint64_t idx = cmd.prp1 / cfg.pageBytes;
+        Addr mos_page = Addr(cmd.slba) * nvmeBlockSize;
+        MosTagEntry& e = tags.entry(idx);
+        e.tag = tags.tagOf(mos_page);
+        e.valid = true;
+        e.dirty = false;
+        e.busy = false;
+        drainWaiters(idx, when);
+    }
+    if (rec.completed == rec.total)
+        finishReplay(when);
+    else
+        scheduleNextReplayEntry(when);
+}
+
+void
+HamsController::finishReplay(Tick at)
+{
+    // The SQ is the controller's again: release the held misses.
+    while (!recoveryGate.empty()) {
+        GateThunk thunk = std::move(recoveryGate.front());
+        recoveryGate.pop_front();
+        thunk(at);
+    }
+    maybeFinishRecovery(at);
+}
+
+void
+HamsController::onFramesRestored(std::uint64_t first_frame,
+                                 std::uint64_t frame_count, Tick at)
+{
+    // Map the restored NVDIMM span onto cache frames and wake stalled
+    // accesses. Busy frames stay parked (their fill completion drains
+    // them); partially-covered frames just re-park via access().
+    std::uint64_t rfb = nvdimm.restoreFrameBytes();
+    std::uint64_t i0 = first_frame * rfb / cfg.pageBytes;
+    std::uint64_t i1 = std::min<std::uint64_t>(
+        tags.sets(),
+        ((first_frame + frame_count) * rfb + cfg.pageBytes - 1) /
+            cfg.pageBytes);
+    for (std::uint64_t idx = i0; idx < i1; ++idx)
+        if (waitHead[idx] != nil && !tags.entry(idx).busy)
+            drainWaiters(idx, at);
+}
+
+void
+HamsController::onRestoreComplete(Tick at)
+{
+    restoreDone = true;
+    maybeFinishRecovery(at);
+}
+
+void
+HamsController::maybeFinishRecovery(Tick at)
+{
+    if (!_recovering || !restoreDone || !rec.scanned ||
+        rec.completed != rec.total)
+        return;
+    _recovering = false;
+    std::function<void(Tick)> done = std::move(rec.done);
+    rec.done = nullptr;
+    if (done)
+        done(at);
 }
 
 } // namespace hams

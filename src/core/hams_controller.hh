@@ -63,6 +63,12 @@ struct HamsControllerConfig
     /** Cache-logic latency: decompose + comparator + mux. */
     Tick logicLatency = nanoseconds(15);
     /**
+     * Recovery cost charged per replayed journal entry (journal slot
+     * readout + command re-composition + tag-array fixup), on top of
+     * the replayed I/O itself. Makes RTO scale with dirty-state size.
+     */
+    Tick replayEntryCost = microseconds(2);
+    /**
      * True when the platform carries real bytes end to end (functional
      * SSD). Timing-only runs skip the PRP-clone byte copy: the NVDIMM
      * store always exists for the pinned region, but with a
@@ -98,6 +104,17 @@ struct HamsStats
     std::uint64_t gateQueuePeakDepth = 0;
     ///@}
     std::uint64_t replayedCommands = 0;
+    /**
+     * @name Degraded-service mode (online recovery). Accesses admitted
+     * while recovery is in flight; the subset that touched a frame the
+     * restore cursor had not reached (parked until its priority restore
+     * lands); and misses held until journal replay drained the SQ.
+     */
+    ///@{
+    std::uint64_t degradedAccesses = 0;
+    std::uint64_t restoreStalls = 0;
+    std::uint64_t recoveryGateWaits = 0;
+    ///@}
     LatencyBreakdown memoryDelay;        //!< summed across accesses
 };
 
@@ -158,10 +175,46 @@ class HamsController
     void onPowerFail();
 
     /**
-     * Power-up recovery: clear stale busy bits, scan the journal and
-     * replay pending commands, fixing tag-array state as they land.
+     * @name Online recovery (paper Fig. 15, event-driven).
+     *
+     * beginRecovery() starts the journal scan + per-entry replay as
+     * scheduled events and flips the controller into degraded-service
+     * mode; @p done fires once replay has drained AND the NVDIMM
+     * restore has completed. The caller must have put the NVDIMM into
+     * its incremental restore (Nvdimm::beginRestore) first and wire
+     * onFramesRestored()/onRestoreComplete() to its callbacks.
+     *
+     * Degraded-mode admission (enforced in access()):
+     *  - hits on restored frames complete at normal latency;
+     *  - an access to an unrestored frame is parked on the frame's
+     *    pooled wait list and a priority restore is queued — it is
+     *    NEVER served stale;
+     *  - misses are additionally held on the recovery gate until every
+     *    journalled entry has been re-pushed (the replay rebuilds the
+     *    SQ in place, so foreground submits must not interleave).
      */
-    void recover(Tick at, std::function<void(Tick)> done);
+    ///@{
+    void beginRecovery(Tick at, std::function<void(Tick)> done);
+
+    /** NVDIMM restore-cursor progress: wake stalls the span unblocks. */
+    void onFramesRestored(std::uint64_t first_frame,
+                          std::uint64_t frame_count, Tick at);
+
+    /** NVDIMM restore finished; recovery completes once replay drains. */
+    void onRestoreComplete(Tick at);
+
+    bool recovering() const { return _recovering; }
+
+    /** True while replayed entries are issued but not all completed. */
+    bool replayInFlight() const
+    {
+        return _recovering && rec.scanned && rec.total > 0 &&
+               rec.issued > 0 && rec.completed < rec.total;
+    }
+
+    std::size_t recoveryReplayTotal() const { return rec.total; }
+    std::size_t recoveryReplayCompleted() const { return rec.completed; }
+    ///@}
 
     /** @name Pool introspection (tests/bench). */
     ///@{
@@ -231,6 +284,9 @@ class HamsController
     void handleHit(Op* op, Tick at);
     void handleMiss(Op* op, Tick at);
 
+    /** A recovery-gated miss re-decides hit/park/miss at drain time. */
+    void retryMiss(Op* op, Tick at);
+
     /** Final NVDIMM data access of a request, plus functional bytes. */
     void serveFromFrame(Op* op, Tick at);
 
@@ -254,6 +310,28 @@ class HamsController
     /** Wake accesses parked on @p idx. */
     void drainWaiters(std::uint64_t idx, Tick at);
 
+    /** @name Recovery replay chain (one entry at a time). */
+    ///@{
+    /** Journal scan + SQ compaction once the metadata span is back. */
+    void startReplay(Tick at);
+
+    /** Charge replayEntryCost and wait out the entry's target frame. */
+    void scheduleNextReplayEntry(Tick at);
+
+    void issueReplayEntry(Tick at);
+    void onReplayEntryDone(const NvmeCommand& cmd, Tick when);
+    void finishReplay(Tick at);
+
+    /** Fire the recovery-done callback once replay AND restore ended. */
+    void maybeFinishRecovery(Tick at);
+
+    /** Misses must hold until the replay re-pushes rebuilt the SQ. */
+    bool replayHolding() const
+    {
+        return _recovering && (!rec.scanned || rec.completed < rec.total);
+    }
+    ///@}
+
     EventQueue& eq;
     Nvdimm& nvdimm;
     HamsNvmeEngine& engine;
@@ -276,6 +354,27 @@ class HamsController
     /** Persist-mode serialisation. */
     bool gateBusy = false;
     std::deque<GateThunk> gateQueue;
+
+    /**
+     * Online-recovery state. rec.entries is the journal scan snapshot
+     * (also the compaction order: entry i occupies SQ slot i until its
+     * re-push supersedes it); issued/completed drive the serial
+     * per-entry replay chain. recoveryGate holds misses that arrived
+     * while the replay still owned the SQ.
+     */
+    struct RecoveryState
+    {
+        std::vector<NvmeCommand> entries;
+        std::size_t issued = 0;
+        std::size_t completed = 0;
+        std::size_t total = 0;
+        bool scanned = false;
+        std::function<void(Tick)> done;
+    };
+    RecoveryState rec;
+    bool _recovering = false;
+    bool restoreDone = false;
+    std::deque<GateThunk> recoveryGate;
 };
 
 } // namespace hams

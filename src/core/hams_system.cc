@@ -243,30 +243,86 @@ HamsSystem::powerFail(std::uint64_t max_drain_frames)
     // A second failure during the failure handling itself finds the
     // NVDIMM already isolated and backed up (Protected): nothing left
     // to do for it, and the component-level state machine would
-    // rightly reject the call.
-    if (nvdimm->state() == Nvdimm::State::Operational)
+    // rightly reject the call. A failure *during recovery* finds it
+    // Restoring: it re-backs-up the restored prefix.
+    if (nvdimm->state() == Nvdimm::State::Operational ||
+        nvdimm->state() == Nvdimm::State::Restoring)
         nvdimm->powerFail();
     link->reset();
+    _recovering = false;
     return drain;
+}
+
+void
+HamsSystem::beginRecovery(std::function<void(Tick)> done)
+{
+    if (_recovering)
+        fatal("beginRecovery while a recovery is already in flight");
+    Tick at = eq.now();
+    if (nvdimm->state() == Nvdimm::State::Operational) {
+        // Nothing failed (or recovery already completed): idempotent.
+        if (done)
+            done(at);
+        return;
+    }
+    _recovering = true;
+    ssd->powerRestore();
+    nvdimm->beginRestore(
+        eq, at,
+        [this](std::uint64_t first, std::uint64_t count, Tick when) {
+            ctrl->onFramesRestored(first, count, when);
+        },
+        [this](Tick when) { ctrl->onRestoreComplete(when); });
+    ctrl->beginRecovery(at, [this, done = std::move(done)](Tick when) {
+        _recovering = false;
+        if (done)
+            done(when);
+    });
 }
 
 Tick
 HamsSystem::recover()
 {
-    Tick restore = nvdimm->powerRestore();
-    ssd->powerRestore();
-
-    Tick start = eq.now() + restore;
     bool done = false;
-    Tick when = start;
-    ctrl->recover(start, [&](Tick t) {
+    Tick when = eq.now();
+    beginRecovery([&](Tick t) {
         done = true;
         when = t;
     });
+
+    // Pump to completion with a bounded-progress check: every window
+    // of events, something must have moved — the restore cursor, the
+    // replay chain, or simulated time. A wedged recovery dumps its
+    // cursor state instead of spinning forever.
+    constexpr std::uint64_t window = 1u << 16;
+    std::uint64_t steps = 0;
+    std::uint64_t last_frames = ~std::uint64_t(0);
+    std::uint64_t last_replayed = ~std::uint64_t(0);
+    Tick last_now = maxTick;
     while (!done && eq.step()) {
+        if (++steps < window)
+            continue;
+        steps = 0;
+        std::uint64_t frames = nvdimm->framesRestored();
+        std::uint64_t replayed = ctrl->recoveryReplayCompleted();
+        if (frames == last_frames && replayed == last_replayed &&
+            eq.now() == last_now)
+            fatal("HAMS recovery stalled: no progress over ", window,
+                  " events (queue depth ", eq.pending(),
+                  ", frames restored ", frames, "/",
+                  nvdimm->restoreFrames(), ", cursor at ",
+                  nvdimm->restoreCursorFrame(), ", replay ", replayed,
+                  "/", ctrl->recoveryReplayTotal(), " entries)");
+        last_frames = frames;
+        last_replayed = replayed;
+        last_now = eq.now();
     }
     if (!done)
-        panic("HAMS recovery did not converge");
+        fatal("HAMS recovery queue drained incomplete (frames restored ",
+              nvdimm->framesRestored(), "/", nvdimm->restoreFrames(),
+              ", cursor at ", nvdimm->restoreCursorFrame(), ", replay ",
+              ctrl->recoveryReplayCompleted(), "/",
+              ctrl->recoveryReplayTotal(), " entries)");
     return when;
 }
 

@@ -14,6 +14,40 @@
  * The tight topology unboxes the ULL-Flash: no PCIe encapsulation, no
  * SSD-internal DRAM, DMA straight into the NVDIMM over the shared DDR4
  * channel guarded by the lock register.
+ *
+ * ## Recovery-path contract (online recovery)
+ *
+ * Recovery after powerFail() is an event-driven subsystem, not a
+ * stop-the-world wall. beginRecovery() starts it and returns at once;
+ * recover() is the blocking wrapper that pumps the queue to completion.
+ *
+ * **Restore bitmap.** The NVDIMM restores itself incrementally
+ * (Nvdimm::beginRestore): a per-frame restored-bitmap tracks which
+ * restoreFrameBytes-sized frames have streamed back from the on-DIMM
+ * flash. A background cursor claims batches in address order; priority
+ * restores (Nvdimm::requestRestoreSpan) jump demand-touched frames
+ * ahead of the cursor. All restore work serialises on the single
+ * on-DIMM stream, so total restore time equals the full-restore RTO —
+ * only the order is demand-driven. The NVMe metadata span (SQ/CQ/MSI)
+ * is priority-restored first so the journal scan can run early.
+ *
+ * **Degraded-mode admission.** While recovery is in flight the
+ * controller serves traffic degraded: hits on restored frames complete
+ * at normal latency; an access to an unrestored frame parks on the
+ * frame's pooled wait list behind a priority restore and is never
+ * served stale; misses additionally hold on the recovery gate until
+ * journal replay has drained (replay rebuilds the SQ in place, slot by
+ * slot, and foreground submits must not interleave with its pushes).
+ * Replay itself is charged per entry (HamsControllerConfig::
+ * replayEntryCost plus the entry's own restore/IO wait), so RTO scales
+ * with the journalled dirty-state size, not just capacity.
+ *
+ * **Second-failure semantics.** powerFail() during recovery is legal
+ * at any event boundary. The NVDIMM re-backs-up only the restored
+ * prefix (the remainder is still safe in its on-DIMM flash); the
+ * journal — compacted by the replay preparation, with not-yet-replayed
+ * entries still tagged — is rescanned by the next beginRecovery(), so
+ * a second (or Nth) failure mid-restore or mid-replay loses nothing.
  */
 
 #ifndef HAMS_CORE_HAMS_SYSTEM_HH_
@@ -122,10 +156,26 @@ class HamsSystem : public MemoryPlatform
     Tick powerFail(std::uint64_t max_drain_frames = ~std::uint64_t(0));
 
     /**
-     * Boot and run the paper's Fig. 15 recovery (journal scan + replay).
-     * @return tick at which the MoS space is serviceable again.
+     * Boot and run the paper's Fig. 15 recovery (journal scan + replay)
+     * to completion: pumps the event queue until the recovery-complete
+     * event fires, with a bounded-progress check instead of a dead-man
+     * loop — a wedged recovery fatals with the replay/restore cursor
+     * state (queue depth, frames restored, entries replayed).
+     * @return tick at which the MoS space is fully recovered.
      */
     Tick recover();
+
+    /**
+     * Online recovery: start the incremental NVDIMM restore and the
+     * per-entry journal replay as events and return immediately. The
+     * MoS space is serviceable (degraded) right away — see the
+     * recovery-path contract above; @p done fires when restore and
+     * replay have both finished. Idempotent on an Operational system
+     * (fires @p done at once); fatal if recovery is already in flight.
+     */
+    void beginRecovery(std::function<void(Tick)> done);
+
+    bool recovering() const { return _recovering; }
     ///@}
 
     /** @name Introspection. */
@@ -158,6 +208,7 @@ class HamsSystem : public MemoryPlatform
     std::unique_ptr<PinnedRegion> pinned;
     std::unique_ptr<HamsNvmeEngine> engine;
     std::unique_ptr<HamsController> ctrl;
+    bool _recovering = false;
 };
 
 } // namespace hams

@@ -118,53 +118,37 @@ HamsNvmeEngine::onPowerFail()
 }
 
 void
-HamsNvmeEngine::replayPending(Tick at, DoneCb per_cmd,
-                              std::function<void(Tick)> done)
+HamsNvmeEngine::prepareReplay(const std::vector<NvmeCommand>& pending)
 {
-    std::vector<NvmeCommand> pending = scanJournal();
     QueuePair& qp = pinned.queuePair();
+    if (pending.size() > qp.entries())
+        panic("replay set (", pending.size(), ") exceeds SQ depth (",
+              qp.entries(), ")");
     qp.resetPointers();
-    // Retire the scanned slots: the pending commands get re-journalled
-    // under fresh cids, and completed commands must not be found again
-    // by a later scan (Fig. 15 rebuilds the SQ).
-    for (std::uint16_t i = 0; i < qp.entries(); ++i) {
+    // Compact the journal to a prefix: still-tagged entries move to
+    // slots [0, n), every other slot's tag is cleared. Each is written
+    // persistently before any replay event runs, so a second failure
+    // at any later event boundary rescans exactly the entries whose
+    // re-issue has not yet re-journalled them in place.
+    std::uint16_t i = 0;
+    for (const NvmeCommand& cmd : pending)
+        qp.writeSlot(i++, cmd);
+    for (; i < qp.entries(); ++i) {
         NvmeCommand slot = qp.readSlot(i);
         if (slot.journalTag == 1) {
             slot.journalTag = 0;
             qp.writeSlot(i, slot);
         }
     }
+}
 
-    if (pending.empty()) {
-        if (done)
-            done(at);
-        return;
-    }
-
-    replay.remaining = pending.size();
-    replay.lastTick = at;
-    replay.perCmd = std::move(per_cmd);
-    replay.done = std::move(done);
-
-    for (const NvmeCommand& cmd : pending) {
-        ++_stats.replayed;
-        // Re-issue with a fresh cid; the original slot content is
-        // superseded by the new journalled entry.
-        NvmeCommand rep = cmd;
-        submit(rep, at,
-               [this](const NvmeCommand& c, const NvmeCmdTrace& t,
-                      Tick when) {
-                   replay.lastTick = std::max(replay.lastTick, when);
-                   if (replay.perCmd)
-                       replay.perCmd(c, t, when);
-                   if (--replay.remaining == 0) {
-                       auto finish = std::move(replay.done);
-                       replay.perCmd = nullptr;
-                       if (finish)
-                           finish(replay.lastTick);
-                   }
-               });
-    }
+std::uint16_t
+HamsNvmeEngine::submitReplay(const NvmeCommand& cmd, Tick at, DoneCb done)
+{
+    // Re-issue with a fresh cid; the push lands on this entry's own
+    // compacted slot (see prepareReplay), superseding it.
+    ++_stats.replayed;
+    return submit(cmd, at, std::move(done));
 }
 
 } // namespace hams

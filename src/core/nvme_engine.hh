@@ -83,14 +83,29 @@ class HamsNvmeEngine
     void onPowerFail();
 
     /**
-     * Phase-2/3 recovery: rebuild an SQ/CQ pair and re-issue every
-     * journalled command.
-     * @param per_cmd invoked as each replayed command completes
-     * @param done invoked once all pending commands completed, with the
-     *             final tick
+     * @name Phase-2/3 recovery (paper Fig. 15), split so the caller can
+     * charge replay per entry as scheduled events.
+     *
+     * prepareReplay() rebuilds the SQ for replay: it resets the ring
+     * pointers and *compacts* the journal — the @p pending commands
+     * (from scanJournal()) are rewritten into slots [0, n) with their
+     * journal tags still set, and every other slot's tag is cleared.
+     * The journal is therefore complete at every event boundary: a cut
+     * at any point mid-replay rescans exactly the not-yet-replayed
+     * entries. The caller then calls submitReplay() once per entry, in
+     * order — entry i's push lands on slot i, overwriting its own
+     * compacted copy with a freshly-journalled duplicate, so replay is
+     * idempotent. Foreground submits must be held off until every
+     * prepared entry has been re-pushed (the controller's recovery
+     * gate), or the slot correspondence breaks.
      */
-    void replayPending(Tick at, DoneCb per_cmd,
-                       std::function<void(Tick)> done);
+    ///@{
+    void prepareReplay(const std::vector<NvmeCommand>& pending);
+
+    /** Re-issue one journalled command; counts into stats().replayed. */
+    std::uint16_t submitReplay(const NvmeCommand& cmd, Tick at,
+                               DoneCb done);
+    ///@}
 
     const NvmeEngineStats& stats() const { return _stats; }
 
@@ -126,16 +141,6 @@ class HamsNvmeEngine
         DoneCb done;
     };
     std::vector<Pending> inFlight;
-
-    /** Recovery replay bookkeeping (one replay at a time). */
-    struct ReplayState
-    {
-        std::size_t remaining = 0;
-        Tick lastTick = 0;
-        DoneCb perCmd;
-        std::function<void(Tick)> done;
-    };
-    ReplayState replay;
 };
 
 } // namespace hams

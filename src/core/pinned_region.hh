@@ -81,6 +81,16 @@ class PinnedRegion
     /** MSI table slot address for vector @p v. */
     Addr msiSlot(std::uint32_t v) const { return msiBase + v * 16; }
 
+    /**
+     * @name NVMe metadata span: [SQ ring][CQ ring][MSI table], i.e.
+     * everything before the PRP pool. Recovery priority-restores this
+     * span first — the journal scan reads the SQ ring.
+     */
+    ///@{
+    Addr metadataBase() const { return _base; }
+    std::uint64_t metadataBytes() const { return prpPoolBase - _base; }
+    ///@}
+
     const PinnedRegionConfig& config() const { return cfg; }
 
   private:

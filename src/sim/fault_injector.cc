@@ -21,6 +21,10 @@ cutPolicyName(CutPolicy p)
         return "mid_supercap_drain";
       case CutPolicy::KthFlush:
         return "kth_flush";
+      case CutPolicy::MidRestore:
+        return "mid_restore";
+      case CutPolicy::MidReplay:
+        return "mid_replay";
     }
     return "unknown";
 }
@@ -36,6 +40,13 @@ FaultInjector::watchSsd(Ssd* s)
     ssd = s;
     if (s)
         ftl = &s->pageFtl();
+}
+
+void
+FaultInjector::watchSystem(HamsSystem* s)
+{
+    sys = s;
+    watchSsd(s ? &s->ullFlash() : nullptr);
 }
 
 void
@@ -63,6 +74,13 @@ FaultInjector::arm(const FaultPlan& plan)
                   "SSD to watch");
         countdown = 0;
         break;
+      case CutPolicy::MidRestore:
+      case CutPolicy::MidReplay:
+        if (!sys)
+            fatal("fault injector: mid-recovery cut policy armed "
+                  "without a system to watch");
+        countdown = 0;
+        break;
     }
 }
 
@@ -81,6 +99,14 @@ FaultInjector::cutDue() const
         return ftl->gcEraseInFlight();
       case CutPolicy::KthFlush:
         return ssd->stats().flushes >= _plan.param;
+      case CutPolicy::MidRestore: {
+        const Nvdimm& n = sys->nvdimmModule();
+        return n.state() == Nvdimm::State::Restoring &&
+               n.framesRestored() > 0 &&
+               n.framesRestored() < n.restoreFrames();
+      }
+      case CutPolicy::MidReplay:
+        return sys->controller().replayInFlight();
     }
     return false;
 }

@@ -51,6 +51,18 @@ enum class CutPolicy
     MidSupercapDrain,
     /** First boundary at/after the watched SSD's param-th flush. */
     KthFlush,
+    /**
+     * First boundary with the watched system's NVDIMM mid-restore:
+     * some but not all frames streamed back. A cut here exercises the
+     * partial re-backup path (second failure during recovery).
+     */
+    MidRestore,
+    /**
+     * First boundary with the watched system's journal replay in
+     * flight: entries issued but not all completed. A cut here must
+     * find the compacted journal rescannable.
+     */
+    MidReplay,
 };
 
 const char* cutPolicyName(CutPolicy p);
@@ -88,6 +100,9 @@ class FaultInjector
     void watchFtl(PageFtl* f) { ftl = f; }
     /** Watches the SSD and (for the GC policies) its FTL. */
     void watchSsd(Ssd* s);
+    /** Watches a whole system: its NVDIMM/controller recovery state
+     *  (mid-recovery policies) plus its ULL-Flash. */
+    void watchSystem(HamsSystem* s);
     ///@}
 
     /** Arm @p plan. Replaces any previously armed plan. */
@@ -138,6 +153,7 @@ class FaultInjector
     Rng rng;
     PageFtl* ftl = nullptr;
     Ssd* ssd = nullptr;
+    HamsSystem* sys = nullptr;
 
     FaultPlan _plan;
     FaultStats _stats;

@@ -503,5 +503,148 @@ TEST(CrashFuzz, SystemArbitraryTickCuts)
         << "cuts kept landing on a drained queue: no in-flight state";
 }
 
+// ---------------------------------------------------------------------
+// Mid-recovery cuts: the second failure lands during the recovery of
+// the first — mid-restore (frames partially streamed back) and
+// mid-replay (journal entries issued but not all completed).
+// ---------------------------------------------------------------------
+
+/** One mid-recovery cut's replay fingerprint. */
+struct RecoveryCutFingerprint
+{
+    Tick cutTick;
+    std::uint64_t eventsPumped;
+    std::uint64_t framesRestored;
+    std::uint64_t replayCompleted;
+
+    bool
+    operator==(const RecoveryCutFingerprint& o) const
+    {
+        return cutTick == o.cutTick && eventsPumped == o.eventsPumped &&
+               framesRestored == o.framesRestored &&
+               replayCompleted == o.replayCompleted;
+    }
+};
+
+struct RecoveryCutReport
+{
+    std::uint64_t midRestoreCuts = 0;
+    std::uint64_t midReplayCuts = 0;
+    /** Recoveries that completed before the hunted state materialised
+     *  (e.g. an empty journal cannot be cut mid-replay). */
+    std::uint64_t completedRecoveries = 0;
+    std::vector<RecoveryCutFingerprint> fingerprints;
+};
+
+/**
+ * Per cycle: acked writes + journalled in-flight reads, a first cut at
+ * a seeded boundary, then an online recovery hunted by a second cut —
+ * MidRestore on even cycles, MidReplay on odd ones. Every triggered
+ * second cut is followed by a third boot (blocking recover()) and a
+ * full acked-durability sweep.
+ */
+RecoveryCutReport
+recoveryCutFuzz(std::uint64_t seed, int cycles)
+{
+    HamsSystem sys(systemRigConfig());
+    EventQueue& eq = sys.eventQueue();
+    FaultInjector inj(eq, seed);
+    inj.watchSystem(&sys);
+    Rng rng(seed * 0xD1B54A32D192ED03ULL + 5);
+
+    RecoveryCutReport rep;
+    std::map<std::uint64_t, std::uint64_t> expected;
+    std::uint64_t cache = sys.pinnedRegion().cacheBytes();
+
+    for (int cycle = 0; cycle < cycles; ++cycle) {
+        for (int w = 0; w < 5; ++w) {
+            Addr addr = (rng.below(2) ? cache : 0) +
+                        rng.below(512) * 4096 + 8 * rng.below(8);
+            std::uint64_t val = rng.next();
+            sys.write(addr, &val, sizeof(val));
+            expected[addr] = val;
+        }
+        // Aliasing reads left in flight: journalled evictions/fills
+        // give the recovery a replay phase to cut in.
+        for (int a = 0; a < 3; ++a)
+            sys.access(MemAccess{rng.below(2) ? cache : Addr(0), 64,
+                                 MemOp::Read},
+                       eq.now(), nullptr);
+
+        FaultPlan first;
+        first.policy = CutPolicy::RandomEvent;
+        first.param = 2 + rng.below(24);
+        inj.arm(first);
+        inj.pumpToCut();
+        inj.cut(sys);
+
+        bool rec_done = false;
+        sys.beginRecovery([&](Tick) { rec_done = true; });
+        FaultPlan second;
+        second.policy = (cycle % 2) ? CutPolicy::MidReplay
+                                    : CutPolicy::MidRestore;
+        inj.arm(second);
+        if (inj.pumpToCut()) {
+            rep.fingerprints.push_back(
+                {eq.now(), inj.stats().eventsPumped,
+                 sys.nvdimmModule().framesRestored(),
+                 static_cast<std::uint64_t>(
+                     sys.controller().recoveryReplayCompleted())});
+            if (second.policy == CutPolicy::MidReplay)
+                ++rep.midReplayCuts;
+            else
+                ++rep.midRestoreCuts;
+            inj.cut(sys);  // the second failure, mid-recovery
+            sys.recover(); // the third boot completes
+        } else {
+            // The queue drained: the recovery ran to completion under
+            // the pump without the hunted state ever holding.
+            EXPECT_TRUE(rec_done)
+                << "seed " << seed << " cycle " << cycle
+                << ": queue drained without finishing recovery";
+            ++rep.completedRecoveries;
+        }
+
+        for (const auto& [addr, val] : expected) {
+            std::uint64_t got = 0;
+            sys.read(addr, &got, sizeof(got));
+            EXPECT_EQ(got, val)
+                << "seed " << seed << " cycle " << cycle << " addr "
+                << addr;
+        }
+    }
+    return rep;
+}
+
+TEST(CrashFuzz, MidRecoveryCutMatrix)
+{
+    // CI fans seed ranges via HAMS_CRASH_FUZZ_BASE;
+    // HAMS_CRASH_FUZZ_RECOVERY_SEEDS widens one run. Every seed runs
+    // twice and must replay its mid-recovery cuts bit-identically.
+    std::uint64_t base = envSeeds("HAMS_CRASH_FUZZ_BASE", 1);
+    std::uint64_t seeds = envSeeds("HAMS_CRASH_FUZZ_RECOVERY_SEEDS", 3);
+    constexpr int cycles = 8;
+
+    std::uint64_t mid_restore = 0, mid_replay = 0;
+    for (std::uint64_t seed = base; seed < base + seeds; ++seed) {
+        RecoveryCutReport a = recoveryCutFuzz(seed, cycles);
+        RecoveryCutReport b = recoveryCutFuzz(seed, cycles);
+        ASSERT_EQ(a.fingerprints.size(), b.fingerprints.size())
+            << "seed " << seed << " cut count diverged on replay";
+        for (std::size_t i = 0; i < a.fingerprints.size(); ++i)
+            ASSERT_TRUE(a.fingerprints[i] == b.fingerprints[i])
+                << "seed " << seed << " mid-recovery cut " << i
+                << " diverged on replay";
+        mid_restore += a.midRestoreCuts;
+        mid_replay += a.midReplayCuts;
+    }
+    // The restore phase dominates every recovery, so each even cycle
+    // must land its cut; replay windows exist only when the first cut
+    // caught journalled work, so demand a presence, not a quota.
+    EXPECT_GE(mid_restore, seeds * cycles / 4);
+    EXPECT_GE(mid_replay, 1u)
+        << "no cut ever landed with journal replay in flight";
+}
+
 } // namespace
 } // namespace hams

@@ -5,10 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "dram/ddr4_timing.hh"
 #include "dram/dram_device.hh"
 #include "dram/memory_controller.hh"
 #include "dram/nvdimm.hh"
+#include "sim/event_queue.hh"
 #include "sim/logging.hh"
 
 namespace hams {
@@ -195,6 +198,148 @@ TEST(Nvdimm, RestoreRequiresProtectedState)
     cfg.functionalData = false;
     Nvdimm n(cfg);
     EXPECT_THROW(n.powerRestore(), FatalError);
+}
+
+// ---------------------------------------------------------------------
+// Incremental restore engine (online recovery).
+// ---------------------------------------------------------------------
+
+/** 64 MiB module: 64 restore frames of 1 MiB at the default bandwidth. */
+NvdimmConfig
+restoreRigConfig()
+{
+    NvdimmConfig cfg;
+    cfg.capacity = 64ull << 20;
+    return cfg;
+}
+
+TEST(NvdimmRestore, IncrementalRestoreProgressesAndCompletes)
+{
+    Nvdimm n(restoreRigConfig());
+    n.data()->writeValue<std::uint64_t>(4096, 0xBEEF);
+    n.powerFail();
+
+    EventQueue eq;
+    std::uint64_t notified = 0;
+    bool done = false;
+    Tick done_at = 0;
+    n.beginRestore(
+        eq, 0,
+        [&](std::uint64_t, std::uint64_t count, Tick) { notified += count; },
+        [&](Tick when) {
+            done = true;
+            done_at = when;
+        });
+    EXPECT_EQ(n.state(), Nvdimm::State::Restoring);
+    EXPECT_EQ(n.framesRestored(), 0u);
+
+    eq.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(n.state(), Nvdimm::State::Operational);
+    EXPECT_EQ(n.framesRestored(), n.restoreFrames());
+    EXPECT_EQ(notified, n.restoreFrames());
+    // The single on-DIMM stream restores frames back to back, so the
+    // incremental engine finishes exactly at the stop-the-world cost.
+    EXPECT_EQ(done_at, n.fullRestoreTicks());
+    EXPECT_EQ(n.data()->readValue<std::uint64_t>(4096), 0xBEEFu);
+}
+
+TEST(NvdimmRestore, PriorityRestoreJumpsCursor)
+{
+    Nvdimm n(restoreRigConfig());
+    n.powerFail();
+    EventQueue eq;
+    n.beginRestore(eq, 0, nullptr, nullptr);
+
+    // The last frame is 60 frames behind the cursor, but a priority
+    // request queues it right behind the in-flight cursor batch.
+    Addr last = n.capacity() - 1024;
+    Tick ready = n.requestRestoreSpan(last, 1024, 0);
+    EXPECT_LT(ready, n.fullRestoreTicks() / 8);
+    EXPECT_EQ(n.priorityRestores(), 1u);
+    // Re-requesting the same span rides the existing schedule.
+    EXPECT_EQ(n.requestRestoreSpan(last, 1024, 0), ready);
+    EXPECT_EQ(n.priorityRestores(), 1u);
+
+    while (!n.spanRestored(last, 1024) && eq.step()) {
+    }
+    ASSERT_TRUE(n.spanRestored(last, 1024));
+    EXPECT_EQ(eq.now(), ready);
+    EXPECT_LT(n.framesRestored(), n.restoreFrames());
+    EXPECT_EQ(n.state(), Nvdimm::State::Restoring);
+    // The restored span is immediately serviceable mid-restore.
+    EXPECT_GT(n.access(last, 64, MemOp::Read, eq.now()), eq.now());
+
+    eq.run();
+    EXPECT_EQ(n.state(), Nvdimm::State::Operational);
+    EXPECT_EQ(n.framesRestored(), n.restoreFrames());
+}
+
+TEST(NvdimmRestore, AccessToUnrestoredSpanMidRestoreIsFatal)
+{
+    Nvdimm n(restoreRigConfig());
+    n.powerFail();
+    EventQueue eq;
+    n.beginRestore(eq, 0, nullptr, nullptr);
+    ASSERT_TRUE(eq.step()); // first cursor batch commits
+    ASSERT_GT(n.framesRestored(), 0u);
+
+    // Restored prefix serves; the unrestored tail is a caller bug (the
+    // degraded-mode admission must have stalled it) and faults loudly.
+    EXPECT_GT(n.access(0, 64, MemOp::Read, eq.now()), 0u);
+    EXPECT_THROW(n.access(n.capacity() - 4096, 64, MemOp::Read, eq.now()),
+                 FatalError);
+}
+
+TEST(NvdimmRestore, SecondFailureMidRestoreRebacksUpRestoredPrefix)
+{
+    Nvdimm n(restoreRigConfig());
+    n.data()->writeValue<std::uint64_t>(8, 0xA5A5);
+    Tick full_backup = n.powerFail();
+
+    EventQueue eq;
+    n.beginRestore(eq, 0, nullptr, nullptr);
+    ASSERT_TRUE(eq.step());
+    std::uint64_t prefix = n.framesRestored();
+    ASSERT_GT(prefix, 0u);
+    ASSERT_LT(prefix, n.restoreFrames());
+
+    // Second failure mid-restore: only the restored prefix can carry
+    // fresh writes, so the re-backup streams just those frames.
+    Tick tpf = n.fullRestoreTicks() / n.restoreFrames();
+    Tick rebackup = n.powerFail();
+    EXPECT_EQ(n.state(), Nvdimm::State::Protected);
+    EXPECT_TRUE(n.contentsPreserved());
+    EXPECT_EQ(rebackup, Tick(prefix) * tpf);
+    EXPECT_LT(rebackup, full_backup);
+
+    // Restart the restore WITHOUT draining the queue: the first
+    // restore's stale commit events must be no-ops (generation check),
+    // not corrupt the new restore's progress accounting.
+    bool done = false;
+    n.beginRestore(eq, eq.now(), nullptr, [&](Tick) { done = true; });
+    eq.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(n.state(), Nvdimm::State::Operational);
+    EXPECT_EQ(n.framesRestored(), n.restoreFrames());
+    EXPECT_EQ(n.data()->readValue<std::uint64_t>(8), 0xA5A5u);
+}
+
+TEST(NvdimmRestore, DoubleRestoreIsFatalWithContext)
+{
+    NvdimmConfig cfg = restoreRigConfig();
+    cfg.functionalData = false;
+    Nvdimm n(cfg);
+    n.powerFail();
+    n.powerRestore();
+    try {
+        n.powerRestore();
+        FAIL() << "double restore did not fault";
+    } catch (const FatalError& e) {
+        EXPECT_NE(std::string(e.what()).find("double restore"),
+                  std::string::npos)
+            << "fatal lacks the double-restore context: " << e.what();
+    }
 }
 
 } // namespace

@@ -88,31 +88,33 @@ TEST(NvmeEngine, ReplayReissuesOnlyPending)
     eng.onPowerFail();
     sys.ullFlash().powerRestore();
 
+    std::vector<NvmeCommand> pending = eng.scanJournal();
+    ASSERT_EQ(pending.size(), 1u);
+    EXPECT_EQ(pending[0].slba, 64u);
+
+    eng.prepareReplay(pending);
+    // Compaction keeps the journal complete: the pending entry now
+    // sits in slot 0, still tagged, until its re-push supersedes it.
+    EXPECT_EQ(eng.scanJournal().size(), 1u);
+
     int replayed = 0;
-    bool done = false;
-    eng.replayPending(
-        sys.eventQueue().now(),
-        [&](const NvmeCommand&, const NvmeCmdTrace&, Tick) {
-            ++replayed;
-        },
-        [&](Tick) { done = true; });
+    eng.submitReplay(pending[0], sys.eventQueue().now(),
+                     [&](const NvmeCommand&, const NvmeCmdTrace&, Tick) {
+                         ++replayed;
+                     });
     sys.eventQueue().run();
-    EXPECT_TRUE(done);
     EXPECT_EQ(replayed, 1);
     EXPECT_EQ(eng.stats().replayed, 1u);
     EXPECT_TRUE(eng.scanJournal().empty());
 }
 
-TEST(NvmeEngine, ReplayWithNothingPendingCompletesImmediately)
+TEST(NvmeEngine, PrepareReplayWithNothingPendingClearsJournal)
 {
     HamsSystem sys(engineConfig());
-    bool done = false;
-    sys.nvmeEngine().replayPending(
-        0, nullptr, [&](Tick t) {
-            done = true;
-            EXPECT_EQ(t, 0u);
-        });
-    EXPECT_TRUE(done);
+    HamsNvmeEngine& eng = sys.nvmeEngine();
+    eng.prepareReplay({});
+    EXPECT_TRUE(eng.scanJournal().empty());
+    EXPECT_EQ(eng.stats().replayed, 0u);
 }
 
 TEST(RegisterInterfaceTest, CommandCostsOneBurst)
