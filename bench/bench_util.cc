@@ -14,6 +14,7 @@
 #include "baselines/optane_platform.hh"
 #include "baselines/oracle_platform.hh"
 #include "core/hams_system.hh"
+#include "core/stats_merge.hh"
 #include "sim/alloc_hook.hh"
 #include "sim/logging.hh"
 
@@ -284,6 +285,54 @@ runSweep(const std::vector<SweepCell>& cells)
     return results;
 }
 
+std::unique_ptr<ShardedPlatform>
+makeShardedPlatform(const std::string& name, const BenchGeometry& geom,
+                    std::uint32_t devices, ShardPolicy policy)
+{
+    std::vector<std::unique_ptr<MemoryPlatform>> shards;
+    for (std::uint32_t s = 0; s < devices; ++s) {
+        auto shard = makePlatform(name, geom);
+        if (!shard)
+            return nullptr;
+        shards.push_back(std::move(shard));
+    }
+    ShardedConfig cfg;
+    cfg.policy = policy;
+    cfg.stripeBytes = geom.mosPageBytes;
+    return std::make_unique<ShardedPlatform>(std::move(shards), cfg);
+}
+
+SmpResult
+runShardedSmpOn(ShardedPlatform& platform, const std::string& workload,
+                std::uint32_t cores, const BenchGeometry& geom)
+{
+    std::uint32_t m = platform.shardCount();
+    if (cores == 0 || cores % m != 0)
+        throw std::runtime_error("sharded SMP cell: " +
+                                 std::to_string(cores) + " cores not a "
+                                 "multiple of " + std::to_string(m) +
+                                 " devices");
+    std::uint32_t per_shard_cores = cores / m;
+    bool ranged =
+        m == 1 || platform.config().policy == ShardPolicy::Range;
+
+    std::vector<std::unique_ptr<WorkloadGenerator>> gens;
+    std::vector<WorkloadGenerator*> raw;
+    for (std::uint32_t c = 0; c < cores; ++c) {
+        std::uint32_t shard = c % m;
+        Addr base = ranged ? platform.rangeBase(shard) : 0;
+        gens.push_back(makeShardCoreWorkload(
+            workload, geom.datasetBytesFor(workload), c / m,
+            per_shard_cores, shard, base));
+        raw.push_back(gens.back().get());
+    }
+
+    SmpModel smp(platform);
+    std::uint64_t budget = measuredBudget(*gens[0], geom);
+    smp.run(raw, budget / 2); // warm devices, as runOn does
+    return smp.run(raw, budget);
+}
+
 SmpResult
 runSmpOn(MemoryPlatform& platform, const std::string& workload,
          std::uint32_t cores, const BenchGeometry& geom)
@@ -314,10 +363,36 @@ runSmpSweep(const std::vector<SmpSweepCell>& cells)
     runCells(
         cells.size(),
         [&](std::size_t i) {
-            return cells[i].platform + " x " + cells[i].workload + " x " +
-                   std::to_string(cells[i].cores) + "-core";
+            // Full cell coordinates, device dimension included, so a
+            // failing sharded cell is unambiguous in a mixed sweep.
+            std::string label = cells[i].platform + " x " +
+                                cells[i].workload + " x " +
+                                std::to_string(cells[i].cores) + "-core";
+            if (cells[i].devices > 1)
+                label += " x " + std::to_string(cells[i].devices) + "-dev";
+            return label;
         },
         [&](std::size_t i) {
+            if (cells[i].devices > 1) {
+                auto platform =
+                    makeShardedPlatform(cells[i].platform, cells[i].geom,
+                                        cells[i].devices);
+                if (!platform)
+                    throw std::runtime_error("unknown platform '" +
+                                             cells[i].platform + "'");
+                results[i].smp =
+                    runShardedSmpOn(*platform, cells[i].workload,
+                                    cells[i].cores, cells[i].geom);
+                results[i].isSharded = true;
+                results[i].devices = cells[i].devices;
+                results[i].sharded = platform->shardedStats();
+                HamsStats agg{};
+                if (platform->aggregatedHamsStats(agg) > 0) {
+                    results[i].hasHamsStats = true;
+                    results[i].hams = agg;
+                }
+                return;
+            }
             auto platform =
                 makePlatformOrThrow(cells[i].platform, cells[i].geom);
             results[i].smp = runSmpOn(*platform, cells[i].workload,

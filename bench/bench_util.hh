@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "baselines/platform.hh"
+#include "baselines/sharded_platform.hh"
 #include "core/hams_controller.hh"
 #include "cpu/core_model.hh"
 #include "cpu/smp_model.hh"
@@ -105,6 +106,15 @@ struct SmpSweepCell
     std::string workload;
     std::uint32_t cores = 1;
     BenchGeometry geom;
+
+    /**
+     * Device stacks behind the platform. 1 (the default) runs the bare
+     * single-device platform exactly as before; > 1 wraps @p devices
+     * independent stacks in a range-sharded ShardedPlatform (each
+     * shard gets the full geometry, core c drives shard c % devices)
+     * and requires cores % devices == 0.
+     */
+    std::uint32_t devices = 1;
 };
 
 /** SmpResult plus the shared platform's contention stats (HAMS only). */
@@ -112,7 +122,14 @@ struct SmpCellResult
 {
     SmpResult smp;
     bool hasHamsStats = false;
-    HamsStats hams; //!< valid when hasHamsStats
+    /** Valid when hasHamsStats; with devices > 1 this is the
+     *  stats_merge.hh aggregate across the HAMS shards. */
+    HamsStats hams;
+
+    /** Sharding-layer stats (valid when isSharded, i.e. devices > 1). */
+    bool isSharded = false;
+    std::uint32_t devices = 1;
+    ShardedStats sharded;
 };
 
 /**
@@ -124,9 +141,35 @@ SmpResult runSmpOn(MemoryPlatform& platform, const std::string& workload,
 
 /**
  * Run every SMP cell — parallel across cells, deterministic results in
- * input order, with runSweep's all-or-nothing error contract.
+ * input order, with runSweep's all-or-nothing error contract. Failing
+ * cells are annotated with their full coordinates, including the
+ * device dimension ("hams-TE x rndRd x 8-core x 4-dev").
  */
 std::vector<SmpCellResult> runSmpSweep(const std::vector<SmpSweepCell>& cells);
+
+/**
+ * Build @p devices independent device stacks of platform @p name —
+ * each a full stack with the complete per-shard geometry @p geom (so
+ * the sweep measures weak scaling: M devices hold M x the capacity) —
+ * behind one ShardedPlatform. @return nullptr for unknown names.
+ */
+std::unique_ptr<ShardedPlatform>
+makeShardedPlatform(const std::string& name, const BenchGeometry& geom,
+                    std::uint32_t devices,
+                    ShardPolicy policy = ShardPolicy::Range);
+
+/**
+ * Run @p workload over @p cores cores against a sharded platform:
+ * core c drives shard c % M through its own shard-seeded generator
+ * (workload/workload.hh makeShardCoreWorkload), placed at the shard's
+ * range base under the Range policy (shard-friendly traffic) and at 0
+ * under Hash (the stripe permutation spreads it). Requires
+ * cores % M == 0. M = 1 is bit-identical to runSmpOn on the bare
+ * platform.
+ */
+SmpResult runShardedSmpOn(ShardedPlatform& platform,
+                          const std::string& workload, std::uint32_t cores,
+                          const BenchGeometry& geom);
 
 /**
  * Generic cell-parallel runner behind runSweep/runSmpSweep, for

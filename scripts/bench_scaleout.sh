@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Build the Release scale-out sweep and record the trajectory in
+# BENCH_scaleout.json (repo root, or $HAMS_BENCH_JSON): N cores x M
+# sharded device stacks (ShardedPlatform), aggregate throughput,
+# weak-scaling efficiency vs the matching 1-device cell, and the
+# cross-shard flush barrier/skew/fence columns. The binary exits
+# non-zero if the built-in determinism gates fail (M=1 not
+# bit-identical to the bare platform, or an M=4 rerun diverging).
+#
+# Usage: scripts/bench_scaleout.sh
+#   HAMS_BENCH_SCALE=N enlarges the runs (default 1 = smoke size).
+#   HAMS_BENCH_THREADS=N caps the cross-cell worker pool.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build-bench"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+      -DCMAKE_BUILD_TYPE=Release \
+      -DHAMS_BUILD_TESTS=OFF \
+      -DHAMS_BUILD_EXAMPLES=OFF
+cmake --build "${build_dir}" --target fig_scaleout -j"$(nproc)"
+
+export HAMS_BENCH_JSON="${HAMS_BENCH_JSON:-${repo_root}/BENCH_scaleout.json}"
+"${build_dir}/fig_scaleout"
+
+echo
+echo "Results written to ${HAMS_BENCH_JSON}"

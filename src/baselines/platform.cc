@@ -36,7 +36,9 @@ MemoryPlatform::accessSync(const MemAccess& acc, Tick at,
         if (bd)
             *bd = b;
     });
-    while (!done && eventQueue().step()) {
+    // Pump the conductor, not the raw queue: on a sharded platform the
+    // completion fires in the owning shard's domain.
+    while (!done && conductor().step()) {
     }
     if (!done)
         panic("accessSync: event queue drained without completion");

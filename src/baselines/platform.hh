@@ -82,6 +82,46 @@
  * budget, so capturing it by value in the completion lambda would box
  * on the heap for every event-path access — load-bearing again under
  * SMP, where pending completions make the queue-empty gate rare.
+ *
+ * Sharded platforms and event-queue domains
+ * -----------------------------------------
+ * A platform need not be one device on one event queue: a
+ * ShardedPlatform (baselines/sharded_platform.hh) routes each access
+ * to one of M full stacks, each with its OWN EventQueue — its event
+ * *domain* — joined by a DomainConductor (sim/domain_conductor.hh)
+ * that interleaves domains by global tick with a fixed tie-break.
+ * That changes how callers drive a platform:
+ *
+ *  - Drivers pump conductor(), never eventQueue() directly. For a
+ *    single-device platform conductor() wraps the one queue and every
+ *    call delegates, so the two are interchangeable there; for a
+ *    sharded platform eventQueue() is only the hub domain (cross-shard
+ *    coordination events such as flush fences) and pumping it alone
+ *    would starve the shards. CoreModel, SmpModel and accessSync()
+ *    are all conductor clients.
+ *  - The inline fast-path gate becomes conductor().empty(): an access
+ *    may complete inline only when NO domain has a pending event, so a
+ *    routed inline completion can never race another shard's in-flight
+ *    work. tryAccess() routing must itself stay pure: a false return
+ *    from the owning shard leaves every domain untouched.
+ *  - Cross-shard flush ordering: flush() on a sharded platform is a
+ *    two-phase barrier — the fence fans out to every shard at the
+ *    issue tick, and the completion fires on the hub domain at
+ *    max(per-shard flush completion) + the fence latency, so a flush
+ *    never acks before every shard's prior acked writes are durable.
+ *    Callers see one AccessCb, exactly as on one device.
+ *  - Shards share no mutable state: each has its own controller, NVMe
+ *    path, FTL, GC machines and NVDIMM, so per-shard powerFail() and
+ *    recovery are independent — a shard can crash and restore while
+ *    its siblings keep serving — and the domain split is the
+ *    structural unlock for pumping big simulations on several host
+ *    threads later.
+ *
+ * The ordering obligations of "Multiple outstanding accesses" above
+ * apply across shards unchanged: callers issue in non-decreasing
+ * issue-tick order, and the conductor guarantees pending events
+ * strictly earlier than the next issue have fired regardless of which
+ * domain holds them.
  */
 
 #ifndef HAMS_BASELINES_PLATFORM_HH_
@@ -93,6 +133,7 @@
 
 #include "energy/energy_meter.hh"
 #include "mem/request.hh"
+#include "sim/domain_conductor.hh"
 #include "sim/event_queue.hh"
 #include "sim/pool.hh"
 #include "sim/types.hh"
@@ -138,8 +179,28 @@ class MemoryPlatform
     /** Byte capacity of the (persistent) memory space. */
     virtual std::uint64_t capacity() const = 0;
 
-    /** The event queue driving this platform. */
+    /**
+     * The platform's (primary) event queue. For a sharded platform
+     * this is only the hub coordination domain — drivers must pump
+     * conductor() instead (see "Sharded platforms and event-queue
+     * domains" in the file header).
+     */
     virtual EventQueue& eventQueue() = 0;
+
+    /**
+     * The domain conductor driving this platform's event domain(s).
+     * Single-device platforms get a one-domain conductor over
+     * eventQueue() (every call delegates, so behaviour is identical to
+     * driving the queue directly); ShardedPlatform overrides this with
+     * its M+1-domain conductor.
+     */
+    virtual DomainConductor&
+    conductor()
+    {
+        if (soloConductor.domains() == 0)
+            soloConductor.attach(eventQueue());
+        return soloConductor;
+    }
 
     /**
      * Issue one CPU-visible access (<= 64 B, never page-crossing) at
@@ -217,6 +278,9 @@ class MemoryPlatform
     };
 
     ObjectPool<CompletionCtx> completionPool;
+
+    /** Lazily-attached one-domain conductor over eventQueue(). */
+    DomainConductor soloConductor;
 };
 
 } // namespace hams

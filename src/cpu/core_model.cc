@@ -1,5 +1,7 @@
 #include "cpu/core_model.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace hams {
@@ -38,6 +40,23 @@ finalizeRunResult(RunResult& res, double freq_ghz,
     res.cpuEnergyJ = cpu_power.energyJ(res.activeTime, res.stallTime, 1);
 }
 
+void
+mergeRunResult(RunResult& into, const RunResult& from)
+{
+    into.simTime = std::max(into.simTime, from.simTime);
+    into.instructions += from.instructions;
+    into.memInstructions += from.memInstructions;
+    into.platformAccesses += from.platformAccesses;
+    into.l1Hits += from.l1Hits;
+    into.l2Hits += from.l2Hits;
+    into.opsCompleted += from.opsCompleted;
+    into.pagesTouched += from.pagesTouched;
+    into.activeTime += from.activeTime;
+    into.stallTime += from.stallTime;
+    into.stallBreakdown += from.stallBreakdown;
+    into.flushTime += from.flushTime;
+}
+
 CoreModel::CoreModel(MemoryPlatform& platform, const CoreConfig& cfg)
     : platform(platform), cfg(cfg)
 {
@@ -46,7 +65,10 @@ CoreModel::CoreModel(MemoryPlatform& platform, const CoreConfig& cfg)
 RunResult
 CoreModel::run(WorkloadGenerator& gen, std::uint64_t instruction_budget)
 {
-    EventQueue& eq = platform.eventQueue();
+    // Drive the platform's domain conductor: one delegating domain for
+    // a single-device platform, the cross-domain interleaver for a
+    // sharded one (contract in baselines/platform.hh).
+    DomainConductor& eq = platform.conductor();
     CacheModel l1(cfg.l1);
     CacheModel l2(cfg.l2);
 

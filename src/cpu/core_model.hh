@@ -79,6 +79,18 @@ void finalizeRunResult(RunResult& res, double freq_ghz,
                        const CpuPowerModel& cpu_power);
 
 /**
+ * Merge @p from's raw counters into @p into: event counters sum,
+ * simTime takes the max (parallel entities overlap in time, so summing
+ * would double-count the wall), and the derived rate/energy fields are
+ * left stale — call finalizeRunResult afterwards to rebuild them as
+ * aggregate cross-entity rates. The one merge used for per-core views
+ * (SmpModel::run) and per-shard views (bench scale-out tables), so the
+ * two aggregations can never drift apart. Labels (workload/platform)
+ * keep @p into's values.
+ */
+void mergeRunResult(RunResult& into, const RunResult& from);
+
+/**
  * Drives a WorkloadGenerator against a MemoryPlatform.
  */
 class CoreModel

@@ -151,7 +151,7 @@ SmpModel::onFlushDone(CoreCtx& c, Tick done, const LatencyBreakdown&)
 void
 SmpModel::issue(CoreCtx& c)
 {
-    EventQueue& eq = platform.eventQueue();
+    DomainConductor& eq = platform.conductor();
     switch (c.pending) {
       case CoreCtx::Pending::Wb: {
         // Background drain of a dirty L2 victim: occupies platform
@@ -225,7 +225,11 @@ SmpModel::run(const std::vector<WorkloadGenerator*>& gens,
         CoreModel core(platform, cfg.core);
         result.perCore.push_back(core.run(*gens[0], per_core_budget));
     } else {
-        EventQueue& eq = platform.eventQueue();
+        // The SMP conductor is a client of the platform's DOMAIN
+        // conductor: one delegating domain on a single device, the
+        // cross-domain interleaver on a sharded platform, so the retire
+        // loop below is oblivious to how many event queues sit under it.
+        DomainConductor& eq = platform.conductor();
         Tick start = eq.now();
         solo = gens.size() == 1;
 
@@ -295,24 +299,14 @@ SmpModel::run(const std::vector<WorkloadGenerator*>& gens,
         }
     }
 
-    // Aggregate view: summed counters over the longest core's time.
+    // Aggregate view: summed counters over the longest core's time
+    // (shared merge helper, so per-core and per-shard aggregation can
+    // never drift apart).
     RunResult& comb = result.combined;
     comb.workload = result.perCore[0].workload;
     comb.platform = result.perCore[0].platform;
-    for (const RunResult& r : result.perCore) {
-        comb.simTime = std::max(comb.simTime, r.simTime);
-        comb.instructions += r.instructions;
-        comb.memInstructions += r.memInstructions;
-        comb.platformAccesses += r.platformAccesses;
-        comb.l1Hits += r.l1Hits;
-        comb.l2Hits += r.l2Hits;
-        comb.opsCompleted += r.opsCompleted;
-        comb.pagesTouched += r.pagesTouched;
-        comb.activeTime += r.activeTime;
-        comb.stallTime += r.stallTime;
-        comb.stallBreakdown += r.stallBreakdown;
-        comb.flushTime += r.flushTime;
-    }
+    for (const RunResult& r : result.perCore)
+        mergeRunResult(comb, r);
     finalizeRunResult(comb, cfg.core.freqGhz, cpuPower);
     return result;
 }

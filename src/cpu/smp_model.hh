@@ -26,6 +26,14 @@
  * issue-then-fire order: the access is applied, then pending events at
  * that tick fire.
  *
+ * The SMP conductor is itself a client of the platform's
+ * DomainConductor (sim/domain_conductor.hh): "pending events" above
+ * means events in ANY of the platform's event-queue domains, drained
+ * in global tick order with the conductor's fixed cross-domain
+ * tie-break. On a single-device platform that is exactly the old
+ * one-queue behaviour; on a ShardedPlatform the retire loop is
+ * unchanged while M device stacks run underneath.
+ *
  * The immediate-completion fast path stays gated on an empty event
  * queue (contract in baselines/platform.hh): any other core's
  * outstanding access holds a live completion event, so the gate

@@ -123,6 +123,22 @@ class EventQueue
     /** Arena high-water mark (max concurrently pending events). */
     std::size_t slotCount() const { return slots.size(); }
 
+    /**
+     * @name Event-queue domain identity.
+     *
+     * A queue can be one *domain* of a multi-queue simulation: a
+     * DomainConductor (sim/domain_conductor.hh) interleaves several
+     * queues by global tick and breaks same-tick ties by this id, so
+     * cross-domain event order is deterministic. Assigned by
+     * DomainConductor::attach (attach order); standalone queues keep
+     * the default 0. Purely an identity — it changes nothing about
+     * how this queue schedules or fires.
+     */
+    ///@{
+    std::uint32_t domainId() const { return _domainId; }
+    void setDomainId(std::uint32_t id) { _domainId = id; }
+    ///@}
+
   private:
     /**
      * Heap entries are 24-byte PODs: the callback stays in its arena
@@ -181,6 +197,7 @@ class EventQueue
     void advanceToSlow(Tick when);
 
     Tick _now = 0;
+    std::uint32_t _domainId = 0;
     std::uint64_t nextSeq = 0;
     std::size_t livePending = 0;
     std::uint64_t firedCount = 0;

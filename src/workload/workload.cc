@@ -166,6 +166,7 @@ SyntheticWorkload::next(WorkloadOp& op)
     }
 
     if (op.hasAccess) {
+        op.access.addr += _spec.baseAddr;
         Addr page = op.access.addr / 4096;
         if (page != lastPage) {
             op.newPage = true;
@@ -216,6 +217,36 @@ makeCoreWorkload(const std::string& name, std::uint64_t dataset_bytes,
     // never collide); core 0 keeps base_seed and is identical to the
     // single-core generator.
     std::uint64_t seed = base_seed + core * 0x9E3779B97F4A7C15ull;
+    return std::make_unique<SyntheticWorkload>(spec, seed);
+}
+
+std::uint64_t
+shardSeed(std::uint64_t base_seed, std::uint32_t shard)
+{
+    if (shard == 0)
+        return base_seed; // M = 1 reproduces single-device streams
+    // splitmix64 finaliser over a well-spread per-shard increment:
+    // depends only on (base_seed, shard), never on the shard count.
+    std::uint64_t z = base_seed + shard * 0xD1B54A32D192ED03ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+std::unique_ptr<WorkloadGenerator>
+makeShardCoreWorkload(const std::string& name, std::uint64_t dataset_bytes,
+                      std::uint32_t core, std::uint32_t ncores,
+                      std::uint32_t shard, Addr shard_base,
+                      std::uint64_t base_seed)
+{
+    if (ncores == 0 || core >= ncores)
+        fatal("bad workload shard: core ", core, " of ", ncores);
+    WorkloadSpec spec = specForName(name, dataset_bytes);
+    spec.shardOffsetFrac =
+        static_cast<double>(core) / static_cast<double>(ncores);
+    spec.baseAddr = shard_base;
+    std::uint64_t seed =
+        shardSeed(base_seed, shard) + core * 0x9E3779B97F4A7C15ull;
     return std::make_unique<SyntheticWorkload>(spec, seed);
 }
 

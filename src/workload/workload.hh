@@ -84,6 +84,18 @@ struct WorkloadSpec
      * 0 (the default) reproduces the single-core stream exactly.
      */
     double shardOffsetFrac = 0.0;
+
+    /**
+     * Scale-out placement: constant offset added to every emitted
+     * address. With a range-sharded platform (baselines/
+     * sharded_platform.hh), baseAddr = rangeBase(shard) pins this
+     * generator's whole footprint inside one shard — the shard-friendly
+     * traffic of the scale-out bench. 0 (the default) leaves the
+     * stream exactly where a single-device run puts it. Keep it 4 KiB
+     * aligned so page-transition tracking (WorkloadOp::newPage) is
+     * unchanged.
+     */
+    Addr baseAddr = 0;
 };
 
 /** One step of a workload: compute, then at most one memory access. */
@@ -176,6 +188,33 @@ std::unique_ptr<WorkloadGenerator>
 makeCoreWorkload(const std::string& name, std::uint64_t dataset_bytes,
                  std::uint32_t core, std::uint32_t ncores,
                  std::uint64_t base_seed = 42);
+
+/**
+ * Root seed of shard @p shard's workload stream, split from
+ * @p base_seed. The derivation depends only on (base_seed, shard) —
+ * NOT on how many shards the run has — so shard s's stream is the same
+ * whether the platform runs 2 shards or 8, and adding shards never
+ * perturbs existing ones. Shard 0 keeps base_seed unchanged, so the
+ * M = 1 platform reproduces the single-device streams bit for bit.
+ * Other shards get a splitmix64-finalised mix: every bit of shard id
+ * diffuses through the whole seed, keeping shard streams statistically
+ * independent even for adjacent ids.
+ */
+std::uint64_t shardSeed(std::uint64_t base_seed, std::uint32_t shard);
+
+/**
+ * Per-(shard, core) workload for scale-out runs: the makeCoreWorkload
+ * shard of the per-shard dataset, drawing from shardSeed(base_seed,
+ * shard)'s stream and emitting addresses offset by @p shard_base
+ * (WorkloadSpec::baseAddr — use ShardedPlatform::rangeBase for
+ * shard-friendly traffic). @p dataset_bytes is the PER-SHARD dataset.
+ * Shard 0 with shard_base 0 is bit-identical to makeCoreWorkload.
+ */
+std::unique_ptr<WorkloadGenerator>
+makeShardCoreWorkload(const std::string& name, std::uint64_t dataset_bytes,
+                      std::uint32_t core, std::uint32_t ncores,
+                      std::uint32_t shard, Addr shard_base,
+                      std::uint64_t base_seed = 42);
 
 /** The twelve workload names in the paper's figure order. */
 const std::vector<std::string>& microWorkloadNames();   //!< 4 entries
