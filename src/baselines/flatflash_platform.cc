@@ -15,6 +15,8 @@ FlatFlashPlatform::FlatFlashPlatform(const FlatFlashConfig& cfg)
                        /*with_supercap=*/false, /*with_buffer=*/false));
     link = std::make_unique<PcieLink>(ullFlashLink());
     _capacity = ssd->capacityBytes();
+    touchLeaves.resize((_capacity / nvmeBlockSize + touchLeafSize - 1) /
+                       touchLeafSize);
 
     DramBufferConfig internal_cfg;
     internal_cfg.capacity = cfg.internalDramBytes;
@@ -74,7 +76,7 @@ FlatFlashPlatform::serve(const MemAccess& acc, Tick at, LatencyBreakdown& bd)
         if (hostCacheTags) {
             // Hot-page promotion: after enough touches, migrate the
             // page into host DRAM over PCIe.
-            std::uint32_t& touches = touchCount[page];
+            std::uint32_t& touches = touchSlot(page);
             if (++touches >= cfg.promoteThreshold) {
                 touches = 0;
                 Tick mig_media = ssd->hostRead(page, 1, done);

@@ -17,6 +17,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "baselines/platform.hh"
 #include "dram/memory_controller.hh"
@@ -53,9 +54,10 @@ class FlatFlashPlatform : public MemoryPlatform
     const std::string& name() const override { return _name; }
     std::uint64_t capacity() const override { return _capacity; }
     EventQueue& eventQueue() override { return eq; }
-    void access(const MemAccess& acc, Tick at, AccessCb cb) override;
-    bool tryAccess(const MemAccess& acc, Tick at,
-                   InlineCompletion& out) override;
+    HAMS_HOT_PATH void access(const MemAccess& acc, Tick at,
+                              AccessCb cb) override;
+    HAMS_HOT_PATH bool tryAccess(const MemAccess& acc, Tick at,
+                                 InlineCompletion& out) override;
     /** Host-cached pages make -M non-persistent (paper SSVII). */
     bool persistent() const override { return !cfg.hostCaching; }
     EnergyBreakdownJ memoryEnergy(Tick elapsed) const override;
@@ -65,7 +67,27 @@ class FlatFlashPlatform : public MemoryPlatform
 
   private:
     /** The latency arithmetic shared by access() and tryAccess(). */
-    Tick serve(const MemAccess& acc, Tick at, LatencyBreakdown& bd);
+    HAMS_HOT_PATH Tick serve(const MemAccess& acc, Tick at,
+                             LatencyBreakdown& bd);
+
+    /**
+     * Touch counter of @p page for -M's promotion policy. Two-level
+     * direct-indexed table (spine pre-sized to the page space, leaves
+     * allocated on first touch) — the previous unordered_map probed a
+     * hash and could rehash-allocate on every MMIO-path access.
+     */
+    HAMS_HOT_PATH std::uint32_t&
+    touchSlot(std::uint64_t page)
+    {
+        auto& leaf = touchLeaves[page >> touchLeafBits];
+        if (!leaf) {
+            HAMS_LINT_SUPPRESS("first-touch leaf allocation "
+                               "(value-initialized to zero); reused "
+                               "for the platform's lifetime")
+            leaf = std::make_unique<std::uint32_t[]>(touchLeafSize);
+        }
+        return leaf[page & (touchLeafSize - 1)];
+    }
 
     FlatFlashConfig cfg;
     std::string _name;
@@ -77,7 +99,10 @@ class FlatFlashPlatform : public MemoryPlatform
     std::unique_ptr<DramBuffer> hostCacheTags;
     /** Pages resident in the SSD-internal DRAM (MMIO serving cache). */
     std::unique_ptr<DramBuffer> internalTags;
-    std::unordered_map<std::uint64_t, std::uint32_t> touchCount;
+    static constexpr std::uint32_t touchLeafBits = 12;
+    static constexpr std::uint32_t touchLeafSize = 1u << touchLeafBits;
+    /** page >> touchLeafBits -> leaf of per-page touch counters. */
+    std::vector<std::unique_ptr<std::uint32_t[]>> touchLeaves;
     std::uint64_t _promotions = 0;
     std::uint64_t _hostHits = 0;
 };

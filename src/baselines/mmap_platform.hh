@@ -23,6 +23,7 @@
 #include "dram/memory_controller.hh"
 #include "nvme/nvme_types.hh"
 #include "pcie/pcie_link.hh"
+#include "sim/annotations.hh"
 #include "ssd/dram_buffer.hh"
 #include "ssd/ssd.hh"
 
@@ -81,8 +82,8 @@ class MmapPlatform : public MemoryPlatform
     const std::string& name() const override { return _name; }
     std::uint64_t capacity() const override { return _capacity; }
     EventQueue& eventQueue() override { return eq; }
-    void access(const MemAccess& acc, Tick at, AccessCb cb) override;
-    bool tryAccess(const MemAccess& acc, Tick at,
+    HAMS_HOT_PATH void access(const MemAccess& acc, Tick at, AccessCb cb) override;
+    HAMS_HOT_PATH bool tryAccess(const MemAccess& acc, Tick at,
                    InlineCompletion& out) override;
     bool persistent() const override { return true; } //!< via msync
     void flush(Tick at, AccessCb cb) override;
@@ -98,12 +99,12 @@ class MmapPlatform : public MemoryPlatform
 
   private:
     /** The hit/fault arithmetic shared by access() and tryAccess(). */
-    Tick serve(const MemAccess& acc, Tick at, LatencyBreakdown& bd);
+    HAMS_HOT_PATH Tick serve(const MemAccess& acc, Tick at, LatencyBreakdown& bd);
 
     /** Write one dirty page back (timing on SSD + link resources). */
-    Tick writebackPage(std::uint64_t page, Tick at);
+    HAMS_HOT_PATH Tick writebackPage(std::uint64_t page, Tick at);
 
-    void maybeStartWriteback(Tick at);
+    HAMS_HOT_PATH void maybeStartWriteback(Tick at);
 
     MmapConfig cfg;
     std::string _name;

@@ -18,6 +18,7 @@
 
 #include "baselines/platform.hh"
 #include "dram/memory_controller.hh"
+#include "sim/annotations.hh"
 #include "ssd/dram_buffer.hh"
 #include "ssd/ssd.hh"
 
@@ -49,8 +50,8 @@ class NvdimmCPlatform : public MemoryPlatform
     const std::string& name() const override { return _name; }
     std::uint64_t capacity() const override { return _capacity; }
     EventQueue& eventQueue() override { return eq; }
-    void access(const MemAccess& acc, Tick at, AccessCb cb) override;
-    bool tryAccess(const MemAccess& acc, Tick at,
+    HAMS_HOT_PATH void access(const MemAccess& acc, Tick at, AccessCb cb) override;
+    HAMS_HOT_PATH bool tryAccess(const MemAccess& acc, Tick at,
                    InlineCompletion& out) override;
     bool persistent() const override { return true; }
     EnergyBreakdownJ memoryEnergy(Tick elapsed) const override;
@@ -59,10 +60,10 @@ class NvdimmCPlatform : public MemoryPlatform
 
   private:
     /** The latency arithmetic shared by access() and tryAccess(). */
-    Tick serve(const MemAccess& acc, Tick at, LatencyBreakdown& bd);
+    HAMS_HOT_PATH Tick serve(const MemAccess& acc, Tick at, LatencyBreakdown& bd);
 
     /** Earliest refresh window at or after @p t; consumes the slot. */
-    Tick claimWindow(Tick t);
+    HAMS_HOT_PATH Tick claimWindow(Tick t);
 
     NvdimmCConfig cfg;
     std::string _name = "nvdimm-C";

@@ -20,6 +20,7 @@
 
 #include "baselines/platform.hh"
 #include "dram/memory_controller.hh"
+#include "sim/annotations.hh"
 #include "ssd/dram_buffer.hh"
 
 namespace hams {
@@ -49,18 +50,18 @@ class OptanePlatform : public MemoryPlatform
     const std::string& name() const override { return _name; }
     std::uint64_t capacity() const override { return cfg.pmmBytes; }
     EventQueue& eventQueue() override { return eq; }
-    void access(const MemAccess& acc, Tick at, AccessCb cb) override;
-    bool tryAccess(const MemAccess& acc, Tick at,
+    HAMS_HOT_PATH void access(const MemAccess& acc, Tick at, AccessCb cb) override;
+    HAMS_HOT_PATH bool tryAccess(const MemAccess& acc, Tick at,
                    InlineCompletion& out) override;
     bool persistent() const override { return !cfg.memoryMode; }
     EnergyBreakdownJ memoryEnergy(Tick elapsed) const override;
 
   private:
     /** The latency arithmetic shared by access() and tryAccess(). */
-    Tick serve(const MemAccess& acc, Tick at, LatencyBreakdown& bd);
+    HAMS_HOT_PATH Tick serve(const MemAccess& acc, Tick at, LatencyBreakdown& bd);
 
     /** Media access with 256 B amplification and bandwidth occupancy. */
-    Tick mediaAccess(std::uint32_t size, MemOp op, Tick at,
+    HAMS_HOT_PATH Tick mediaAccess(std::uint32_t size, MemOp op, Tick at,
                      LatencyBreakdown& bd);
 
     OptaneConfig cfg;

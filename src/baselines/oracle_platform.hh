@@ -12,6 +12,7 @@
 
 #include "baselines/platform.hh"
 #include "dram/memory_controller.hh"
+#include "sim/annotations.hh"
 
 namespace hams {
 
@@ -32,15 +33,15 @@ class OraclePlatform : public MemoryPlatform
     const std::string& name() const override { return _name; }
     std::uint64_t capacity() const override { return cfg.capacityBytes; }
     EventQueue& eventQueue() override { return eq; }
-    void access(const MemAccess& acc, Tick at, AccessCb cb) override;
-    bool tryAccess(const MemAccess& acc, Tick at,
+    HAMS_HOT_PATH void access(const MemAccess& acc, Tick at, AccessCb cb) override;
+    HAMS_HOT_PATH bool tryAccess(const MemAccess& acc, Tick at,
                    InlineCompletion& out) override;
     bool persistent() const override { return true; }
     EnergyBreakdownJ memoryEnergy(Tick elapsed) const override;
 
   private:
     /** The latency arithmetic shared by access() and tryAccess(). */
-    Tick serve(const MemAccess& acc, Tick at, LatencyBreakdown& bd);
+    HAMS_HOT_PATH Tick serve(const MemAccess& acc, Tick at, LatencyBreakdown& bd);
 
     OracleConfig cfg;
     std::string _name = "oracle";

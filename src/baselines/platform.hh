@@ -36,6 +36,21 @@
  *    and should then advanceTo() the returned tick to keep now() where
  *    the fired completion event would have left it.
  *
+ * Hot-path contract (machine-checked)
+ * -----------------------------------
+ * Every platform's access()/tryAccess()/serve() chain is a
+ * HAMS_HOT_PATH (sim/annotations.hh): from those roots, transitively,
+ * steady-state code performs no heap allocation (pools and first-touch
+ * tables only), probes no hash container, constructs no std::function,
+ * keeps event-callback captures inside InlineFunction's 48-byte inline
+ * budget (capture a pooled-context pointer, never the context), and
+ * touches no wall-clock/rand/pointer-keyed/unordered-iteration
+ * determinism hazard. tools/hamslint walks the call graph and enforces
+ * all of this — `scripts/lint_hotpaths.sh` locally, the `hamslint` CI
+ * job on every push. Intentional amortized growth needs a
+ * HAMS_LINT_SUPPRESS("reason") at the statement; recovery and setup
+ * paths are fenced off with HAMS_COLD_PATH.
+ *
  * Multiple outstanding accesses (SMP drivers)
  * -------------------------------------------
  * A platform may be shared by several cores with overlapping accesses

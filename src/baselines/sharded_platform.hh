@@ -60,6 +60,7 @@
 #include <vector>
 
 #include "baselines/platform.hh"
+#include "sim/annotations.hh"
 
 namespace hams {
 
@@ -126,11 +127,11 @@ class ShardedPlatform : public MemoryPlatform
      *  platform through conductor(). */
     EventQueue& eventQueue() override { return hub; }
     DomainConductor& conductor() override { return dc; }
-    void access(const MemAccess& acc, Tick at, AccessCb cb) override;
-    bool tryAccess(const MemAccess& acc, Tick at,
+    HAMS_HOT_PATH void access(const MemAccess& acc, Tick at, AccessCb cb) override;
+    HAMS_HOT_PATH bool tryAccess(const MemAccess& acc, Tick at,
                    InlineCompletion& out) override;
     bool persistent() const override;
-    void flush(Tick at, AccessCb cb) override;
+    HAMS_HOT_PATH void flush(Tick at, AccessCb cb) override;
     EnergyBreakdownJ memoryEnergy(Tick elapsed) const override;
     ///@}
 
@@ -150,7 +151,7 @@ class ShardedPlatform : public MemoryPlatform
         std::uint32_t shard;
         Addr local;
     };
-    Route route(Addr addr) const
+    HAMS_HOT_PATH Route route(Addr addr) const
     {
         if (shards.size() == 1)
             return {0, addr};
@@ -179,14 +180,14 @@ class ShardedPlatform : public MemoryPlatform
     ///@{
     /** Cut power on every HAMS shard; drops pending hub fences.
      *  @return the slowest shard's supercap-drain ticks. */
-    Tick powerFail(std::uint64_t max_drain_frames = ~std::uint64_t(0));
+    HAMS_COLD_PATH Tick powerFail(std::uint64_t max_drain_frames = ~std::uint64_t(0));
 
     /** Recover every failed HAMS shard. @return the latest tick. */
-    Tick recover();
+    HAMS_COLD_PATH Tick recover();
     ///@}
 
   private:
-    void buildRouting();
+    HAMS_COLD_PATH void buildRouting();
     void shardFlushDone(struct ShardedFlushCtx* ctx, Tick done);
 
     ShardedConfig cfg;

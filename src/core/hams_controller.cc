@@ -181,6 +181,9 @@ HamsController::gateSubmit(Tick at, GateThunk thunk)
     }
     if (gateBusy) {
         ++_stats.persistGateWaits;
+        HAMS_LINT_SUPPRESS("gate-queue growth to the high-water mark of "
+                           "concurrently gated persists; steady state "
+                           "pops as it pushes")
         gateQueue.push_back(std::move(thunk));
         _stats.gateQueuePeakDepth =
             std::max<std::uint64_t>(_stats.gateQueuePeakDepth,
@@ -214,6 +217,8 @@ HamsController::handleMiss(Op* op, Tick at)
         // the busy bit — and re-decide once the replay drains: the
         // replay may well have filled this very frame.
         ++_stats.recoveryGateWaits;
+        HAMS_LINT_SUPPRESS("recovery-window parking only: misses queue "
+                           "here solely while journal replay owns the SQ")
         recoveryGate.push_back([this, op](Tick t) { retryMiss(op, t); });
         return;
     }
@@ -414,6 +419,9 @@ HamsController::parkWaiter(const MemAccess& acc, const std::uint8_t* wdata,
         waiterFreeHead = waiterPool[node].next;
     } else {
         node = static_cast<std::uint32_t>(waiterPool.size());
+        HAMS_LINT_SUPPRESS("waiter-pool growth to the high-water mark of "
+                           "concurrent same-frame waiters; steady state "
+                           "recycles off the free list")
         waiterPool.emplace_back();
     }
     Waiter& w = waiterPool[node];

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "core/mos_tag_array.hh"
+#include "sim/annotations.hh"
 #include "core/nvme_engine.hh"
 #include "core/pinned_region.hh"
 #include "dram/nvdimm.hh"
@@ -144,11 +145,11 @@ class HamsController
      * One MMU request. @p wdata (writes) and @p rdata (reads) may be
      * null for timing-only runs; @p rdata is filled at completion time.
      */
-    void access(const MemAccess& acc, const std::uint8_t* wdata,
+    HAMS_HOT_PATH void access(const MemAccess& acc, const std::uint8_t* wdata,
                 std::uint8_t* rdata, Tick at, AccessCb cb);
 
     /** Timing-only convenience overload. */
-    void
+    HAMS_HOT_PATH void
     access(const MemAccess& acc, Tick at, AccessCb cb)
     {
         access(acc, nullptr, nullptr, at, std::move(cb));
@@ -169,10 +170,10 @@ class HamsController
      * through the FIL's channel/die accounting — always take the
      * event path.
      */
-    bool tryAccess(const MemAccess& acc, Tick at, InlineCompletion& out);
+    HAMS_HOT_PATH bool tryAccess(const MemAccess& acc, Tick at, InlineCompletion& out);
 
     /** Drop volatile state (wait queue, persist gate) on power failure. */
-    void onPowerFail();
+    HAMS_COLD_PATH void onPowerFail();
 
     /**
      * @name Online recovery (paper Fig. 15, event-driven).
@@ -194,14 +195,14 @@ class HamsController
      *    SQ in place, so foreground submits must not interleave).
      */
     ///@{
-    void beginRecovery(Tick at, std::function<void(Tick)> done);
+    HAMS_COLD_PATH void beginRecovery(Tick at, std::function<void(Tick)> done);
 
     /** NVDIMM restore-cursor progress: wake stalls the span unblocks. */
-    void onFramesRestored(std::uint64_t first_frame,
+    HAMS_COLD_PATH void onFramesRestored(std::uint64_t first_frame,
                           std::uint64_t frame_count, Tick at);
 
     /** NVDIMM restore finished; recovery completes once replay drains. */
-    void onRestoreComplete(Tick at);
+    HAMS_COLD_PATH void onRestoreComplete(Tick at);
 
     bool recovering() const { return _recovering; }
 
@@ -261,69 +262,69 @@ class HamsController
     using GateThunk = InlineFunction<void(Tick)>;
 
     /** NVDIMM byte address of cache frame @p idx. */
-    Addr frameAddr(std::uint64_t idx) const
+    HAMS_HOT_PATH Addr frameAddr(std::uint64_t idx) const
     {
         return Addr(idx) * cfg.pageBytes;
     }
 
     /** First LBA of the MoS page containing @p mos_addr. */
-    std::uint64_t slbaOf(Addr mos_page_addr) const
+    HAMS_HOT_PATH std::uint64_t slbaOf(Addr mos_page_addr) const
     {
         return mos_page_addr / nvmeBlockSize;
     }
 
-    std::uint32_t blocksPerPage() const
+    HAMS_HOT_PATH std::uint32_t blocksPerPage() const
     {
         return cfg.pageBytes / nvmeBlockSize;
     }
 
     /** Build a pooled Op for a new request. */
-    Op* makeOp(const MemAccess& acc, const std::uint8_t* wdata,
+    HAMS_HOT_PATH Op* makeOp(const MemAccess& acc, const std::uint8_t* wdata,
                std::uint8_t* rdata, std::uint64_t idx, AccessCb cb);
 
-    void handleHit(Op* op, Tick at);
-    void handleMiss(Op* op, Tick at);
+    HAMS_HOT_PATH void handleHit(Op* op, Tick at);
+    HAMS_HOT_PATH void handleMiss(Op* op, Tick at);
 
     /** A recovery-gated miss re-decides hit/park/miss at drain time. */
-    void retryMiss(Op* op, Tick at);
+    HAMS_COLD_PATH void retryMiss(Op* op, Tick at);
 
     /** Final NVDIMM data access of a request, plus functional bytes. */
-    void serveFromFrame(Op* op, Tick at);
+    HAMS_HOT_PATH void serveFromFrame(Op* op, Tick at);
 
     /** Issue fill (and possibly eviction) for a missing page. */
-    void startMissIo(Op* op, Tick at);
+    HAMS_HOT_PATH void startMissIo(Op* op, Tick at);
 
     /** Submit the demand fill of @p op. */
-    void submitFill(Op* op, Tick t);
+    HAMS_HOT_PATH void submitFill(Op* op, Tick t);
 
     /** Fill landed: install the tag, serve the line, wake waiters. */
-    void onFillDone(Op* op, const NvmeCmdTrace& trace, Tick when);
+    HAMS_HOT_PATH void onFillDone(Op* op, const NvmeCmdTrace& trace, Tick when);
 
     /** Persist-mode gate: run thunks one I/O at a time. */
-    void gateSubmit(Tick at, GateThunk thunk);
-    void gateRelease(Tick at);
+    HAMS_HOT_PATH void gateSubmit(Tick at, GateThunk thunk);
+    HAMS_HOT_PATH void gateRelease(Tick at);
 
     /** Park a request on frame @p idx's wait list. */
-    void parkWaiter(const MemAccess& acc, const std::uint8_t* wdata,
+    HAMS_HOT_PATH void parkWaiter(const MemAccess& acc, const std::uint8_t* wdata,
                     std::uint8_t* rdata, std::uint64_t idx, AccessCb cb);
 
     /** Wake accesses parked on @p idx. */
-    void drainWaiters(std::uint64_t idx, Tick at);
+    HAMS_HOT_PATH void drainWaiters(std::uint64_t idx, Tick at);
 
     /** @name Recovery replay chain (one entry at a time). */
     ///@{
     /** Journal scan + SQ compaction once the metadata span is back. */
-    void startReplay(Tick at);
+    HAMS_COLD_PATH void startReplay(Tick at);
 
     /** Charge replayEntryCost and wait out the entry's target frame. */
-    void scheduleNextReplayEntry(Tick at);
+    HAMS_COLD_PATH void scheduleNextReplayEntry(Tick at);
 
-    void issueReplayEntry(Tick at);
-    void onReplayEntryDone(const NvmeCommand& cmd, Tick when);
-    void finishReplay(Tick at);
+    HAMS_COLD_PATH void issueReplayEntry(Tick at);
+    HAMS_COLD_PATH void onReplayEntryDone(const NvmeCommand& cmd, Tick when);
+    HAMS_COLD_PATH void finishReplay(Tick at);
 
     /** Fire the recovery-done callback once replay AND restore ended. */
-    void maybeFinishRecovery(Tick at);
+    HAMS_COLD_PATH void maybeFinishRecovery(Tick at);
 
     /** Misses must hold until the replay re-pushes rebuilt the SQ. */
     bool replayHolding() const

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/annotations.hh"
 #include "sim/types.hh"
 
 namespace hams {
@@ -53,49 +54,49 @@ class MosTagArray
     std::uint32_t pageBytes() const { return _pageBytes; }
 
     /** Set index of a MoS address. */
-    std::uint64_t indexOf(Addr mos_addr) const
+    HAMS_HOT_PATH std::uint64_t indexOf(Addr mos_addr) const
     {
         return (mos_addr / _pageBytes) % sets();
     }
 
     /** Tag of a MoS address. */
-    std::uint64_t tagOf(Addr mos_addr) const
+    HAMS_HOT_PATH std::uint64_t tagOf(Addr mos_addr) const
     {
         return (mos_addr / _pageBytes) / sets();
     }
 
     /** First MoS byte cached by set @p idx when holding tag @p tag. */
-    Addr
+    HAMS_HOT_PATH Addr
     mosPageAddr(std::uint64_t tag, std::uint64_t idx) const
     {
         return (tag * sets() + idx) * _pageBytes;
     }
 
     /** True if @p mos_addr currently hits. */
-    bool
+    HAMS_HOT_PATH bool
     hit(Addr mos_addr) const
     {
         const MosTagEntry& e = entries[indexOf(mos_addr)];
         return e.valid && e.tag == tagOf(mos_addr);
     }
 
-    MosTagEntry& entry(std::uint64_t idx) { return entries[idx]; }
-    const MosTagEntry& entry(std::uint64_t idx) const
+    HAMS_HOT_PATH MosTagEntry& entry(std::uint64_t idx) { return entries[idx]; }
+    HAMS_HOT_PATH const MosTagEntry& entry(std::uint64_t idx) const
     {
         return entries[idx];
     }
 
     /** Count of valid (resident) frames. */
-    std::uint64_t residentCount() const;
+    HAMS_COLD_PATH std::uint64_t residentCount() const;
 
     /** Count of dirty frames. */
-    std::uint64_t dirtyCount() const;
+    HAMS_COLD_PATH std::uint64_t dirtyCount() const;
 
     /** Clear stale busy bits (power-up recovery step). */
-    void clearBusyBits();
+    HAMS_COLD_PATH void clearBusyBits();
 
     /** Invalidate everything (cold start). */
-    void invalidateAll();
+    HAMS_COLD_PATH void invalidateAll();
 
   private:
     std::uint32_t _pageBytes;

@@ -25,6 +25,7 @@
 #include "core/pinned_region.hh"
 #include "core/register_interface.hh"
 #include "nvme/nvme_controller.hh"
+#include "sim/annotations.hh"
 #include "sim/event_queue.hh"
 #include "sim/inline_function.hh"
 
@@ -65,7 +66,7 @@ class HamsNvmeEngine
      * returned to the pool automatically on completion.
      * @return the assigned cid.
      */
-    std::uint16_t submit(NvmeCommand cmd, Tick at, DoneCb done);
+    HAMS_HOT_PATH std::uint16_t submit(NvmeCommand cmd, Tick at, DoneCb done);
 
     /** Commands submitted but not yet completed. */
     std::uint32_t outstanding() const { return _outstanding; }
@@ -74,13 +75,13 @@ class HamsNvmeEngine
      * Scan the (persistent) SQ region for commands whose journal tag is
      * still set — exactly the power-up check of paper Fig. 15.
      */
-    std::vector<NvmeCommand> scanJournal() const;
+    HAMS_COLD_PATH std::vector<NvmeCommand> scanJournal() const;
 
     /**
      * Drop volatile state after a power failure. Ring contents and
      * journal tags survive in the pinned region; the cid map does not.
      */
-    void onPowerFail();
+    HAMS_COLD_PATH void onPowerFail();
 
     /**
      * @name Phase-2/3 recovery (paper Fig. 15), split so the caller can
@@ -100,10 +101,10 @@ class HamsNvmeEngine
      * gate), or the slot correspondence breaks.
      */
     ///@{
-    void prepareReplay(const std::vector<NvmeCommand>& pending);
+    HAMS_COLD_PATH void prepareReplay(const std::vector<NvmeCommand>& pending);
 
     /** Re-issue one journalled command; counts into stats().replayed. */
-    std::uint16_t submitReplay(const NvmeCommand& cmd, Tick at,
+    HAMS_COLD_PATH std::uint16_t submitReplay(const NvmeCommand& cmd, Tick at,
                                DoneCb done);
     ///@}
 
@@ -111,9 +112,9 @@ class HamsNvmeEngine
 
   private:
     /** Deliver a doorbell/command notification to the device. */
-    Tick notifyDevice(Tick at);
+    HAMS_HOT_PATH Tick notifyDevice(Tick at);
 
-    void handleCompletion(const NvmeCompletion& cqe, const NvmeCommand& cmd,
+    HAMS_HOT_PATH void handleCompletion(const NvmeCompletion& cqe, const NvmeCommand& cmd,
                           const NvmeCmdTrace& trace, Tick at);
 
     EventQueue& eq;

@@ -59,6 +59,8 @@ PinnedRegion::freePrpFrame(Addr frame)
 {
     if (!isPrpFrame(frame))
         panic("freeing a non-PRP-pool address");
+    HAMS_LINT_SUPPRESS("free-list return: capacity was reserved for all "
+                       "frames at construction, so this never reallocates")
     freeFrames.push_back(frame);
 }
 

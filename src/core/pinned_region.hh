@@ -21,6 +21,7 @@
 
 #include "dram/nvdimm.hh"
 #include "nvme/queue_pair.hh"
+#include "sim/annotations.hh"
 #include "sim/types.hh"
 
 namespace hams {
@@ -48,7 +49,7 @@ class PinnedRegion
     std::uint64_t cacheBytes() const { return _base; }
 
     /** True if @p nvdimm_addr falls inside the pinned region. */
-    bool contains(Addr nvdimm_addr) const
+    HAMS_HOT_PATH bool contains(Addr nvdimm_addr) const
     {
         return nvdimm_addr >= _base;
     }
@@ -59,10 +60,10 @@ class PinnedRegion
     /** @name PRP pool. */
     ///@{
     /** Allocate one clone frame; panics if the pool is exhausted. */
-    Addr allocPrpFrame();
+    HAMS_HOT_PATH Addr allocPrpFrame();
 
     /** Return a clone frame to the pool. */
-    void freePrpFrame(Addr frame);
+    HAMS_HOT_PATH void freePrpFrame(Addr frame);
 
     std::uint32_t prpFramesFree() const
     {
@@ -71,7 +72,7 @@ class PinnedRegion
 
     std::uint32_t prpFramesTotal() const { return totalFrames; }
 
-    bool isPrpFrame(Addr addr) const
+    HAMS_HOT_PATH bool isPrpFrame(Addr addr) const
     {
         return addr >= prpPoolBase &&
                addr < prpPoolBase + Addr(totalFrames) * cfg.prpFrameBytes;

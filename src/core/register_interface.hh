@@ -25,6 +25,7 @@
 #include <cstdint>
 
 #include "dram/nvdimm.hh"
+#include "sim/annotations.hh"
 #include "sim/types.hh"
 
 namespace hams {
@@ -52,16 +53,16 @@ class RegisterInterface
      * the shared bus.
      * @return tick at which the command is latched by the device.
      */
-    Tick sendCommand(Tick at);
+    HAMS_HOT_PATH Tick sendCommand(Tick at);
 
     /**
      * NVMe controller takes bus mastership for a DMA.
      * @return tick at which the lock is observed set.
      */
-    Tick acquireLock(Tick at);
+    HAMS_HOT_PATH Tick acquireLock(Tick at);
 
     /** NVMe controller releases the bus. */
-    void releaseLock(Tick at);
+    HAMS_HOT_PATH void releaseLock(Tick at);
 
     /** True while the NVMe controller masters the bus. */
     bool locked() const { return _locked; }

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/annotations.hh"
 #include "sim/types.hh"
 
 namespace hams {
@@ -54,10 +55,10 @@ class CacheModel
      * On a miss the line is allocated (possibly evicting a dirty
      * victim, reported in the result).
      */
-    CacheResult access(Addr addr, bool is_write);
+    HAMS_HOT_PATH CacheResult access(Addr addr, bool is_write);
 
     /** Invalidate everything. */
-    void flush();
+    HAMS_COLD_PATH void flush();
 
     const CacheConfig& config() const { return cfg; }
     std::uint64_t hits() const { return _hits; }

@@ -19,6 +19,7 @@
 #include "baselines/platform.hh"
 #include "cpu/cache_model.hh"
 #include "energy/cpu_power.hh"
+#include "sim/annotations.hh"
 #include "workload/workload.hh"
 
 namespace hams {
@@ -107,7 +108,7 @@ class CoreModel
      * scheduling a completion event and pumping the queue. Returns
      * aggregate metrics.
      */
-    RunResult run(WorkloadGenerator& gen, std::uint64_t instruction_budget);
+    HAMS_HOT_PATH RunResult run(WorkloadGenerator& gen, std::uint64_t instruction_budget);
 
   private:
     Tick cycles(double n) const

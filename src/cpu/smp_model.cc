@@ -223,6 +223,7 @@ SmpModel::run(const std::vector<WorkloadGenerator*>& gens,
     // behaviour, so delegate and stay bit-identical to it.
     if (gens.size() == 1 && !cfg.forceConductor) {
         CoreModel core(platform, cfg.core);
+        HAMS_LINT_SUPPRESS("per-run result assembly, once per run() call; not per-access work")
         result.perCore.push_back(core.run(*gens[0], per_core_budget));
     } else {
         // The SMP conductor is a client of the platform's DOMAIN
@@ -236,6 +237,7 @@ SmpModel::run(const std::vector<WorkloadGenerator*>& gens,
         std::vector<CoreCtx> ctxs;
         ctxs.reserve(gens.size());
         for (WorkloadGenerator* gen : gens) {
+            HAMS_LINT_SUPPRESS("capacity reserved to the core count just above; per-run setup")
             ctxs.emplace_back(cfg.core, gen, per_core_budget);
             CoreCtx& c = ctxs.back();
             c.now = start;
@@ -295,6 +297,7 @@ SmpModel::run(const std::vector<WorkloadGenerator*>& gens,
         for (CoreCtx& c : ctxs) {
             c.res.simTime = c.now - start;
             finalizeRunResult(c.res, cfg.core.freqGhz, cpuPower);
+            HAMS_LINT_SUPPRESS("per-run result assembly after the retire loop; not per-access work")
             result.perCore.push_back(std::move(c.res));
         }
     }

@@ -61,6 +61,7 @@
 #include "cpu/cache_model.hh"
 #include "cpu/core_model.hh"
 #include "energy/cpu_power.hh"
+#include "sim/annotations.hh"
 #include "workload/workload.hh"
 
 namespace hams {
@@ -117,7 +118,7 @@ class SmpModel
      * position across calls, so warmup-then-measure works exactly like
      * CoreModel; caches are rebuilt cold per call, also like CoreModel.
      */
-    SmpResult run(const std::vector<WorkloadGenerator*>& gens,
+    HAMS_HOT_PATH SmpResult run(const std::vector<WorkloadGenerator*>& gens,
                   std::uint64_t per_core_budget);
 
   private:
@@ -133,13 +134,13 @@ class SmpModel
      * the platform (c.pending set) or exhausts its budget/stream
      * (c.finished).
      */
-    void advance(CoreCtx& c);
+    HAMS_HOT_PATH void advance(CoreCtx& c);
 
     /** Issue @p c's pending interaction at tick c.now. */
-    void issue(CoreCtx& c);
+    HAMS_HOT_PATH void issue(CoreCtx& c);
 
-    void onAccessDone(CoreCtx& c, Tick done, const LatencyBreakdown& bd);
-    void onFlushDone(CoreCtx& c, Tick done, const LatencyBreakdown& bd);
+    HAMS_HOT_PATH void onAccessDone(CoreCtx& c, Tick done, const LatencyBreakdown& bd);
+    HAMS_HOT_PATH void onFlushDone(CoreCtx& c, Tick done, const LatencyBreakdown& bd);
 
     MemoryPlatform& platform;
     SmpConfig cfg;

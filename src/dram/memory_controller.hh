@@ -14,6 +14,7 @@
 
 #include "dram/dram_device.hh"
 #include "mem/request.hh"
+#include "sim/annotations.hh"
 #include "sim/types.hh"
 
 namespace hams {
@@ -41,10 +42,10 @@ class MemoryController
      * Issue an access at tick @p at.
      * @return the tick at which the last data beat arrives.
      */
-    Tick access(Addr addr, std::uint32_t size, MemOp op, Tick at);
+    HAMS_HOT_PATH Tick access(Addr addr, std::uint32_t size, MemOp op, Tick at);
 
     /** Latency an access would see, without mutating state (estimate). */
-    Tick estimate(std::uint32_t size) const;
+    HAMS_HOT_PATH Tick estimate(std::uint32_t size) const;
 
     DramDevice& device() { return dram; }
     const DramDevice& device() const { return dram; }

@@ -35,6 +35,7 @@
 
 #include "dram/memory_controller.hh"
 #include "mem/sparse_memory.hh"
+#include "sim/annotations.hh"
 #include "sim/event_queue.hh"
 #include "sim/inline_function.hh"
 #include "sim/types.hh"
@@ -79,7 +80,7 @@ class Nvdimm
      * touched span is already restored (the caller stalls accesses to
      * unrestored frames — serving them would return stale bytes).
      */
-    Tick access(Addr addr, std::uint32_t size, MemOp op, Tick at);
+    HAMS_HOT_PATH Tick access(Addr addr, std::uint32_t size, MemOp op, Tick at);
 
     /** @name Functional data plane (null if functionalData=false). */
     ///@{
@@ -96,7 +97,7 @@ class Nvdimm
      * unrestored remainder is still safe in the on-DIMM flash).
      * @return time the backup takes.
      */
-    Tick powerFail();
+    HAMS_COLD_PATH Tick powerFail();
 
     /**
      * Stop-the-world restore on the next boot: the module is
@@ -105,7 +106,7 @@ class Nvdimm
      * bug, mirroring the component-level powerFail contract.
      * @return time the restore takes.
      */
-    Tick powerRestore();
+    HAMS_COLD_PATH Tick powerRestore();
 
     /** @name Incremental restore engine. */
     ///@{
@@ -116,7 +117,7 @@ class Nvdimm
      * the next claim. When every frame is restored the module flips to
      * Operational and @p done fires. Fatal unless Protected.
      */
-    void beginRestore(EventQueue& eq, Tick at, RestoreNotify notify,
+    HAMS_COLD_PATH void beginRestore(EventQueue& eq, Tick at, RestoreNotify notify,
                       RestoreDone done);
 
     /**
@@ -126,10 +127,10 @@ class Nvdimm
      * restored (>= @p at; == @p at when already Operational). Frames
      * already claimed or committed keep their existing schedule.
      */
-    Tick requestRestoreSpan(Addr addr, std::uint64_t size, Tick at);
+    HAMS_HOT_PATH Tick requestRestoreSpan(Addr addr, std::uint64_t size, Tick at);
 
     /** True when [@p addr, @p addr + @p size) is safe to access. */
-    bool spanRestored(Addr addr, std::uint64_t size) const;
+    HAMS_HOT_PATH bool spanRestored(Addr addr, std::uint64_t size) const;
 
     std::uint64_t restoreFrames() const { return framesTotal; }
     std::uint64_t framesRestored() const { return framesDone; }
@@ -153,10 +154,10 @@ class Nvdimm
 
   private:
     /** Claim and schedule the next background cursor batch. */
-    void scheduleCursorBatch(Tick at);
+    HAMS_COLD_PATH void scheduleCursorBatch(Tick at);
 
     /** A restore span finished streaming: mark it and move on. */
-    void commitFrames(std::uint32_t gen, std::uint64_t first,
+    HAMS_COLD_PATH void commitFrames(std::uint32_t gen, std::uint64_t first,
                       std::uint64_t count, bool chain_cursor);
 
     void setRestored(std::uint64_t frame)

@@ -17,6 +17,7 @@
 
 #include "flash/nand_package.hh"
 #include "flash/nand_timing.hh"
+#include "sim/annotations.hh"
 #include "sim/types.hh"
 
 namespace hams {
@@ -62,7 +63,7 @@ class Fil
      * completion (the FTL's GC machines crediting an erased block)
      * submit through submitTracked() instead and query the handle.
      */
-    Tick submit(const FlashOp& op, Tick at);
+    HAMS_HOT_PATH Tick submit(const FlashOp& op, Tick at);
 
     /** @name Op-handle completion contract (background ops). */
     ///@{
@@ -85,23 +86,23 @@ class Fil
      * foreground completions are never extended, so the latched
      * submit() tick is already the truth.
      */
-    FlashOpHandle submitTracked(const FlashOp& op, Tick at);
+    HAMS_HOT_PATH FlashOpHandle submitTracked(const FlashOp& op, Tick at);
 
     /** Current (suspension-extended) completion of a tracked op. */
-    Tick completionOf(FlashOpHandle h) const
+    HAMS_HOT_PATH Tick completionOf(FlashOpHandle h) const
     {
         return pool.completionOf(h);
     }
 
     /** Retire a tracked op's handle. */
-    void release(FlashOpHandle h) { pool.releaseOp(h); }
+    HAMS_HOT_PATH void release(FlashOpHandle h) { pool.releaseOp(h); }
 
     /** Live tracked ops (leak check for tests). */
     std::size_t trackedOps() const { return pool.liveTrackedOps(); }
     ///@}
 
     /** Earliest tick channel @p ch's bus is free (tests/scheduling). */
-    Tick
+    HAMS_HOT_PATH Tick
     channelFreeAt(std::uint32_t ch) const
     {
         return std::max(channelFree[ch], channelBgFree[ch]);
@@ -118,14 +119,14 @@ class Fil
      * same breath (`PageFtl::onFlashReset()`), or its next
      * completionOf() query panics on a stale handle.
      */
-    void reset();
+    HAMS_COLD_PATH void reset();
 
-  private:
+  HAMS_HOT_PATH private:
     Tick read(const FlashAddress& a, std::uint32_t bytes, Tick at,
               bool background);
-    Tick program(const FlashAddress& a, std::uint32_t bytes, Tick at,
+    HAMS_HOT_PATH Tick program(const FlashAddress& a, std::uint32_t bytes, Tick at,
                  bool background);
-    Tick erase(const FlashAddress& a, Tick at, bool background);
+    HAMS_HOT_PATH Tick erase(const FlashAddress& a, Tick at, bool background);
 
     /**
      * Foreground-priority admission to @p a's die/plane pair: when the
@@ -135,11 +136,11 @@ class Fil
      * foreground op's resource end is known (finishSuspend()).
      * @return the effective start tick; sets @p suspended.
      */
-    Tick admitForeground(const FlashAddress& a, Tick at, bool background,
+    HAMS_HOT_PATH Tick admitForeground(const FlashAddress& a, Tick at, bool background,
                          bool& suspended, Tick& suspend_from);
 
     /** Push the suspended background work out by the stolen window. */
-    void
+    HAMS_HOT_PATH void
     finishSuspend(const FlashAddress& a, bool suspended, Tick suspend_from,
                   Tick fg_end)
     {
@@ -156,7 +157,7 @@ class Fil
      * @return the transfer's start tick; occupies the bus to start +
      *         @p duration.
      */
-    Tick claimChannel(std::uint32_t ch, Tick earliest, Tick duration,
+    HAMS_HOT_PATH Tick claimChannel(std::uint32_t ch, Tick earliest, Tick duration,
                       bool background);
 
     NandTiming _timing;

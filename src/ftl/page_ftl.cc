@@ -91,8 +91,12 @@ void
 PageFtl::ensureBlockArrays(Block& b)
 {
     if (b.pageLpns.empty()) {
+        HAMS_LINT_SUPPRESS("first-touch per-block metadata; sized once "
+                           "and reused across erase cycles")
         b.pageLpns.assign(geom.pagesPerBlock,
                           std::numeric_limits<std::uint64_t>::max());
+        HAMS_LINT_SUPPRESS("first-touch per-block metadata; sized once "
+                           "and reused across erase cycles")
         b.validBits.assign((geom.pagesPerBlock + 63) / 64, 0);
     }
 }
@@ -168,6 +172,8 @@ void
 PageFtl::pushFreeBlock(std::uint64_t pu, std::uint32_t block)
 {
     Unit& u = units[pu];
+    HAMS_LINT_SUPPRESS("free-pool return; capacity is bounded by the "
+                       "unit's physical block count")
     u.freeBlocks.push_back(freeKey(blockOf(pu, block).eraseCount, block));
     if (cfg.wearLeveling)
         std::push_heap(u.freeBlocks.begin(), u.freeBlocks.end(),
@@ -206,6 +212,8 @@ PageFtl::allocate(std::uint64_t pu, Tick& at, bool for_gc)
             // its pages, or a reclaimable block sits invisible while
             // the pool exhausts.
             if (b.full(geom.pagesPerBlock)) {
+                HAMS_LINT_SUPPRESS("closed-block list is bounded by the "
+                                   "unit's physical block count")
                 u.closedBlocks.push_back(block);
                 u.gcStreamBlock = -1;
             }
@@ -224,6 +232,8 @@ PageFtl::allocate(std::uint64_t pu, Tick& at, bool for_gc)
         blockOf(pu, static_cast<std::uint32_t>(u.activeBlock))
             .full(geom.pagesPerBlock)) {
         if (u.activeBlock >= 0) {
+            HAMS_LINT_SUPPRESS("closed-block list is bounded by the "
+                               "unit's physical block count")
             u.closedBlocks.push_back(
                 static_cast<std::uint32_t>(u.activeBlock));
             // Settle the cursor before GC runs below: a nested
@@ -265,6 +275,8 @@ PageFtl::allocate(std::uint64_t pu, Tick& at, bool for_gc)
         if (u.activeBlock >= 0 &&
             blockOf(pu, static_cast<std::uint32_t>(u.activeBlock))
                 .full(geom.pagesPerBlock)) {
+            HAMS_LINT_SUPPRESS("closed-block list is bounded by the "
+                               "unit's physical block count")
             u.closedBlocks.push_back(
                 static_cast<std::uint32_t>(u.activeBlock));
             u.activeBlock = -1;

@@ -84,6 +84,7 @@
 #include <vector>
 
 #include "flash/fil.hh"
+#include "sim/annotations.hh"
 #include "sim/event_queue.hh"
 #include "sim/types.hh"
 
@@ -215,23 +216,23 @@ class PageFtl
      * Unmapped pages return at once (zero data, no flash op).
      * @return completion tick.
      */
-    Tick readPage(std::uint64_t lpn, std::uint32_t bytes, Tick at);
+    HAMS_HOT_PATH Tick readPage(std::uint64_t lpn, std::uint32_t bytes, Tick at);
 
     /**
      * Write @p bytes of logical page @p lpn (read-modify-write semantics
      * are the HIL's job; the FTL always programs a fresh physical page).
      * @return completion tick.
      */
-    Tick writePage(std::uint64_t lpn, std::uint32_t bytes, Tick at);
+    HAMS_HOT_PATH Tick writePage(std::uint64_t lpn, std::uint32_t bytes, Tick at);
 
     /** Drop the mapping of @p lpn (TRIM). */
-    void trim(std::uint64_t lpn);
+    HAMS_HOT_PATH void trim(std::uint64_t lpn);
 
     /** True if the LPN currently has a physical mapping. */
-    bool isMapped(std::uint64_t lpn) const;
+    HAMS_HOT_PATH bool isMapped(std::uint64_t lpn) const;
 
     /** Current physical page of @p lpn; panics if unmapped. */
-    std::uint64_t physicalOf(std::uint64_t lpn) const;
+    HAMS_HOT_PATH std::uint64_t physicalOf(std::uint64_t lpn) const;
 
     const FtlStats& stats() const { return _stats; }
 
@@ -282,8 +283,8 @@ class PageFtl
      * step at that level. With gcAdaptivePacing off these are the
      * constants gcBatchPages and 0.
      */
-    std::uint32_t paceBatch(std::uint32_t free_blocks) const;
-    Tick paceDelay(std::uint32_t free_blocks) const;
+    HAMS_HOT_PATH std::uint32_t paceBatch(std::uint32_t free_blocks) const;
+    HAMS_HOT_PATH Tick paceDelay(std::uint32_t free_blocks) const;
 
     /**
      * Victim-quality allowance at @p free_blocks free: the most valid
@@ -293,7 +294,7 @@ class PageFtl
      * whole block (gate open) whenever gcVictimQuality or
      * gcAdaptivePacing is off. Monotone non-increasing in free_blocks.
      */
-    std::uint32_t victimAllowance(std::uint32_t free_blocks) const;
+    HAMS_HOT_PATH std::uint32_t victimAllowance(std::uint32_t free_blocks) const;
 
     /**
      * Shadow-model introspection: a copy of unit @p pu's block lists.
@@ -339,7 +340,7 @@ class PageFtl
      * to the map are durable, a victim whose erase was issued counts
      * as erased. Deactivates every machine.
      */
-    void onPowerFail();
+    HAMS_COLD_PATH void onPowerFail();
 
     /**
      * The FIL's busy-state was cleared under a live FTL
@@ -351,7 +352,7 @@ class PageFtl
      * resetting the FIL mid-churn must invoke this or the next GC
      * step panics on a stale handle.
      */
-    void onFlashReset();
+    HAMS_COLD_PATH void onFlashReset();
 
   private:
     struct Block
@@ -431,11 +432,11 @@ class PageFtl
     void splitPpn(std::uint64_t ppn, std::uint64_t& pu, std::uint32_t& block,
                   std::uint32_t& page) const;
 
-    Block& blockOf(std::uint64_t pu, std::uint32_t block);
-    void ensureBlockArrays(Block& b);
+    HAMS_HOT_PATH Block& blockOf(std::uint64_t pu, std::uint32_t block);
+    HAMS_HOT_PATH void ensureBlockArrays(Block& b);
 
     /** Mark a physical page invalid (after overwrite/trim). */
-    void invalidate(std::uint64_t ppn);
+    HAMS_HOT_PATH void invalidate(std::uint64_t ppn);
 
     /**
      * Allocate the next physical page on @p pu. Foreground callers
@@ -443,24 +444,24 @@ class PageFtl
      * mode, kick-and-continue (or stall at the reserve) in background
      * mode. GC relocation (for_gc == true) may dip into the reserve.
      */
-    std::uint64_t allocate(std::uint64_t pu, Tick& at, bool for_gc = false);
+    HAMS_HOT_PATH std::uint64_t allocate(std::uint64_t pu, Tick& at, bool for_gc = false);
 
     /** Pop a free block for @p pu (wear-aware, O(log n)). */
-    std::uint32_t takeFreeBlock(Unit& u, std::uint64_t pu);
+    HAMS_HOT_PATH std::uint32_t takeFreeBlock(Unit& u, std::uint64_t pu);
 
     /** Return an erased block to @p pu's free pool (wear-aware). */
-    void pushFreeBlock(std::uint64_t pu, std::uint32_t block);
+    HAMS_HOT_PATH void pushFreeBlock(std::uint64_t pu, std::uint32_t block);
 
     /** Greedy synchronous GC on one unit until the high watermark. */
-    void collect(std::uint64_t pu, Tick& at);
+    HAMS_HOT_PATH void collect(std::uint64_t pu, Tick& at);
 
     /** @name Background GC engine. */
     ///@{
     /** Activate unit @p pu's machine (no-op if already active). */
-    void kickGc(std::uint64_t pu, Tick at, bool idle);
+    HAMS_HOT_PATH void kickGc(std::uint64_t pu, Tick at, bool idle);
 
     /** Step event handler for unit @p pu. */
-    void gcStep(std::uint64_t pu);
+    HAMS_HOT_PATH void gcStep(std::uint64_t pu);
 
     /**
      * One GC slice starting no earlier than @p from: relocate up to
@@ -469,14 +470,14 @@ class PageFtl
      * gc.readyAt and re-points gc.sliceOp / gc.pendingFreeOp at the
      * tracked ops. @return false when there was nothing to do.
      */
-    bool gcSlice(std::uint64_t pu, Tick from, std::uint32_t batch);
+    HAMS_HOT_PATH bool gcSlice(std::uint64_t pu, Tick from, std::uint32_t batch);
 
     /**
      * Pacer level of a unit at @p free_blocks free: 0 at or above the
      * high watermark, ramping to the band width (gcHighWater -
      * gcReserveBlocks) as the pool falls to the reserve.
      */
-    std::uint32_t paceLevelOf(std::uint32_t free_blocks) const;
+    HAMS_HOT_PATH std::uint32_t paceLevelOf(std::uint32_t free_blocks) const;
 
     /**
      * Record the pacer level a collection slice is about to run at
@@ -484,7 +485,7 @@ class PageFtl
      * return the slice's relocation batch. Shared by the event step
      * and the foreground crisis path so neither under-reports.
      */
-    std::uint32_t notePaceLevel(std::uint32_t free_blocks);
+    HAMS_HOT_PATH std::uint32_t notePaceLevel(std::uint32_t free_blocks);
 
     /**
      * Latest *true* completion among the machine's tracked ops, or
@@ -492,7 +493,7 @@ class PageFtl
      * op extended the in-flight work after its ticks were latched, and
      * the step must wait.
      */
-    Tick trueReadyAt(std::uint64_t pu, Tick now) const;
+    HAMS_HOT_PATH Tick trueReadyAt(std::uint64_t pu, Tick now) const;
 
     /**
      * Greedy victim of @p pu: the closed block with the fewest valid
@@ -504,11 +505,11 @@ class PageFtl
      * victims past the quality gate's allowance (background paced
      * path only; the default admits every reclaimable victim).
      */
-    std::int32_t selectVictim(std::uint64_t pu,
+    HAMS_HOT_PATH std::int32_t selectVictim(std::uint64_t pu,
                               std::uint32_t max_valid = ~std::uint32_t(0));
 
     /** Start the machine's next victim. @return false if none. */
-    bool pickVictim(std::uint64_t pu);
+    HAMS_HOT_PATH bool pickVictim(std::uint64_t pu);
 
     /**
      * True when unit @p pu has the headroom to start a new victim: a
@@ -517,25 +518,25 @@ class PageFtl
      * whole (foreground writes never touch the stream, so the slack
      * cannot be stolen mid-relocation).
      */
-    bool canStartVictim(std::uint64_t pu) const;
+    HAMS_HOT_PATH bool canStartVictim(std::uint64_t pu) const;
 
     /** Credit a completed pending erase to the free pool. */
-    void applyPendingFree(std::uint64_t pu);
+    HAMS_HOT_PATH void applyPendingFree(std::uint64_t pu);
 
-    void deactivateGc(std::uint64_t pu);
+    HAMS_HOT_PATH void deactivateGc(std::uint64_t pu);
 
     /**
      * Foreground write hit the reserve: drive @p pu's machine forward
      * along its background timeline until a block frees.
      * @return the tick the write may proceed at (>= @p at).
      */
-    Tick reclaimForeground(std::uint64_t pu, Tick at);
+    HAMS_HOT_PATH Tick reclaimForeground(std::uint64_t pu, Tick at);
 
     /** Record host activity / re-arm the idle-GC timer. */
-    void noteHostActivity(Tick done);
+    HAMS_HOT_PATH void noteHostActivity(Tick done);
 
     /** Idle timer fired: start GC on every unit that wants it. */
-    void idleFire();
+    HAMS_HOT_PATH void idleFire();
     ///@}
 
     /**
@@ -572,6 +573,7 @@ class PageFtl
         {
             std::unique_ptr<Leaf>& leaf = root[lpn >> leafBits];
             if (!leaf) {
+                HAMS_LINT_SUPPRESS("first-touch L2P leaf allocation; reused for the device's lifetime")
                 leaf = std::make_unique<Leaf>();
                 leaf->fill(unmapped);
             }

@@ -28,11 +28,14 @@ std::uint8_t*
 SparseMemory::getFrame(std::uint64_t frame_no)
 {
     std::unique_ptr<Leaf>& leaf = root[frame_no >> leafBits];
-    if (!leaf)
+    if (!leaf) {
+        HAMS_LINT_SUPPRESS("first-touch index-leaf allocation; reused for the memory's lifetime")
         leaf = std::make_unique<Leaf>();
+    }
     std::unique_ptr<std::uint8_t[]>& frame =
         (*leaf)[frame_no & (framesPerLeaf - 1)];
     if (!frame) {
+        HAMS_LINT_SUPPRESS("first-touch frame allocation (faulting a page in); steady-state reads and overwrites reuse it")
         frame = std::make_unique<std::uint8_t[]>(_frameSize);
         std::memset(frame.get(), 0, _frameSize);
         ++_allocatedFrames;

@@ -23,6 +23,7 @@
 #include <memory>
 #include <vector>
 
+#include "sim/annotations.hh"
 #include "sim/types.hh"
 
 namespace hams {
@@ -44,10 +45,10 @@ class SparseMemory
     std::uint32_t frameSize() const { return _frameSize; }
 
     /** Copy @p size bytes at @p addr into @p dst (zero-fill for holes). */
-    void read(Addr addr, void* dst, std::uint64_t size) const;
+    HAMS_HOT_PATH void read(Addr addr, void* dst, std::uint64_t size) const;
 
     /** Copy @p size bytes from @p src into the store at @p addr. */
-    void write(Addr addr, const void* src, std::uint64_t size);
+    HAMS_HOT_PATH void write(Addr addr, const void* src, std::uint64_t size);
 
     /** Fill a region with one byte value. */
     void fill(Addr addr, std::uint8_t value, std::uint64_t size);
@@ -70,13 +71,13 @@ class SparseMemory
     }
 
     /** FNV-1a checksum over a region (integrity checks in tests). */
-    std::uint64_t checksum(Addr addr, std::uint64_t size) const;
+    HAMS_COLD_PATH std::uint64_t checksum(Addr addr, std::uint64_t size) const;
 
     /** Number of frames actually allocated. */
     std::size_t allocatedFrames() const { return _allocatedFrames; }
 
     /** Drop all contents (device reformat). */
-    void clear();
+    HAMS_COLD_PATH void clear();
 
   private:
     /** log2 of frames per leaf table. */
@@ -86,7 +87,7 @@ class SparseMemory
     using Leaf = std::array<std::unique_ptr<std::uint8_t[]>, framesPerLeaf>;
 
     /** Frame data pointer, or nullptr for a hole. */
-    const std::uint8_t*
+    HAMS_HOT_PATH const std::uint8_t*
     findFrame(std::uint64_t frame_no) const
     {
         const Leaf* leaf = root[frame_no >> leafBits].get();
@@ -95,7 +96,7 @@ class SparseMemory
     }
 
     /** Frame data pointer, allocating leaf and frame as needed. */
-    std::uint8_t* getFrame(std::uint64_t frame_no);
+    HAMS_HOT_PATH std::uint8_t* getFrame(std::uint64_t frame_no);
 
     std::uint64_t _capacity;
     std::uint32_t _frameSize;

@@ -93,6 +93,9 @@ NvmeController::execute(std::uint16_t qid, const NvmeCommand& cmd,
             dctx->epoch = my_epoch;
             dctx->prp = cmd.prp1;
             dctx->bytes = bytes;
+            HAMS_LINT_SUPPRESS("pooled-context staging buffer: capacity "
+                               "is retained across pool recycles and "
+                               "grows only to the largest transfer")
             dctx->data.resize(bytes);
             media_done = _ssd.hostRead(cmd.slba, cmd.blockCount(), start,
                                        dctx->data.data());
@@ -139,6 +142,10 @@ NvmeController::execute(std::uint16_t qid, const NvmeCommand& cmd,
             dctx->fua = cmd.fua();
             eq.scheduleAt(dma_done, [this, dctx]() {
                 if (dctx->epoch == epoch) {
+                    HAMS_LINT_SUPPRESS("pooled-context staging buffer: "
+                                       "capacity is retained across pool "
+                                       "recycles and grows only to the "
+                                       "largest transfer")
                     dctx->data.resize(dctx->bytes);
                     host.dmaData()->read(dctx->prp, dctx->data.data(),
                                          dctx->bytes);

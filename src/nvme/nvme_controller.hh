@@ -21,6 +21,7 @@
 #include "mem/sparse_memory.hh"
 #include "nvme/queue_pair.hh"
 #include "pcie/pcie_link.hh"
+#include "sim/annotations.hh"
 #include "sim/event_queue.hh"
 #include "sim/pool.hh"
 #include "ssd/ssd.hh"
@@ -92,7 +93,7 @@ class NvmeController
      * Host rang the SQ tail doorbell of @p qid at tick @p at: fetch and
      * execute every pending entry.
      */
-    void ringDoorbell(std::uint16_t qid, Tick at);
+    HAMS_HOT_PATH void ringDoorbell(std::uint16_t qid, Tick at);
 
     /** Number of commands fetched but not yet completed. */
     std::uint32_t outstanding() const { return _outstanding; }
@@ -113,7 +114,7 @@ class NvmeController
      * with an already-empty queue would strand every live context
      * forever.
      */
-    void powerFail(bool events_dropped);
+    HAMS_COLD_PATH void powerFail(bool events_dropped);
 
     Ssd& ssd() { return _ssd; }
 
@@ -126,7 +127,7 @@ class NvmeController
     }
     ///@}
 
-  private:
+  HAMS_HOT_PATH private:
     void execute(std::uint16_t qid, const NvmeCommand& cmd, Tick fetched);
 
     /**

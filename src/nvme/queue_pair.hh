@@ -17,6 +17,7 @@
 
 #include "mem/sparse_memory.hh"
 #include "nvme/nvme_types.hh"
+#include "sim/annotations.hh"
 #include "sim/types.hh"
 
 namespace hams {
@@ -45,32 +46,32 @@ class QueuePair
     /** @name Host-side operations. */
     ///@{
     /** True if the SQ has room for another entry. */
-    bool sqFull() const;
+    HAMS_HOT_PATH bool sqFull() const;
 
     /** Number of occupied SQ slots. */
-    std::uint16_t sqDepth() const;
+    HAMS_HOT_PATH std::uint16_t sqDepth() const;
 
     /**
      * Write @p cmd at the SQ tail and advance it (the doorbell write is
      * timed by the caller).
      * @return the slot index used.
      */
-    std::uint16_t push(const NvmeCommand& cmd);
+    HAMS_HOT_PATH std::uint16_t push(const NvmeCommand& cmd);
 
     /** Consume one completion at the CQ head, if any. */
-    std::optional<NvmeCompletion> popCompletion();
+    HAMS_HOT_PATH std::optional<NvmeCompletion> popCompletion();
     ///@}
 
     /** @name Device-side operations. */
     ///@{
     /** True if un-fetched submissions remain. */
-    bool hasWork() const;
+    HAMS_HOT_PATH bool hasWork() const;
 
     /** Fetch the command at the SQ head and advance the head. */
-    NvmeCommand fetch();
+    HAMS_HOT_PATH NvmeCommand fetch();
 
     /** Post a completion at the CQ tail (sets the phase bit). */
-    void complete(NvmeCompletion cqe);
+    HAMS_HOT_PATH void complete(NvmeCompletion cqe);
     ///@}
 
     /** @name Raw ring state (recovery + tests). */
@@ -84,17 +85,17 @@ class QueuePair
     Addr cqBase() const { return _cqBase; }
 
     /** Read an SQ slot directly (recovery scan). */
-    NvmeCommand readSlot(std::uint16_t idx) const;
+    HAMS_HOT_PATH NvmeCommand readSlot(std::uint16_t idx) const;
 
     /** Overwrite an SQ slot directly (journal tag updates). */
-    void writeSlot(std::uint16_t idx, const NvmeCommand& cmd);
+    HAMS_HOT_PATH void writeSlot(std::uint16_t idx, const NvmeCommand& cmd);
 
     /**
      * Reset pointer state after a power cycle, as the HAMS init sequence
      * does: ring contents in persistent memory survive; volatile
      * head/tail registers do not.
      */
-    void resetPointers();
+    HAMS_COLD_PATH void resetPointers();
     ///@}
 
   private:

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 
+#include "sim/annotations.hh"
 #include "sim/types.hh"
 
 namespace hams {
@@ -56,10 +57,10 @@ class PcieLink
      * Move @p bytes in direction @p dir starting no earlier than @p at.
      * @return tick at which the last byte lands.
      */
-    Tick transfer(std::uint64_t bytes, LinkDir dir, Tick at);
+    HAMS_HOT_PATH Tick transfer(std::uint64_t bytes, LinkDir dir, Tick at);
 
     /** A register-sized write (doorbell, MSI): latency only. */
-    Tick signal(Tick at) const { return at + cfg.propagation; }
+    HAMS_HOT_PATH Tick signal(Tick at) const { return at + cfg.propagation; }
 
     /** Total bytes moved (for utilisation stats). */
     std::uint64_t bytesMoved() const { return _bytesMoved; }
@@ -67,7 +68,7 @@ class PcieLink
     const LinkConfig& config() const { return cfg; }
 
     /** Clear busy state (power cycle). */
-    void reset();
+    HAMS_COLD_PATH void reset();
 
   private:
     LinkConfig cfg;

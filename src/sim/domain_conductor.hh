@@ -32,6 +32,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/annotations.hh"
 #include "sim/event_queue.hh"
 #include "sim/types.hh"
 
@@ -54,7 +55,7 @@ class DomainConductor
     DomainConductor& operator=(const DomainConductor&) = delete;
 
     /** Add a domain; assigns it the next id (= attach order). */
-    void
+    HAMS_COLD_PATH void
     attach(EventQueue& q)
     {
         q.setDomainId(static_cast<std::uint32_t>(qs.size()));
@@ -66,7 +67,7 @@ class DomainConductor
     EventQueue& domain(std::size_t i) { return *qs[i]; }
 
     /** Global simulated time: the furthest domain's now(). */
-    Tick
+    HAMS_HOT_PATH Tick
     now() const
     {
         Tick t = 0;
@@ -76,7 +77,7 @@ class DomainConductor
     }
 
     /** True when no live event remains in any domain. */
-    bool
+    HAMS_HOT_PATH bool
     empty() const
     {
         for (const EventQueue* q : qs)
@@ -86,7 +87,7 @@ class DomainConductor
     }
 
     /** Live events pending across all domains. */
-    std::size_t
+    HAMS_HOT_PATH std::size_t
     pending() const
     {
         std::size_t n = 0;
@@ -96,7 +97,7 @@ class DomainConductor
     }
 
     /** Tick of the globally earliest live event (maxTick when none). */
-    Tick
+    HAMS_HOT_PATH Tick
     nextTick()
     {
         Tick t = maxTick;
@@ -112,7 +113,7 @@ class DomainConductor
      * Fire the globally earliest live event — ties at the same tick go
      * to the lowest domain id. @return false if no domain had one.
      */
-    bool
+    HAMS_HOT_PATH bool
     step()
     {
         EventQueue* best = nullptr;
@@ -128,7 +129,7 @@ class DomainConductor
     }
 
     /** Fire events until every domain drains. @return final now(). */
-    Tick
+    HAMS_HOT_PATH Tick
     run()
     {
         while (step()) {
@@ -140,7 +141,7 @@ class DomainConductor
      * Fire every event at or before @p limit (in global order), then
      * advance all domains to @p limit. @return the final global time.
      */
-    Tick
+    HAMS_HOT_PATH Tick
     runUntil(Tick limit)
     {
         while (nextTick() <= limit)
@@ -156,7 +157,7 @@ class DomainConductor
      * Domains already past @p when are left alone, so a multi-domain
      * resync after inline completions is always legal.
      */
-    void
+    HAMS_HOT_PATH void
     advanceTo(Tick when)
     {
         for (EventQueue* q : qs)

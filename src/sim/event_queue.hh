@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/annotations.hh"
 #include "sim/inline_function.hh"
 #include "sim/types.hh"
 
@@ -59,13 +60,13 @@ class EventQueue
      * Schedule a callback @p delay ticks from now.
      * @return an id usable with deschedule().
      */
-    EventId schedule(Tick delay, Callback cb);
+    HAMS_HOT_PATH EventId schedule(Tick delay, Callback cb);
 
     /** Schedule a callback at an absolute tick (must be >= now). */
-    EventId scheduleAt(Tick when, Callback cb);
+    HAMS_HOT_PATH EventId scheduleAt(Tick when, Callback cb);
 
     /** Cancel a previously scheduled event. Safe on already-fired ids. */
-    void deschedule(EventId id);
+    HAMS_HOT_PATH void deschedule(EventId id);
 
     /** Number of pending (non-cancelled) events. */
     std::size_t pending() const { return livePending; }
@@ -74,20 +75,20 @@ class EventQueue
     bool empty() const { return livePending == 0; }
 
     /** Run until the queue drains. @return the final tick. */
-    Tick run();
+    HAMS_HOT_PATH Tick run();
 
     /**
      * Run until the queue drains or simulated time passes @p limit.
      * Events scheduled exactly at @p limit still fire.
      * @return the final tick (== limit if stopped by the limit).
      */
-    Tick runUntil(Tick limit);
+    HAMS_HOT_PATH Tick runUntil(Tick limit);
 
     /** Fire at most one live event. @return false if none remained. */
-    bool step();
+    HAMS_HOT_PATH bool step();
 
     /** Tick of the earliest live event, or maxTick when none remain. */
-    Tick nextTick();
+    HAMS_HOT_PATH Tick nextTick();
 
     /**
      * Advance simulated time without firing anything — the inline
@@ -98,7 +99,7 @@ class EventQueue
      * The empty-queue case is inline: it runs once per fast-path
      * access.
      */
-    void
+    HAMS_HOT_PATH void
     advanceTo(Tick when)
     {
         if (heap.empty() && when >= _now) {
@@ -115,7 +116,7 @@ class EventQueue
      * outstanding EventId is invalidated, so a pre-reset id can never
      * cancel an event scheduled after the reset.
      */
-    void reset(bool rewind_time = false);
+    HAMS_COLD_PATH void reset(bool rewind_time = false);
 
     /** Total events fired since construction (for stats/tests). */
     std::uint64_t fired() const { return firedCount; }
@@ -187,6 +188,8 @@ class EventQueue
     {
         ++slots[slot].gen;
         slots[slot].cb = nullptr;
+        HAMS_LINT_SUPPRESS("free-list growth is bounded by the arena "
+                           "high-water mark; steady state recycles")
         freeSlots.push_back(slot);
     }
 

@@ -14,6 +14,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "sim/annotations.hh"
+
 namespace hams {
 
 /** Thrown by fatal() so configuration errors are testable. */
@@ -44,7 +46,7 @@ void warnImpl(const std::string& msg);
 
 /** Print an informational status message to the console. */
 template <typename... Args>
-void
+HAMS_COLD_PATH void
 inform(Args&&... args)
 {
     detail::informImpl(detail::format(std::forward<Args>(args)...));
@@ -52,7 +54,7 @@ inform(Args&&... args)
 
 /** Warn about questionable but survivable behaviour. */
 template <typename... Args>
-void
+HAMS_COLD_PATH void
 warn(Args&&... args)
 {
     detail::warnImpl(detail::format(std::forward<Args>(args)...));
@@ -60,7 +62,7 @@ warn(Args&&... args)
 
 /** Report a user error (bad configuration) and throw FatalError. */
 template <typename... Args>
-[[noreturn]] void
+HAMS_COLD_PATH [[noreturn]] void
 fatal(Args&&... args)
 {
     detail::fatalImpl(detail::format(std::forward<Args>(args)...));
@@ -68,7 +70,7 @@ fatal(Args&&... args)
 
 /** Report an internal bug that should never happen and abort. */
 template <typename... Args>
-[[noreturn]] void
+HAMS_COLD_PATH [[noreturn]] void
 panic(Args&&... args)
 {
     detail::panicImpl(detail::format(std::forward<Args>(args)...));

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/annotations.hh"
 #include "sim/types.hh"
 
 namespace hams {
@@ -55,38 +56,38 @@ class DramBuffer
     explicit DramBuffer(const DramBufferConfig& cfg);
 
     /** Occupancy-modelled access: move @p bytes through the buffer. */
-    Tick access(std::uint32_t bytes, Tick at);
+    HAMS_HOT_PATH Tick access(std::uint32_t bytes, Tick at);
 
     /** True if @p key is resident (updates LRU order). */
-    bool lookup(std::uint64_t key);
+    HAMS_HOT_PATH bool lookup(std::uint64_t key);
 
     /** True if @p key is resident and dirty. */
-    bool isDirty(std::uint64_t key) const;
+    HAMS_HOT_PATH bool isDirty(std::uint64_t key) const;
 
     /**
      * Insert @p key (possibly already present; then just update state).
      * @return eviction descriptor if a frame had to be displaced.
      */
-    BufferEviction insert(std::uint64_t key, bool dirty);
+    HAMS_HOT_PATH BufferEviction insert(std::uint64_t key, bool dirty);
 
     /** Clear the dirty bit of a resident frame (after writeback). */
-    void markClean(std::uint64_t key);
+    HAMS_HOT_PATH void markClean(std::uint64_t key);
 
     /** Remove a frame (invalidate). */
-    void erase(std::uint64_t key);
+    HAMS_HOT_PATH void erase(std::uint64_t key);
 
     /** All dirty frame keys (flush / supercap drain). */
-    std::vector<std::uint64_t> dirtyFrames() const;
+    HAMS_COLD_PATH std::vector<std::uint64_t> dirtyFrames() const;
 
     /**
      * Allocation-free variant for per-access paths (the mmap
      * writeback watermark check runs on every newly dirtied page):
      * fills @p out — cleared, sorted — reusing its capacity.
      */
-    void dirtyFrames(std::vector<std::uint64_t>& out) const;
+    HAMS_HOT_PATH void dirtyFrames(std::vector<std::uint64_t>& out) const;
 
     /** Drop all contents (power loss without supercap). */
-    void dropAll();
+    HAMS_COLD_PATH void dropAll();
 
     std::size_t residentFrames() const { return resident; }
     std::size_t maxFrames() const { return capacityFrames; }

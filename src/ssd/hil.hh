@@ -16,6 +16,7 @@
 
 #include "ftl/page_ftl.hh"
 #include "nvme/nvme_types.hh"
+#include "sim/annotations.hh"
 #include "ssd/dram_buffer.hh"
 #include "sim/types.hh"
 
@@ -51,23 +52,23 @@ class Hil
      * Timed read of one 4 KiB block.
      * @param buffer_hit set to whether the internal buffer served it
      */
-    Tick readBlock(std::uint64_t block, Tick at, bool& buffer_hit);
+    HAMS_HOT_PATH Tick readBlock(std::uint64_t block, Tick at, bool& buffer_hit);
 
     /**
      * Timed write of one 4 KiB block.
      * @param evicted out-param describing a displaced dirty frame whose
      *                writeback was issued to flash
      */
-    Tick writeBlock(std::uint64_t block, bool fua, Tick at,
+    HAMS_HOT_PATH Tick writeBlock(std::uint64_t block, bool fua, Tick at,
                     BufferEviction& evicted);
 
     /** Write every dirty frame back to flash. */
-    Tick flushAll(Tick at);
+    HAMS_HOT_PATH Tick flushAll(Tick at);
 
     /** Write one specific frame back to flash (eviction path). */
-    Tick writebackFrame(std::uint64_t block, Tick at);
+    HAMS_HOT_PATH Tick writebackFrame(std::uint64_t block, Tick at);
 
-  private:
+  HAMS_HOT_PATH private:
     std::uint64_t lpnOf(std::uint64_t block, std::uint32_t unit) const
     {
         return block * _unitsPerBlock + unit;

@@ -42,19 +42,20 @@ Ssd::admit(Tick at)
 void
 Ssd::retire(Tick done)
 {
+    HAMS_LINT_SUPPRESS("completion-heap growth is bounded by "
+                       "maxOutstanding; steady state pops as it pushes")
     inflight.push(done);
 }
 
 void
 Ssd::destage(std::uint64_t block)
 {
-    auto it = volatileData.find(block);
-    if (it == volatileData.end())
+    const std::uint8_t* frame = volatileData.find(block);
+    if (!frame)
         return;
     if (store)
-        store->write(block * nvmeBlockSize, it->second.data(),
-                     nvmeBlockSize);
-    volatileData.erase(it);
+        store->write(block * nvmeBlockSize, frame, nvmeBlockSize);
+    volatileData.erase(block);
 }
 
 Tick
@@ -77,9 +78,9 @@ Ssd::hostRead(std::uint64_t slba, std::uint32_t blocks, Tick at,
 
         if (dst) {
             std::uint8_t* out = dst + std::size_t(i) * nvmeBlockSize;
-            auto vit = volatileData.find(block);
-            if (vit != volatileData.end())
-                std::memcpy(out, vit->second.data(), nvmeBlockSize);
+            const std::uint8_t* frame = volatileData.find(block);
+            if (frame)
+                std::memcpy(out, frame, nvmeBlockSize);
             else if (store)
                 store->read(block * nvmeBlockSize, out, nvmeBlockSize);
             else
@@ -112,8 +113,8 @@ Ssd::hostWrite(std::uint64_t slba, std::uint32_t blocks, bool fua, Tick at,
         if (src) {
             const std::uint8_t* in = src + std::size_t(i) * nvmeBlockSize;
             if (buffered) {
-                auto& frame = volatileData[block];
-                frame.assign(in, in + nvmeBlockSize);
+                std::memcpy(volatileData.insert(block), in,
+                            nvmeBlockSize);
             } else if (store) {
                 store->write(block * nvmeBlockSize, in, nvmeBlockSize);
                 volatileData.erase(block);
@@ -138,8 +139,7 @@ Ssd::pokeWrite(std::uint64_t slba, std::uint32_t blocks, bool fua,
         std::uint64_t block = slba + i;
         const std::uint8_t* in = src + std::size_t(i) * nvmeBlockSize;
         if (buffered) {
-            auto& frame = volatileData[block];
-            frame.assign(in, in + nvmeBlockSize);
+            std::memcpy(volatileData.insert(block), in, nvmeBlockSize);
         } else if (store) {
             store->write(block * nvmeBlockSize, in, nvmeBlockSize);
             volatileData.erase(block);
@@ -152,15 +152,12 @@ Ssd::hostFlush(Tick at)
 {
     ++_stats.flushes;
     Tick done = hil->flushAll(admit(at));
-    // Functionally everything buffered becomes durable. The key list
-    // is a reused member: destage() mutates volatileData, so the keys
-    // must be snapshotted, but never with a per-flush allocation.
-    flushKeys.clear();
-    flushKeys.reserve(volatileData.size());
-    for (auto& [k, v] : volatileData)
-        flushKeys.push_back(k);
-    for (std::uint64_t k : flushKeys)
-        destage(k);
+    // Functionally everything buffered becomes durable. Drain from the
+    // back of the insertion-ordered key list: each destage() erase is
+    // an O(1) pop of that same key, so the sweep needs no snapshot, no
+    // allocation, and visits frames in a reproducible order.
+    while (!volatileData.empty())
+        destage(volatileData.keys().back());
     retire(done);
     return done;
 }
@@ -224,9 +221,9 @@ Ssd::peek(std::uint64_t slba, std::uint32_t blocks, std::uint8_t* dst) const
     for (std::uint32_t i = 0; i < blocks; ++i) {
         std::uint64_t block = slba + i;
         std::uint8_t* out = dst + std::size_t(i) * nvmeBlockSize;
-        auto vit = volatileData.find(block);
-        if (vit != volatileData.end())
-            std::memcpy(out, vit->second.data(), nvmeBlockSize);
+        const std::uint8_t* frame = volatileData.find(block);
+        if (frame)
+            std::memcpy(out, frame, nvmeBlockSize);
         else if (store)
             store->read(block * nvmeBlockSize, out, nvmeBlockSize);
         else

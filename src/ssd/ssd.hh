@@ -11,21 +11,160 @@
 #ifndef HAMS_SSD_SSD_HH_
 #define HAMS_SSD_SSD_HH_
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <queue>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "flash/fil.hh"
 #include "ftl/page_ftl.hh"
 #include "mem/sparse_memory.hh"
+#include "sim/annotations.hh"
 #include "ssd/dram_buffer.hh"
 #include "ssd/hil.hh"
 #include "sim/types.hh"
 
 namespace hams {
+
+/**
+ * Pooled store for buffered-but-unflushed frame bytes (the contents a
+ * power failure loses without a supercap).
+ *
+ * Replaces a per-write `unordered_map<block, vector<uint8_t>>` — a
+ * hash probe plus a 4 KiB heap allocation per buffered write — with
+ * hot-path-clean structures: a two-level block->slot index whose
+ * leaves are allocated on first touch, a recycled pool of 4 KiB frame
+ * buffers, and a dense key vector (insertion order) giving O(1)
+ * swap-remove erase and deterministic iteration. Steady-state
+ * find/insert/erase touch no heap and probe no hash.
+ */
+class VolatileStore
+{
+  public:
+    /** Frame bytes for @p block, or null when nothing is buffered. */
+    HAMS_HOT_PATH std::uint8_t*
+    find(std::uint64_t block)
+    {
+        std::int32_t slot = slotOf(block);
+        return slot < 0 ? nullptr : frames[slot].get();
+    }
+
+    HAMS_HOT_PATH const std::uint8_t*
+    find(std::uint64_t block) const
+    {
+        std::int32_t slot = slotOf(block);
+        return slot < 0 ? nullptr : frames[slot].get();
+    }
+
+    /** Frame bytes for @p block, buffering the block if it was not. */
+    HAMS_HOT_PATH std::uint8_t*
+    insert(std::uint64_t block)
+    {
+        std::uint64_t leaf = block >> leafBits;
+        if (leaf >= index.size()) {
+            HAMS_LINT_SUPPRESS("index-spine growth is first-touch, "
+                               "bounded by capacity / leaf span")
+            index.resize(leaf + 1);
+        }
+        if (!index[leaf]) {
+            HAMS_LINT_SUPPRESS("first-touch leaf allocation; reused "
+                               "for the device's lifetime")
+            index[leaf] = std::make_unique<std::int32_t[]>(leafSize);
+            std::fill_n(index[leaf].get(), leafSize, -1);
+        }
+        std::int32_t& slot = index[leaf][block & leafMask];
+        if (slot >= 0)
+            return frames[slot].get();
+        if (!freeSlots.empty()) {
+            slot = std::int32_t(freeSlots.back());
+            freeSlots.pop_back();
+        } else {
+            slot = std::int32_t(frames.size());
+            HAMS_LINT_SUPPRESS("frame-pool growth to the dirty "
+                               "high-water mark; steady state recycles "
+                               "slots off the free list")
+            frames.push_back(
+                std::make_unique<std::uint8_t[]>(nvmeBlockSize));
+            HAMS_LINT_SUPPRESS("grows in lockstep with the frame pool "
+                               "to the dirty high-water mark")
+            keyPos.push_back(0);
+        }
+        keyPos[slot] = std::uint32_t(occupied.size());
+        HAMS_LINT_SUPPRESS("key-list capacity grows to the occupancy "
+                           "high-water mark and is retained across "
+                           "erase/insert cycles")
+        occupied.push_back(block);
+        return frames[slot].get();
+    }
+
+    /** Drop @p block's buffered frame (frame buffer is recycled). */
+    HAMS_HOT_PATH void
+    erase(std::uint64_t block)
+    {
+        std::uint64_t leaf = block >> leafBits;
+        if (leaf >= index.size() || !index[leaf])
+            return;
+        std::int32_t& slot = index[leaf][block & leafMask];
+        if (slot < 0)
+            return;
+        std::uint32_t pos = keyPos[slot];
+        std::uint64_t last = occupied.back();
+        occupied[pos] = last;
+        occupied.pop_back();
+        if (last != block) {
+            std::int32_t lastSlot =
+                index[last >> leafBits][last & leafMask];
+            keyPos[lastSlot] = pos;
+        }
+        HAMS_LINT_SUPPRESS("free-list growth bounded by the frame pool")
+        freeSlots.push_back(std::uint32_t(slot));
+        slot = -1;
+    }
+
+    /** Drop every buffered frame (power loss without supercap). */
+    HAMS_COLD_PATH void
+    clear()
+    {
+        while (!occupied.empty())
+            erase(occupied.back());
+    }
+
+    bool empty() const { return occupied.empty(); }
+    std::size_t size() const { return occupied.size(); }
+
+    /**
+     * Buffered block numbers in insertion order — deterministic, so
+     * bulk destage (e.g. a flush draining from the back) touches the
+     * durable store in a reproducible order.
+     */
+    const std::vector<std::uint64_t>& keys() const { return occupied; }
+
+    /** Frame buffers ever allocated (tests pin steady-state reuse). */
+    std::size_t frameCount() const { return frames.size(); }
+
+  private:
+    static constexpr std::uint32_t leafBits = 12;
+    static constexpr std::uint32_t leafSize = 1u << leafBits;
+    static constexpr std::uint64_t leafMask = leafSize - 1;
+
+    HAMS_HOT_PATH std::int32_t
+    slotOf(std::uint64_t block) const
+    {
+        std::uint64_t leaf = block >> leafBits;
+        if (leaf >= index.size() || !index[leaf])
+            return -1;
+        return index[leaf][block & leafMask];
+    }
+
+    /** block >> leafBits -> leaf of slot ids (-1 = not buffered). */
+    std::vector<std::unique_ptr<std::int32_t[]>> index;
+    std::vector<std::unique_ptr<std::uint8_t[]>> frames;
+    std::vector<std::uint32_t> keyPos; //!< slot -> index in occupied
+    std::vector<std::uint32_t> freeSlots;
+    std::vector<std::uint64_t> occupied; //!< insertion-ordered blocks
+};
 
 /** Complete configuration of one SSD device. */
 struct SsdConfig
@@ -116,7 +255,7 @@ class Ssd
      * blocks*4096 bytes.
      * @return completion tick.
      */
-    Tick hostRead(std::uint64_t slba, std::uint32_t blocks, Tick at,
+    HAMS_HOT_PATH Tick hostRead(std::uint64_t slba, std::uint32_t blocks, Tick at,
                   std::uint8_t* dst = nullptr);
 
     /**
@@ -124,11 +263,11 @@ class Ssd
      * blocks*4096 bytes. FUA forces write-through to flash.
      * @return completion tick.
      */
-    Tick hostWrite(std::uint64_t slba, std::uint32_t blocks, bool fua,
+    HAMS_HOT_PATH Tick hostWrite(std::uint64_t slba, std::uint32_t blocks, bool fua,
                    Tick at, const std::uint8_t* src = nullptr);
 
     /** Flush the volatile buffer to flash. */
-    Tick hostFlush(Tick at);
+    HAMS_HOT_PATH Tick hostFlush(Tick at);
 
     /**
      * Functional-only write used by DMA engines that pull host bytes at
@@ -137,7 +276,7 @@ class Ssd
      * decision: buffered writes land in the volatile buffer, FUA or
      * bufferless writes land in the durable store.
      */
-    void pokeWrite(std::uint64_t slba, std::uint32_t blocks, bool fua,
+    HAMS_HOT_PATH void pokeWrite(std::uint64_t slba, std::uint32_t blocks, bool fua,
                    const std::uint8_t* src);
 
     /**
@@ -154,10 +293,10 @@ class Ssd
      *        unlimited (full drain).
      * @return the time the drain took (0 without supercap).
      */
-    Tick powerFail(std::uint64_t max_drain_frames = ~std::uint64_t(0));
+    HAMS_COLD_PATH Tick powerFail(std::uint64_t max_drain_frames = ~std::uint64_t(0));
 
     /** Bring the device back up (clears transient busy state). */
-    void powerRestore();
+    HAMS_COLD_PATH void powerRestore();
 
     /** @name Introspection for tests and benches. */
     ///@{
@@ -172,21 +311,23 @@ class Ssd
     {
         return buf ? buf->bytesAccessed() : 0;
     }
+    /** Buffered-but-unflushed frames in the volatile store. */
+    std::size_t volatileFrames() const { return volatileData.size(); }
 
     /** Read bytes for verification without timing effects. */
-    void peek(std::uint64_t slba, std::uint32_t blocks,
+    HAMS_COLD_PATH void peek(std::uint64_t slba, std::uint32_t blocks,
               std::uint8_t* dst) const;
     ///@}
 
   private:
     /** Apply internal queue-depth throttling to a start tick. */
-    Tick admit(Tick at);
+    HAMS_HOT_PATH Tick admit(Tick at);
 
     /** Record a command's completion for queue accounting. */
-    void retire(Tick done);
+    HAMS_HOT_PATH void retire(Tick done);
 
     /** Move a volatile frame's bytes into the durable store. */
-    void destage(std::uint64_t block);
+    HAMS_HOT_PATH void destage(std::uint64_t block);
 
     SsdConfig cfg;
     std::uint64_t _logicalBlocks;
@@ -199,14 +340,10 @@ class Ssd
     /** Durable (flash-backed) contents, 4 KiB frames, LBA space. */
     std::unique_ptr<SparseMemory> store;
     /** Buffered-but-unflushed contents (lost without supercap). */
-    std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> volatileData;
+    VolatileStore volatileData;
 
     /** Outstanding-command completion times (min-heap). */
     std::priority_queue<Tick, std::vector<Tick>, std::greater<>> inflight;
-
-    /** Reused key list for hostFlush's functional destage (no per-flush
-     *  allocation once grown to the dirty high-water mark). */
-    std::vector<std::uint64_t> flushKeys;
 };
 
 } // namespace hams

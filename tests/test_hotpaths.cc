@@ -16,9 +16,12 @@
 #include <thread>
 #include <vector>
 
+#include "baselines/flatflash_platform.hh"
 #include "baselines/mmap_platform.hh"
 #include "baselines/oracle_platform.hh"
 #include "core/hams_system.hh"
+#include "ssd/device_configs.hh"
+#include "ssd/ssd.hh"
 #include "cpu/core_model.hh"
 #include "mem/sparse_memory.hh"
 #include "sim/alloc_hook.hh"
@@ -639,6 +642,119 @@ TEST(AllocHookThreadLocal, CountsOwnAllocations)
     for (int* p : ptrs)
         delete p;
     EXPECT_GE(mine.delta(), 32u);
+}
+
+// ---------------------------------------------------------------------
+// The two violations hamslint rediscovered, pinned at zero allocations:
+// FlatFlash-M's per-access touch counter (was an unordered_map probe
+// that could rehash-allocate per MMIO access) and the SSD's volatile
+// write staging (was a fresh std::vector<uint8_t> per buffered write).
+// ---------------------------------------------------------------------
+
+TEST(FlatFlashHotPath, TouchCountingIsAllocationFree)
+{
+    FlatFlashConfig cfg;
+    cfg.hostCaching = true;
+    cfg.ssdRawBytes = 1ull << 30;
+    // Never promote: every access stays on the MMIO path and bumps the
+    // touch counter, so the loop below exercises exactly the table the
+    // unordered_map used to back.
+    cfg.promoteThreshold = ~std::uint32_t(0);
+    FlatFlashPlatform p(cfg);
+
+    auto touch = [&](std::uint64_t page) {
+        MemAccess acc;
+        acc.addr = page * 4096;
+        acc.size = 64;
+        acc.op = MemOp::Read;
+        InlineCompletion out;
+        ASSERT_TRUE(p.tryAccess(acc, p.eventQueue().now(), out));
+    };
+
+    // Warm-up faults the counter leaves and the SSD-internal tags in.
+    for (std::uint64_t page = 0; page < 16; ++page)
+        touch(page);
+
+    alloc_hook::AllocCounter allocs;
+    for (int round = 0; round < 64; ++round)
+        for (std::uint64_t page = 0; page < 16; ++page)
+            touch(page);
+    EXPECT_EQ(allocs.delta(), 0u);
+}
+
+TEST(FlatFlashHotPath, PromotionStillFiresOnHotPages)
+{
+    FlatFlashConfig cfg;
+    cfg.hostCaching = true;
+    cfg.ssdRawBytes = 1ull << 30;
+    cfg.promoteThreshold = 2;
+    FlatFlashPlatform p(cfg);
+
+    MemAccess acc;
+    acc.addr = 8 * 4096;
+    acc.size = 64;
+    acc.op = MemOp::Read;
+    InlineCompletion out;
+    for (int i = 0; i < 4; ++i)
+        ASSERT_TRUE(p.tryAccess(acc, p.eventQueue().now(), out));
+    EXPECT_GE(p.promotions(), 1u);
+    EXPECT_GE(p.hostHits(), 1u);
+}
+
+TEST(SsdVolatileStore, BufferedWriteFlushCycleIsAllocationFree)
+{
+    // Functional buffered SSD: every host write stages its payload in
+    // the volatile store, every flush destages and erases it — the
+    // churn that used to construct a std::vector<uint8_t> per write.
+    Ssd ssd(ullFlashConfig(1ull << 30, /*functional_data=*/true,
+                           /*with_supercap=*/true, /*with_buffer=*/true));
+    std::vector<std::uint8_t> payload(nvmeBlockSize, 0xA5);
+    Tick at = 0;
+
+    auto cycle = [&] {
+        for (std::uint64_t block = 0; block < 8; ++block)
+            at = ssd.hostWrite(block, 1, /*fua=*/false, at,
+                               payload.data());
+        at = ssd.hostFlush(at);
+    };
+    // Warm the frame pool, key list, and index leaves past their
+    // high-water marks. The FTL round-robins parallel units (128 in
+    // this geometry) and first-touches each unit's active-block
+    // metadata on its first program, so the warmup must cover at
+    // least 128 flushed writePages before the steady state begins.
+    for (int i = 0; i < 12; ++i)
+        cycle();
+
+    alloc_hook::AllocCounter allocs;
+    for (int i = 0; i < 16; ++i)
+        cycle();
+    EXPECT_EQ(allocs.delta(), 0u);
+
+    // The store actually round-trips data.
+    std::vector<std::uint8_t> out(nvmeBlockSize, 0);
+    ssd.hostWrite(3, 1, /*fua=*/false, at, payload.data());
+    ssd.peek(3, 1, out.data());
+    EXPECT_EQ(std::memcmp(out.data(), payload.data(), nvmeBlockSize), 0);
+}
+
+TEST(SsdVolatileStore, FlushDrainsInReproducibleLifoOrder)
+{
+    Ssd ssd(ullFlashConfig(1ull << 30, /*functional_data=*/true,
+                           /*with_supercap=*/true, /*with_buffer=*/true));
+    std::vector<std::uint8_t> payload(nvmeBlockSize, 0x5A);
+    Tick at = 0;
+    for (std::uint64_t block : {5, 1, 9, 2})
+        at = ssd.hostWrite(block, 1, false, at, payload.data());
+    ASSERT_EQ(ssd.volatileFrames(), 4u);
+    ssd.hostFlush(at);
+    EXPECT_EQ(ssd.volatileFrames(), 0u);
+    std::vector<std::uint8_t> out(nvmeBlockSize, 0);
+    for (std::uint64_t block : {5, 1, 9, 2}) {
+        ssd.peek(block, 1, out.data());
+        EXPECT_EQ(std::memcmp(out.data(), payload.data(), nvmeBlockSize),
+                  0)
+            << "block " << block;
+    }
 }
 
 TEST(HamsHotPath, OpContextsAreReused)

@@ -1,0 +1,29 @@
+// Known-bad fixture: every flavour of [alloc] reachable from a hot
+// root — operator new/delete, malloc/free, and std-container growth.
+// Fixtures are freestanding: they carry their own no-op macro
+// definitions (the lexer drops preprocessor lines, so the *usages*
+// survive as plain identifiers, which is what the checker keys on).
+#define HAMS_HOT_PATH
+#include <cstdlib>
+#include <vector>
+
+struct Engine
+{
+    std::vector<int> log;
+
+    HAMS_HOT_PATH void serve(int x)
+    {
+        int* p = new int(x);  // HAMSLINT-EXPECT: alloc
+        log.push_back(*p);    // HAMSLINT-EXPECT: alloc
+        delete p;             // HAMSLINT-EXPECT: alloc
+        void* q = malloc(16); // HAMSLINT-EXPECT: alloc
+        free(q);              // HAMSLINT-EXPECT: alloc
+    }
+
+    HAMS_HOT_PATH void stage(unsigned n)
+    {
+        // Direct-init container locals heap-allocate on every call.
+        std::vector<int> scratch(n); // HAMSLINT-EXPECT: alloc
+        scratch[0] = static_cast<int>(n);
+    }
+};

@@ -1,0 +1,25 @@
+// Known-bad fixture: [callback-capture] — default captures and
+// capture sets past the 48-byte InlineFunction budget at an
+// event-callback sink, plus std::function on the hot path.
+#define HAMS_HOT_PATH
+#include <cstdint>
+#include <functional>
+
+struct Queue
+{
+    template <typename F> void schedule(std::uint64_t when, F f);
+};
+
+struct Dev
+{
+    Queue eq;
+    std::uint64_t a, b, c, d, e, f, g;
+
+    HAMS_HOT_PATH void issue()
+    {
+        eq.schedule(10, [=] { (void)0; }); // HAMSLINT-EXPECT: callback-capture
+        eq.schedule(10, [this, aa = a, bb = b, cc = c, dd = d, ee = e, ff = f, gg = g] { (void)aa; }); // HAMSLINT-EXPECT: callback-capture
+        std::function<void()> k = [this] { (void)0; }; // HAMSLINT-EXPECT: callback-capture
+        (void)k;
+    }
+};

@@ -1,0 +1,21 @@
+// Known-bad fixture: [hash-probe] — unordered-container probes on the
+// hot path, via method call and via operator[].
+#define HAMS_HOT_PATH
+#include <cstdint>
+#include <unordered_map>
+
+struct Cache
+{
+    std::unordered_map<std::uint64_t, std::uint32_t> tags;
+
+    HAMS_HOT_PATH bool lookup(std::uint64_t addr)
+    {
+        auto it = tags.find(addr); // HAMSLINT-EXPECT: hash-probe
+        return it != tags.end();   // HAMSLINT-EXPECT: hash-probe
+    }
+
+    HAMS_HOT_PATH void touch(std::uint64_t addr)
+    {
+        tags[addr]++; // HAMSLINT-EXPECT: hash-probe
+    }
+};

@@ -1,0 +1,16 @@
+// Known-bad fixture: an empty suppression reason is itself a finding
+// ([suppression]) and does NOT suppress — the growth stays reported.
+#define HAMS_HOT_PATH
+#define HAMS_LINT_SUPPRESS(reason)
+#include <vector>
+
+struct Engine
+{
+    std::vector<int> arena;
+
+    HAMS_HOT_PATH void grow()
+    {
+        HAMS_LINT_SUPPRESS("")    // HAMSLINT-EXPECT: suppression
+        arena.push_back(0);       // HAMSLINT-EXPECT: alloc
+    }
+};

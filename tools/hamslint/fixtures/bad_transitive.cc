@@ -1,0 +1,25 @@
+// Known-bad fixture: the violation sits two frames below the hot
+// root — the checker must follow the call graph (receiver type
+// resolved through a member declaration) and report it with a trace.
+#define HAMS_HOT_PATH
+#include <vector>
+
+struct Log
+{
+    std::vector<int> entries;
+
+    void append(int v)
+    {
+        entries.push_back(v); // HAMSLINT-EXPECT: alloc
+    }
+};
+
+struct Engine
+{
+    Log log;
+
+    HAMS_HOT_PATH void serve(int x)
+    {
+        log.append(x);
+    }
+};

@@ -1,0 +1,19 @@
+// Known-bad fixture: range-for over an unordered container — the
+// visit order is hash-layout order, which depends on insertion
+// history and implementation: both a probe and a determinism hazard.
+#define HAMS_HOT_PATH
+#include <cstdint>
+#include <unordered_map>
+
+struct Flusher
+{
+    std::unordered_map<std::uint64_t, int> dirty;
+
+    HAMS_HOT_PATH std::uint64_t flush()
+    {
+        std::uint64_t sum = 0;
+        for (auto& kv : dirty) // HAMSLINT-EXPECT: determinism hash-probe
+            sum += kv.second;
+        return sum;
+    }
+};

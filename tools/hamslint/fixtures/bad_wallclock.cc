@@ -1,0 +1,18 @@
+// Known-bad fixture: [determinism] — wall-clock and process-global
+// PRNG calls on the hot path break bit-reproducibility.
+#define HAMS_HOT_PATH
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+
+struct Sampler
+{
+    HAMS_HOT_PATH long stamp()
+    {
+        auto n = std::chrono::steady_clock::now(); // HAMSLINT-EXPECT: determinism
+        (void)n;
+        int j = rand();         // HAMSLINT-EXPECT: determinism
+        long s = time(nullptr); // HAMSLINT-EXPECT: determinism
+        return j + s;
+    }
+};

@@ -1,0 +1,39 @@
+// Known-good fixture: the sanctioned allocation idioms stay silent —
+// reserve() pre-sizing, in-place writes into a pre-sized ring, and
+// first-touch growth behind HAMS_LINT_SUPPRESS with a reason.
+#define HAMS_HOT_PATH
+#define HAMS_LINT_SUPPRESS(reason)
+#include <vector>
+
+struct Engine
+{
+    std::vector<int> ring;
+    unsigned head = 0;
+
+    void setup(unsigned n)
+    {
+        ring.reserve(n); // not annotated: setup is off the hot path
+        ring.resize(n);
+    }
+
+    HAMS_HOT_PATH void serve(int x)
+    {
+        ring[head] = x;
+        head = (head + 1u) % static_cast<unsigned>(ring.size());
+    }
+
+    HAMS_HOT_PATH void grow()
+    {
+        HAMS_LINT_SUPPRESS("first-touch arena growth to the high-water "
+                           "mark; steady state reuses existing slots")
+        ring.push_back(0);
+    }
+
+    HAMS_HOT_PATH int borrow()
+    {
+        // Default construction and reference bindings don't allocate.
+        std::vector<int> empty;
+        std::vector<int>& mine = ring;
+        return static_cast<int>(empty.size() + mine.size());
+    }
+};

@@ -1,0 +1,26 @@
+// Known-good fixture: the sanctioned callback shape — capture
+// {this, pooled-context pointer, a couple of scalars}, well inside
+// the 48-byte InlineFunction inline budget.
+#define HAMS_HOT_PATH
+#include <cstdint>
+
+struct Queue
+{
+    template <typename F> void schedule(std::uint64_t when, F f);
+};
+
+struct Ctx;
+
+struct Dev
+{
+    Queue eq;
+    std::uint64_t tag;
+
+    void complete(std::uint64_t t);
+
+    HAMS_HOT_PATH void issue(Ctx* ctx)
+    {
+        std::uint64_t t = tag;
+        eq.schedule(10, [this, ctx, t] { complete(t); (void)ctx; });
+    }
+};

@@ -1,0 +1,26 @@
+// Known-good fixture: a hot function may *call* a HAMS_COLD_PATH
+// function (the call is the audited boundary); nothing inside the
+// cold body is checked, so its allocations stay silent.
+#define HAMS_HOT_PATH
+#define HAMS_COLD_PATH
+#include <vector>
+
+struct Engine
+{
+    std::vector<int> pool;
+    int fails = 0;
+
+    HAMS_COLD_PATH void rebuild()
+    {
+        pool.clear();
+        pool.push_back(1); // cold: never checked
+    }
+
+    HAMS_HOT_PATH void serve(int x)
+    {
+        if (x < 0) {
+            ++fails;
+            rebuild(); // boundary call is fine; the walk stops there
+        }
+    }
+};

@@ -1,0 +1,20 @@
+// Known-good fixture: the direct-indexed replacement for a hash map —
+// a pre-sized vector probed by masked address — stays silent.
+#define HAMS_HOT_PATH
+#include <cstdint>
+#include <vector>
+
+struct Cache
+{
+    std::vector<std::uint32_t> tags; // direct-indexed, pre-sized
+
+    HAMS_HOT_PATH bool lookup(std::uint64_t addr)
+    {
+        return tags[addr & 1023u] != 0;
+    }
+
+    HAMS_HOT_PATH void touch(std::uint64_t addr)
+    {
+        ++tags[addr & 1023u];
+    }
+};

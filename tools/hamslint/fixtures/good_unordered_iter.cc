@@ -1,0 +1,19 @@
+// Known-good fixture: the deterministic replacement — iterate a dense
+// key vector in insertion order, values in a parallel array.
+#define HAMS_HOT_PATH
+#include <cstdint>
+#include <vector>
+
+struct Flusher
+{
+    std::vector<std::uint64_t> keys; // insertion order, deterministic
+    std::vector<int> vals;
+
+    HAMS_HOT_PATH std::uint64_t flush()
+    {
+        std::uint64_t sum = 0;
+        for (std::uint64_t i = 0; i < keys.size(); ++i)
+            sum += vals[i];
+        return sum;
+    }
+};

@@ -1,0 +1,17 @@
+// Known-good fixture: a seeded, state-owned PRNG (the discipline's
+// replacement for rand()/random_device) stays silent.
+#define HAMS_HOT_PATH
+#include <cstdint>
+
+struct Xorshift
+{
+    std::uint64_t s = 0x9E3779B97F4A7C15ull;
+
+    HAMS_HOT_PATH std::uint64_t next()
+    {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        return s;
+    }
+};

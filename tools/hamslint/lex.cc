@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Tokenizer for hamslint's self-contained C++ frontend.
+ *
+ * Deliberately simple: the parser downstream works on declaration
+ * shapes, so the lexer only needs to (a) never mis-nest braces and
+ * (b) keep identifiers and line numbers exact. Comments vanish,
+ * preprocessor directives vanish (annotation macros are *used* as
+ * plain identifiers, which is all the checker needs), and literals
+ * collapse into single tokens so quotes can't unbalance anything.
+ */
+
+#include "hamslint.hh"
+
+namespace hamslint {
+
+namespace {
+
+bool
+identStart(char c)
+{
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+
+bool
+identCont(char c)
+{
+    return identStart(c) || (c >= '0' && c <= '9');
+}
+
+} // namespace
+
+std::vector<Token>
+lex(const std::string& src)
+{
+    std::vector<Token> out;
+    out.reserve(src.size() / 4);
+    std::size_t i = 0;
+    const std::size_t n = src.size();
+    int line = 1;
+    bool atLineStart = true;
+
+    while (i < n) {
+        char c = src[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            atLineStart = true;
+            continue;
+        }
+        if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+            ++i;
+            continue;
+        }
+        // Preprocessor directive: swallow to end of line, honouring
+        // backslash continuations.
+        if (c == '#' && atLineStart) {
+            while (i < n) {
+                if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
+                    i += 2;
+                    ++line;
+                    continue;
+                }
+                if (src[i] == '\n')
+                    break;
+                ++i;
+            }
+            continue;
+        }
+        atLineStart = false;
+        // Comments.
+        if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+            while (i < n && src[i] != '\n')
+                ++i;
+            continue;
+        }
+        if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+            i += 2;
+            while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+                if (src[i] == '\n')
+                    ++line;
+                ++i;
+            }
+            i = (i + 1 < n) ? i + 2 : n;
+            continue;
+        }
+        // String / char literals (with escape handling). Raw strings
+        // get the full delimiter treatment so embedded quotes survive.
+        if (c == '"' || c == '\'') {
+            int startLine = line;
+            bool raw = c == '"' && i > 0 && src[i - 1] == 'R';
+            std::size_t j = i + 1;
+            if (raw) {
+                std::string delim;
+                while (j < n && src[j] != '(')
+                    delim += src[j++];
+                std::string close = ")" + delim + "\"";
+                std::size_t end = src.find(close, j);
+                j = (end == std::string::npos) ? n : end + close.size();
+                for (std::size_t k = i; k < j && k < n; ++k)
+                    if (src[k] == '\n')
+                        ++line;
+            } else {
+                while (j < n && src[j] != c) {
+                    if (src[j] == '\\')
+                        ++j;
+                    else if (src[j] == '\n')
+                        ++line;
+                    ++j;
+                }
+                ++j;
+            }
+            out.push_back({c == '"' ? Tok::String : Tok::CharLit,
+                           src.substr(i, std::min(j, n) - i), startLine});
+            i = std::min(j, n);
+            continue;
+        }
+        // Identifiers / keywords / annotation macros.
+        if (identStart(c)) {
+            std::size_t j = i + 1;
+            while (j < n && identCont(src[j]))
+                ++j;
+            out.push_back({Tok::Ident, src.substr(i, j - i), line});
+            i = j;
+            continue;
+        }
+        // Numbers (digits plus the usual suffix soup; 1'000 separators).
+        if (c >= '0' && c <= '9') {
+            std::size_t j = i + 1;
+            while (j < n &&
+                   (identCont(src[j]) || src[j] == '\'' || src[j] == '.' ||
+                    ((src[j] == '+' || src[j] == '-') &&
+                     (src[j - 1] == 'e' || src[j - 1] == 'E' ||
+                      src[j - 1] == 'p' || src[j - 1] == 'P'))))
+                ++j;
+            out.push_back({Tok::Number, src.substr(i, j - i), line});
+            i = j;
+            continue;
+        }
+        // Multi-char puncts the parser cares about ('::', '->'); '>>'
+        // stays split so template-angle matching can count closers.
+        if (c == ':' && i + 1 < n && src[i + 1] == ':') {
+            out.push_back({Tok::Punct, "::", line});
+            i += 2;
+            continue;
+        }
+        if (c == '-' && i + 1 < n && src[i + 1] == '>') {
+            out.push_back({Tok::Punct, "->", line});
+            i += 2;
+            continue;
+        }
+        out.push_back({Tok::Punct, std::string(1, c), line});
+        ++i;
+    }
+    return out;
+}
+
+} // namespace hamslint
