@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Build the Release tiering sweep and record it in BENCH_tiering.json
+# (repo root, or $HAMS_BENCH_JSON): mmap and hams-TE platforms under a
+# zipfian point-access workload at theta in {0.6, 0.8, 0.99, 1.2},
+# each at equal DRAM in three modes — tiering off, inert (tracker
+# attached, every consumer off) and tier (hot-frame pinning +
+# background migration + cold write placement). Every cell runs twice
+# and the JSON asserts bit-identical reruns; inert cells must be
+# bit-identical to off (the tracker observes without perturbing); and
+# the binary itself fails if tiering loses to the skew-oblivious cache
+# at high skew (theta >= 0.99) on the mmap platform.
+#
+# Usage: scripts/bench_tiering.sh
+#   HAMS_BENCH_SCALE=N enlarges the op counts (default 1).
+#   HAMS_BENCH_THREADS=N caps the cross-cell worker pool.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build-bench"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+      -DCMAKE_BUILD_TYPE=Release \
+      -DHAMS_BUILD_TESTS=OFF \
+      -DHAMS_BUILD_EXAMPLES=OFF
+cmake --build "${build_dir}" --target fig_tiering -j"$(nproc)"
+
+export HAMS_BENCH_JSON="${HAMS_BENCH_JSON:-${repo_root}/BENCH_tiering.json}"
+"${build_dir}/fig_tiering"
+
+echo
+echo "Results written to ${HAMS_BENCH_JSON}"

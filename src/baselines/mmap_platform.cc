@@ -79,6 +79,16 @@ MmapPlatform::MmapPlatform(const MmapConfig& cfg)
     cacheTags = std::make_unique<DramBuffer>(tag_cfg);
 
     _capacity = ssd->capacityBytes();
+
+    if (cfg.tiering.enabled) {
+        // One tracker spans the file; page-cache keys, SSD LBAs and
+        // FTL LPN groups all resolve to the same 4 KiB frames.
+        hotness = std::make_unique<HotnessTracker>(_capacity, cfg.tiering);
+        if (cfg.tiering.pinHotFrames)
+            cacheTags->setVictimSelector(makeColdFirstSelector(
+                *hotness, nvmeBlockSize, cfg.tiering.pinScanLimit));
+        ssd->attachTiering(hotness.get(), cfg.tiering);
+    }
 }
 
 MmapPlatform::~MmapPlatform() = default;
@@ -119,6 +129,8 @@ MmapPlatform::serve(const MemAccess& acc, Tick at, LatencyBreakdown& bd)
 {
     if (acc.addr + acc.size > _capacity)
         fatal("mmap access beyond file size");
+    if (hotness)
+        hotness->touch(acc.addr);
 
     std::uint64_t page = acc.addr / nvmeBlockSize;
     Tick done;
@@ -206,8 +218,10 @@ MmapPlatform::tryAccess(const MemAccess& acc, Tick at, InlineCompletion& out)
     // device events *behind* the returned completion tick, which the
     // inline contract forbids (the caller advances the queue to
     // out.done). Per the contract, stop opting in rather than
-    // approximate: every access takes the event path.
-    if (ssd->pageFtl().backgroundGcEnabled())
+    // approximate: every access takes the event path. Background
+    // migration schedules device events the same way, so it declines
+    // too.
+    if (ssd->pageFtl().backgroundGcEnabled() || ssd->migrationEnabled())
         return false;
     // Hit or fault alike, the whole software stack is latency
     // arithmetic computed at issue time: always inline-completable.

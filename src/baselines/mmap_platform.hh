@@ -68,6 +68,16 @@ struct MmapConfig
      * tryAccess().
      */
     FtlConfig ftl;
+
+    /**
+     * Hotness-aware tiering (core/hotness_tracker.hh): the platform
+     * owns a tracker over the file span, feeds it from serve() and
+     * wires the knobs into the page-cache LRU (pinHotFrames) and the
+     * backing SSD (migration, coldWritePlacement). Default-inert.
+     * With migration on the platform stops opting into inline
+     * completion, exactly like backgroundGc — see tryAccess().
+     */
+    TieringConfig tiering;
 };
 
 /**
@@ -95,6 +105,8 @@ class MmapPlatform : public MemoryPlatform
     std::uint64_t pageCacheHits() const { return _hits; }
     std::uint64_t writebacks() const { return _writebacks; }
     Ssd& backingSsd() { return *ssd; }
+    /** Hotness tracker, or null when cfg.tiering.enabled is false. */
+    HotnessTracker* hotnessTracker() { return hotness.get(); }
     ///@}
 
   private:
@@ -115,6 +127,8 @@ class MmapPlatform : public MemoryPlatform
     std::unique_ptr<PcieLink> link;
     /** Page-cache bookkeeping (LRU + dirty bits); timing goes to dram. */
     std::unique_ptr<DramBuffer> cacheTags;
+    /** Hotness monitor over the file span (null unless tiering on). */
+    std::unique_ptr<HotnessTracker> hotness;
     /** Reused dirty-page list (writeback rounds + msync), no per-round
      *  allocation once grown to the dirty high-water mark. */
     std::vector<std::uint64_t> dirtyScratch;

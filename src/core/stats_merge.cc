@@ -56,6 +56,9 @@ mergeFtlStats(FtlStats& into, const FtlStats& from)
     into.gcForegroundOverlap += from.gcForegroundOverlap;
     into.gcStreamBlocks += from.gcStreamBlocks;
     into.gcQualityDeferrals += from.gcQualityDeferrals;
+    into.tierColdWrites += from.tierColdWrites;
+    into.tierBgReads += from.tierBgReads;
+    into.tierBgWrites += from.tierBgWrites;
     // Pacer levels are instantaneous/peak readings per shard, not
     // event counts: aggregate as maxima.
     into.paceLevel = std::max(into.paceLevel, from.paceLevel);

@@ -4,6 +4,7 @@
 #include <functional>
 #include <limits>
 
+#include "core/hotness_tracker.hh"
 #include "sim/logging.hh"
 
 namespace hams {
@@ -181,7 +182,7 @@ PageFtl::pushFreeBlock(std::uint64_t pu, std::uint32_t block)
 }
 
 std::uint64_t
-PageFtl::allocate(std::uint64_t pu, Tick& at, bool for_gc)
+PageFtl::allocate(std::uint64_t pu, Tick& at, bool for_gc, bool cold)
 {
     Unit& u = units[pu];
     // Dedicated relocation stream: GC victims pack into a per-unit
@@ -195,7 +196,16 @@ PageFtl::allocate(std::uint64_t pu, Tick& at, bool for_gc)
     // consumed *fresh* by a relocation crisis — exactly the PR 4
     // completion guarantee — while leftover stream slack on an empty
     // pool is headroom PR 4 never had (canStartVictim()).
-    if (for_gc && cfg.gcStreamBlocks > 0) {
+    //
+    // Cold host writes (hotness-aware placement) share the stream so
+    // GC victims are born segregated, but only with watermark
+    // headroom: at or below the low watermark the cold write falls
+    // through to the shared path, where the GC triggers and the
+    // reserve backpressure run exactly as without placement.
+    bool stream = (for_gc || cold) && cfg.gcStreamBlocks > 0;
+    if (!for_gc && stream && u.freeBlocks.size() <= cfg.gcLowWater)
+        stream = false;
+    if (stream) {
         if (u.gcStreamBlock < 0 &&
             u.freeBlocks.size() > cfg.gcReserveBlocks) {
             u.gcStreamBlock = takeFreeBlock(u, pu);
@@ -218,6 +228,22 @@ PageFtl::allocate(std::uint64_t pu, Tick& at, bool for_gc)
                 u.gcStreamBlock = -1;
             }
             b.pageLpns[page] = std::numeric_limits<std::uint64_t>::max();
+            if (!for_gc) {
+                ++_stats.tierColdWrites;
+                // A stream draw depletes the pool without rolling the
+                // active block, so the background engine's kick/idle
+                // checks must run here too or a cold-dominated write
+                // mix would only ever meet GC at the crisis path.
+                if (backgroundGcEnabled()) {
+                    std::uint32_t kick_at = cfg.gcAdaptivePacing
+                                                ? cfg.gcHighWater
+                                                : cfg.gcLowWater + 1;
+                    if (u.freeBlocks.size() <= kick_at)
+                        kickGc(pu, at, /*idle=*/false);
+                    if (u.freeBlocks.size() <= cfg.gcHighWater)
+                        idleArmWanted = true;
+                }
+            }
             return makePpn(pu, block, page);
         }
     }
@@ -310,7 +336,7 @@ PageFtl::writePage(std::uint64_t lpn, std::uint32_t bytes, Tick at)
     if (++nextPu == units.size())
         nextPu = 0;
 
-    std::uint64_t ppn = allocate(pu, at);
+    std::uint64_t ppn = allocate(pu, at, /*for_gc=*/false, isColdLpn(lpn));
     std::uint64_t pu2;
     std::uint32_t block, page;
     splitPpn(ppn, pu2, block, page);
@@ -324,6 +350,63 @@ PageFtl::writePage(std::uint64_t lpn, std::uint32_t bytes, Tick at)
     if (backgroundGcEnabled())
         noteHostActivity(done);
     return done;
+}
+
+bool
+PageFtl::isColdLpn(std::uint64_t lpn) const
+{
+    return hotness != nullptr &&
+           !hotness->isHotAddr(lpn * geom.pageSize);
+}
+
+Tick
+PageFtl::backgroundReadPage(std::uint64_t lpn, std::uint32_t bytes,
+                            Tick at, FlashOpHandle& h)
+{
+    std::uint64_t ppn = l2p.get(lpn);
+    if (ppn == L2pMap::unmapped)
+        panic("backgroundReadPage on unmapped LPN ", lpn);
+    ++_stats.tierBgReads;
+    h = fil.submitTracked({FlashOp::Type::Read, ppn, bytes,
+                           /*background=*/true}, at);
+    return fil.completionOf(h);
+}
+
+Tick
+PageFtl::backgroundWritePage(std::uint64_t lpn, std::uint32_t bytes,
+                             Tick at, FlashOpHandle& h)
+{
+    if (lpn >= _logicalPages)
+        fatal("LPN ", lpn, " beyond exported capacity (", _logicalPages,
+              " pages)");
+    ++_stats.tierBgWrites;
+
+    std::uint64_t old_ppn = l2p.get(lpn);
+    if (old_ppn != L2pMap::unmapped)
+        invalidate(old_ppn);
+
+    std::uint64_t pu = nextPu;
+    if (++nextPu == units.size())
+        nextPu = 0;
+
+    // Foreground allocation semantics (never dips into the GC
+    // reserve); the demoted frame is cold by construction, so the
+    // placement signal routes it into the relocation stream when
+    // configured.
+    std::uint64_t ppn = allocate(pu, at, /*for_gc=*/false,
+                                 isColdLpn(lpn));
+    std::uint64_t pu2;
+    std::uint32_t block, page;
+    splitPpn(ppn, pu2, block, page);
+    Block& b = blockOf(pu2, block);
+    b.pageLpns[page] = lpn;
+    b.validBits[page / 64] |= 1ull << (page % 64);
+    ++b.validCount;
+    l2p.set(lpn, ppn);
+
+    h = fil.submitTracked({FlashOp::Type::Program, ppn, bytes,
+                           /*background=*/true}, at);
+    return fil.completionOf(h);
 }
 
 void

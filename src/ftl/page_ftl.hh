@@ -90,6 +90,8 @@
 
 namespace hams {
 
+class HotnessTracker;
+
 /** FTL tuning knobs. */
 struct FtlConfig
 {
@@ -181,6 +183,16 @@ struct FtlStats
     /** Deepest pacer level reached (pool closest to the reserve). */
     std::uint32_t paceLevelMax = 0;
     ///@}
+
+    /** @name Tiering (core/hotness_tracker.hh consumers). */
+    ///@{
+    /** Host writes routed into the relocation stream as cold. */
+    std::uint64_t tierColdWrites = 0;
+    /** Background promotion reads issued for tiering. */
+    std::uint64_t tierBgReads = 0;
+    /** Background demotion writes issued for tiering. */
+    std::uint64_t tierBgWrites = 0;
+    ///@}
 };
 
 /**
@@ -200,6 +212,19 @@ class PageFtl
      * synchronous. The queue must outlive the FTL.
      */
     void attachEventQueue(EventQueue* q) { eq = q; }
+
+    /**
+     * Give the FTL a hotness signal for write-time placement
+     * (TieringConfig::coldWritePlacement): host writes whose LPN the
+     * tracker does NOT consider hot are packed into the per-unit
+     * gcStreamBlocks relocation stream (when configured and the unit
+     * has watermark headroom), so GC victims are born hot/cold
+     * segregated instead of only separating retroactively at GC time.
+     * Null (the default) keeps placement bit-identical to before. The
+     * tracker must outlive the FTL; LPNs map to tracker addresses as
+     * lpn * geom.pageSize.
+     */
+    void attachHotness(const HotnessTracker* h) { hotness = h; }
 
     /** True when GC runs as background events. */
     bool
@@ -224,6 +249,32 @@ class PageFtl
      * @return completion tick.
      */
     HAMS_HOT_PATH Tick writePage(std::uint64_t lpn, std::uint32_t bytes, Tick at);
+
+    /**
+     * Background-priority read of @p lpn for tiering promotion: the
+     * flash op is submitTracked'd (foreground traffic can suspend it)
+     * and @p h receives the handle — the caller owns it and must
+     * release() it (or consume completionOf()) before power failure,
+     * exactly like the GC machines' slice ops. Counts toward
+     * tierBgReads, not hostReads. Panics on an unmapped LPN: callers
+     * check isMapped() first.
+     * @return the submit-time completion latch.
+     */
+    Tick backgroundReadPage(std::uint64_t lpn, std::uint32_t bytes,
+                            Tick at, FlashOpHandle& h);
+
+    /**
+     * Background-priority rewrite of @p lpn for tiering demotion
+     * (early writeback of a cold dirty buffer frame). Allocation takes
+     * the foreground path — demotion must never dip into the GC
+     * reserve — but the program carries background priority and @p h
+     * is a tracked handle with the same ownership contract as
+     * backgroundReadPage(). Counts toward tierBgWrites, not
+     * hostWrites.
+     * @return the submit-time completion latch.
+     */
+    Tick backgroundWritePage(std::uint64_t lpn, std::uint32_t bytes,
+                             Tick at, FlashOpHandle& h);
 
     /** Drop the mapping of @p lpn (TRIM). */
     HAMS_HOT_PATH void trim(std::uint64_t lpn);
@@ -443,8 +494,17 @@ class PageFtl
      * (for_gc == false) trigger GC when needed — inline in synchronous
      * mode, kick-and-continue (or stall at the reserve) in background
      * mode. GC relocation (for_gc == true) may dip into the reserve.
+     * Cold foreground writes (cold == true, from the hotness signal)
+     * are packed into the unit's relocation stream best-effort: only
+     * while the unit has watermark headroom, never changing when GC
+     * triggers or backpressure stalls, falling through to the shared
+     * active path otherwise.
      */
-    HAMS_HOT_PATH std::uint64_t allocate(std::uint64_t pu, Tick& at, bool for_gc = false);
+    HAMS_HOT_PATH std::uint64_t allocate(std::uint64_t pu, Tick& at, bool for_gc = false,
+                                         bool cold = false);
+
+    /** True when the placement signal marks @p lpn cold (off = never). */
+    HAMS_HOT_PATH bool isColdLpn(std::uint64_t lpn) const;
 
     /** Pop a free block for @p pu (wear-aware, O(log n)). */
     HAMS_HOT_PATH std::uint32_t takeFreeBlock(Unit& u, std::uint64_t pu);
@@ -606,6 +666,9 @@ class PageFtl
     std::uint64_t _logicalPages;
     std::uint64_t nextPu = 0; //!< round-robin write striping
     bool inGc = false;        //!< guards against GC re-entrancy
+
+    /** Write-time placement signal (null = placement off). */
+    const HotnessTracker* hotness = nullptr;
 
     /** @name Background-GC engine state. */
     ///@{

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/hotness_tracker.hh"
 #include "sim/logging.hh"
 
 namespace hams {
@@ -155,6 +156,11 @@ DramBuffer::insert(std::uint64_t key, bool dirty)
 
     if (resident >= capacityFrames) {
         std::uint32_t victim = lruTail;
+        if (victimSel) {
+            std::uint32_t pick = victimSel(*this);
+            if (pick != nil)
+                victim = pick;
+        }
         ev.happened = true;
         ev.dirty = nodes[victim].dirty;
         ev.frameKey = nodes[victim].key;
@@ -216,6 +222,27 @@ DramBuffer::dirtyFrames(std::vector<std::uint64_t>& out) const
                                "across calls")
             out.push_back(nodes[n].key);
     std::sort(out.begin(), out.end());
+}
+
+DramBuffer::VictimSelector
+makeColdFirstSelector(const HotnessTracker& hot, std::uint64_t key_bytes,
+                      std::uint32_t scan_limit)
+{
+    // The lambda runs per eviction on the hot path via InlineFunction
+    // type erasure (audited manually per the annotations policy): it
+    // walks bounded LRU links and probes the tracker — no allocation,
+    // no hash, pure integer reads.
+    const HotnessTracker* h = &hot;
+    return [h, key_bytes, scan_limit](const DramBuffer& buf)
+               -> std::uint32_t {
+        std::uint32_t n = buf.lruTailNode();
+        for (std::uint32_t i = 0; i < scan_limit && n != DramBuffer::nilNode;
+             ++i, n = buf.lruPrevNode(n)) {
+            if (!h->isHotAddr(buf.nodeKey(n) * key_bytes))
+                return n;
+        }
+        return DramBuffer::nilNode; // all-hot window: exact LRU tail
+    };
 }
 
 void

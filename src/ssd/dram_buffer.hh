@@ -25,9 +25,12 @@
 #include <vector>
 
 #include "sim/annotations.hh"
+#include "sim/inline_function.hh"
 #include "sim/types.hh"
 
 namespace hams {
+
+class HotnessTracker;
 
 /** Internal buffer parameters. */
 struct DramBufferConfig
@@ -53,13 +56,45 @@ struct BufferEviction
 class DramBuffer
 {
   public:
+    /** Sentinel node id ("no node") for the victim-selection seam. */
+    static constexpr std::uint32_t nilNode = ~std::uint32_t(0);
+
+    /**
+     * Eviction policy seam: called when insert() must displace a frame.
+     * Returns the arena node id of the victim (walk the LRU list with
+     * lruTailNode()/lruPrevNode(), read keys with nodeKey()), or
+     * nilNode to fall back to the exact LRU tail. The selector runs on
+     * the per-access hot path, so it must be allocation-free and its
+     * capture must fit InlineFunction's 48-byte inline budget.
+     */
+    using VictimSelector =
+        InlineFunction<std::uint32_t(const DramBuffer&)>;
+
     explicit DramBuffer(const DramBufferConfig& cfg);
+
+    /**
+     * Install an eviction tie-break policy (empty restores exact LRU).
+     * The default — no selector — evicts the exact LRU tail, and a
+     * regression test pins that order.
+     */
+    void setVictimSelector(VictimSelector sel)
+    {
+        victimSel = std::move(sel);
+    }
 
     /** Occupancy-modelled access: move @p bytes through the buffer. */
     HAMS_HOT_PATH Tick access(std::uint32_t bytes, Tick at);
 
     /** True if @p key is resident (updates LRU order). */
     HAMS_HOT_PATH bool lookup(std::uint64_t key);
+
+    /** True if @p key is resident, WITHOUT touching LRU order (for
+     *  policy probes — residency tests, migration candidate checks). */
+    HAMS_HOT_PATH bool
+    contains(std::uint64_t key) const
+    {
+        return table[findSlot(key)] != 0;
+    }
 
     /** True if @p key is resident and dirty. */
     HAMS_HOT_PATH bool isDirty(std::uint64_t key) const;
@@ -94,8 +129,30 @@ class DramBuffer
     std::uint64_t bytesAccessed() const { return _bytesAccessed; }
     const DramBufferConfig& config() const { return cfg; }
 
+    /** @name LRU introspection for victim selectors (hot path). */
+    ///@{
+    /** Least-recently-used node, or nilNode when empty. */
+    HAMS_HOT_PATH std::uint32_t lruTailNode() const { return lruTail; }
+    /** Next-more-recent node after @p node, or nilNode at the head. */
+    HAMS_HOT_PATH std::uint32_t
+    lruPrevNode(std::uint32_t node) const
+    {
+        return nodes[node].prev;
+    }
+    HAMS_HOT_PATH std::uint64_t
+    nodeKey(std::uint32_t node) const
+    {
+        return nodes[node].key;
+    }
+    HAMS_HOT_PATH bool
+    nodeDirty(std::uint32_t node) const
+    {
+        return nodes[node].dirty;
+    }
+    ///@}
+
   private:
-    static constexpr std::uint32_t nil = ~std::uint32_t(0);
+    static constexpr std::uint32_t nil = nilNode;
 
     /** One resident frame: intrusive LRU links + metadata. */
     struct Node
@@ -144,7 +201,24 @@ class DramBuffer
     /** Open-addressing table of node index + 1 (0 = empty). */
     std::vector<std::uint32_t> table;
     std::uint32_t tableMask = 0;
+
+    /** Eviction tie-break policy; empty = exact LRU tail. */
+    VictimSelector victimSel;
 };
+
+/**
+ * Cold-first victim selector: walk up to @p scan_limit frames from the
+ * LRU tail and evict the first one @p hot does not consider hot; when
+ * every scanned candidate is hot, fall back to the exact LRU tail
+ * (bounded pinning — the cache can never wedge on an all-hot window).
+ * @p key_bytes converts buffer frame keys to tracker addresses
+ * (key * key_bytes), i.e. the buffer's frame size. The returned functor
+ * captures {pointer, u64, u32}, comfortably inside the 48-byte inline
+ * budget (pinned by a static_assert in the tests).
+ */
+DramBuffer::VictimSelector
+makeColdFirstSelector(const HotnessTracker& hot, std::uint64_t key_bytes,
+                      std::uint32_t scan_limit);
 
 } // namespace hams
 
